@@ -1,0 +1,41 @@
+//! Criterion benches over scaled-down versions of each figure's
+//! simulation: one bench per table/figure, measuring how fast the host
+//! regenerates it. `cargo bench -p sabre-bench` therefore exercises every
+//! experiment end to end, and its timing reports double as a regression
+//! guard for simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sabre_bench::experiments as ex;
+use sabre_bench::RunOpts;
+
+const Q: RunOpts = RunOpts { quick: true };
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_breakdown", |b| b.iter(|| black_box(ex::fig1::data(Q))));
+    g.bench_function("fig2_race", |b| b.iter(|| black_box(ex::fig2_race::data(Q))));
+    g.bench_function("fig7a_latency", |b| b.iter(|| black_box(ex::fig7a::data(Q))));
+    g.bench_function("fig7b_throughput", |b| b.iter(|| black_box(ex::fig7b::data(Q))));
+    g.bench_function("fig8_conflicts", |b| b.iter(|| black_box(ex::fig8::data(Q))));
+    g.bench_function("fig9a_farm_breakdown", |b| b.iter(|| black_box(ex::fig9a::data(Q))));
+    g.bench_function("fig9b_farm_throughput", |b| b.iter(|| black_box(ex::fig9b::data(Q))));
+    g.bench_function("fig10_local_reads", |b| b.iter(|| black_box(ex::fig10::data(Q))));
+    g.bench_function("table1_design_space", |b| b.iter(|| black_box(ex::table1::data(Q))));
+    g.finish();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("depth_sweep", |b| {
+        b.iter(|| black_box(ex::ablations::depth_sweep(Q)))
+    });
+    g.bench_function("concurrency_sweep", |b| {
+        b.iter(|| black_box(ex::ablations::concurrency_sweep(Q)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

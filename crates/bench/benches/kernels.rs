@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the hot kernels: the data structures the
+//! simulated hardware is made of, and the software kernels whose *modeled*
+//! costs the experiments charge. These measure the host's real performance
+//! (simulator throughput), complementing the simulated-time experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use sabre_core::{LightSabres, LightSabresConfig, SabreId, StreamBuffer};
+use sabre_mem::{Addr, BlockAddr, Llc, NodeMemory, BLOCK_BYTES};
+use sabre_sim::{EventQueue, Time};
+use sabre_sw::layout::PerClLayout;
+use sabre_sw::{crc64_ecma, VersionWord};
+
+fn bench_stream_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_buffer");
+    let mut sb = StreamBuffer::new(32);
+    sb.arm(BlockAddr::from_index(1000), 32);
+    for i in 0..16 {
+        sb.mark_received(i);
+    }
+    g.bench_function("probe_hit", |b| {
+        b.iter(|| sb.probe(black_box(BlockAddr::from_index(1010))))
+    });
+    g.bench_function("probe_miss", |b| {
+        b.iter(|| sb.probe(black_box(BlockAddr::from_index(99))))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lightsabres_engine");
+    // One full SABRe lifecycle: register, feed requests, issue, reply,
+    // complete — the per-operation state-machine cost of the engine.
+    g.bench_function("sabre_lifecycle_8_blocks", |b| {
+        let mut engine = LightSabres::new(LightSabresConfig::default());
+        let mut transfer = 0u32;
+        let data = [0u8; BLOCK_BYTES];
+        b.iter(|| {
+            transfer += 1;
+            let id = SabreId {
+                src_node: 0,
+                src_pipe: 0,
+                transfer,
+            };
+            let slot = engine.register(id, Addr::new(0), 512, 0).expect("free slot");
+            for _ in 0..8 {
+                engine.on_data_request(id).expect("in range");
+            }
+            while engine.next_issue().is_some() {}
+            for i in 0..8 {
+                black_box(engine.on_block_reply(slot, i, &data));
+            }
+        })
+    });
+    g.bench_function("invalidation_snoop_16_armed", |b| {
+        let mut engine = LightSabres::new(LightSabresConfig::default());
+        for t in 0..16u32 {
+            let id = SabreId {
+                src_node: 0,
+                src_pipe: 0,
+                transfer: t,
+            };
+            engine.register(id, Addr::new(t as u64 * 4096), 2048, 0).unwrap();
+        }
+        b.iter(|| engine.on_invalidation(black_box(BlockAddr::from_index(17))))
+    });
+    g.finish();
+}
+
+fn bench_software_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_atomicity");
+    let payload = vec![0xA5u8; 8192];
+    let image = PerClLayout::encode(VersionWord::new(4), &payload);
+    g.throughput(Throughput::Bytes(image.len() as u64));
+    g.bench_function("percl_validate_strip_8k", |b| {
+        b.iter(|| PerClLayout::validate_and_strip(black_box(&image), 8192).expect("clean"))
+    });
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("crc64_8k", |b| b.iter(|| crc64_ecma(black_box(&payload))));
+    g.finish();
+}
+
+fn bench_sim_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_primitives");
+    g.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.schedule(Time::from_ns(i * 7 % 501), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("node_memory_block_rw", |b| {
+        let mut mem = NodeMemory::new(1 << 20);
+        let blk = [7u8; BLOCK_BYTES];
+        b.iter(|| {
+            mem.write_block(BlockAddr::from_index(17), &blk);
+            black_box(mem.read_block(BlockAddr::from_index(17)))
+        })
+    });
+    g.bench_function("llc_access", |b| {
+        let mut llc = Llc::with_geometry(2 * 1024 * 1024, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 100_000;
+            black_box(llc.access(BlockAddr::from_index(i)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_buffer,
+    bench_engine,
+    bench_software_kernels,
+    bench_sim_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the design-choice ablations. Pass `--quick` for a fast run.
+fn main() {
+    let opts = sabre_bench::RunOpts::from_args();
+    for t in sabre_bench::experiments::ablations::run(opts) {
+        print!("{t}");
+    }
+}

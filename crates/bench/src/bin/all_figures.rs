@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper in one run.
+//! Pass `--quick` for a fast smoke run.
+use sabre_bench::experiments as ex;
+
+fn main() {
+    let opts = sabre_bench::RunOpts::from_args();
+    print!("{}", ex::table2::run(opts));
+    print!("{}", ex::table1::run(opts));
+    print!("{}", ex::fig1::run(opts));
+    print!("{}", ex::fig2_race::run(opts));
+    print!("{}", ex::fig7a::run(opts));
+    print!("{}", ex::fig7b::run(opts));
+    print!("{}", ex::fig8::run(opts));
+    print!("{}", ex::fig9a::run(opts));
+    print!("{}", ex::fig9b::run(opts));
+    print!("{}", ex::fig10::run(opts));
+    for t in ex::ablations::run(opts) {
+        print!("{t}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1 of the paper. Pass `--quick` for a fast run.
+fn main() {
+    let opts = sabre_bench::RunOpts::from_args();
+    print!("{}", sabre_bench::experiments::fig1::run(opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 of the paper. Pass `--quick` for a fast run.
+fn main() {
+    let opts = sabre_bench::RunOpts::from_args();
+    print!("{}", sabre_bench::experiments::fig10::run(opts));
+}

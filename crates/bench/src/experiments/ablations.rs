@@ -1,0 +1,198 @@
+//! Ablations over the design decisions §3/§4 argue for:
+//!
+//! 1. **Stream-buffer depth** (DG1): the depth must cover the
+//!    bandwidth-delay product (§4.1's Little's-law sizing, = 32 at
+//!    20 GBps × 90 ns) or single-SABRe latency suffers inside the window
+//!    of vulnerability.
+//! 2. **Stream-buffer count** (DG2): enough concurrent SABRes must fit to
+//!    saturate bandwidth with small objects.
+//! 3. **Speculation** (DG1): the no-speculation strawman's penalty across
+//!    sizes.
+//! 4. **CC mode**: destination locking vs destination OCC, uncontended.
+//! 5. **Abort policy** (§5.1): software-controlled retry — immediate vs
+//!    backoff under heavy conflicts.
+
+use sabre_core::CcMode;
+use sabre_farm::StoreLayout;
+use sabre_rack::workloads::{AsyncReader, SyncReader, Writer, WriterLayout};
+use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_sim::Time;
+
+use super::common::{build_store, raw_targets};
+use crate::table::{fmt_gbps, fmt_ns};
+use crate::{RunOpts, Table};
+
+/// Ablation 1: single-SABRe latency of an 8 KB object vs stream-buffer
+/// depth. Returns `(depth, mean latency ns)`.
+pub fn depth_sweep(opts: RunOpts) -> Vec<(u32, f64)> {
+    let iters = opts.pick(60, 8);
+    [1u32, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&depth| {
+            let mut cfg = ClusterConfig::default();
+            cfg.lightsabres.depth = depth;
+            let mut cluster = Cluster::new(cfg);
+            let targets = raw_targets(&mut cluster, 1, 8192);
+            cluster.add_workload(
+                0,
+                0,
+                Box::new(SyncReader::endless(1, targets, 8192, ReadMechanism::Sabre)),
+            );
+            cluster.run_for(Time::from_us(15 * iters));
+            let m = cluster.metrics(0, 0);
+            (depth, m.latency.mean().expect("ops completed"))
+        })
+        .collect()
+}
+
+/// Ablation 2: aggregate throughput of 16 async readers of two-block
+/// (128 B) SABRes vs the number of stream buffers (= max concurrent
+/// SABRes per R2P2). Returns `(buffers, GB/s)`.
+pub fn concurrency_sweep(opts: RunOpts) -> Vec<(usize, f64)> {
+    let duration = Time::from_us(opts.pick(150, 25));
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&buffers| {
+            let mut cfg = ClusterConfig::default();
+            cfg.lightsabres.stream_buffers = buffers;
+            let mut cluster = Cluster::new(cfg);
+            let targets = raw_targets(&mut cluster, 1, 128);
+            for core in 0..cluster.config().cores_per_node {
+                cluster.add_workload(
+                    0,
+                    core,
+                    Box::new(AsyncReader::new(
+                        1,
+                        targets.clone(),
+                        128,
+                        ReadMechanism::Sabre,
+                        8,
+                    )),
+                );
+            }
+            cluster.run_for(duration);
+            (buffers, cluster.node_metrics(0).bytes as f64 / duration.as_ns())
+        })
+        .collect()
+}
+
+/// Ablation 4: destination locking vs destination OCC, uncontended.
+/// Returns `(size, occ ns, locking ns)`.
+pub fn cc_mode_sweep(opts: RunOpts) -> Vec<(u32, f64, f64)> {
+    let iters = opts.pick(80, 10);
+    [128u32, 1024, 8192]
+        .iter()
+        .map(|&size| {
+            let mut out = [0.0f64; 2];
+            for (i, mode) in [CcMode::Occ, CcMode::Locking].into_iter().enumerate() {
+                let mut cfg = ClusterConfig::default();
+                cfg.lightsabres.cc_mode = mode;
+                let mut cluster = Cluster::new(cfg);
+                let store = build_store(&mut cluster, 1, StoreLayout::Clean, size, Some(512));
+                let wire = StoreLayout::Clean.object_bytes(size as usize) as u32;
+                cluster.add_workload(
+                    0,
+                    0,
+                    Box::new(
+                        SyncReader::endless(1, store.object_addrs(), size, ReadMechanism::Sabre)
+                            .with_wire(wire),
+                    ),
+                );
+                cluster.run_for(Time::from_us(15 * iters));
+                out[i] = cluster.metrics(0, 0).latency.mean().expect("ops");
+            }
+            (size, out[0], out[1])
+        })
+        .collect()
+}
+
+/// Ablation 5: retry policy under heavy conflict (8 KB objects, 16
+/// writers): immediate retry vs backoff. Returns
+/// `(label, GB/s, abort rate)`.
+pub fn retry_policy_sweep(opts: RunOpts) -> Vec<(String, f64, f64)> {
+    let duration = Time::from_us(opts.pick(150, 25));
+    [
+        ("immediate", Time::ZERO),
+        ("backoff 1us", Time::from_us(1)),
+        ("backoff 5us", Time::from_us(5)),
+    ]
+    .iter()
+    .map(|(label, backoff)| {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let store = build_store(&mut cluster, 1, StoreLayout::Clean, 8192, Some(100));
+        cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+        let objects = store.object_addrs();
+        for core in 0..cluster.config().cores_per_node {
+            cluster.add_workload(
+                0,
+                core,
+                Box::new(
+                    SyncReader::endless(1, objects.clone(), 8192, ReadMechanism::Sabre)
+                        .with_consume()
+                        .with_backoff(*backoff)
+                        .with_wire(StoreLayout::Clean.object_bytes(8192) as u32),
+                ),
+            );
+        }
+        let entries = store.object_entries();
+        for w in 0..16 {
+            let owned: Vec<_> = entries.iter().copied().skip(w).step_by(16).collect();
+            cluster.add_workload(
+                1,
+                w,
+                Box::new(Writer::new(owned, 8192, WriterLayout::Clean, Time::ZERO)),
+            );
+        }
+        cluster.run_for(duration);
+        let m = cluster.node_metrics(0);
+        (
+            label.to_string(),
+            m.bytes as f64 / duration.as_ns(),
+            m.abort_rate(),
+        )
+    })
+    .collect()
+}
+
+/// Renders all ablations.
+pub fn run(opts: RunOpts) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    let mut t = Table::new(
+        "Ablation — stream-buffer depth vs 8 KB SABRe latency (Little's law: 32)",
+        &["depth", "latency"],
+    );
+    for (d, ns) in depth_sweep(opts) {
+        t.row(vec![d.to_string(), fmt_ns(ns)]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "Ablation — stream-buffer count vs 128 B SABRe throughput, 16 async readers",
+        &["buffers/R2P2", "GB/s"],
+    );
+    for (b, g) in concurrency_sweep(opts) {
+        t.row(vec![b.to_string(), fmt_gbps(g)]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "Ablation — destination OCC vs destination locking (uncontended)",
+        &["size(B)", "OCC", "locking"],
+    );
+    for (s, occ, lock) in cc_mode_sweep(opts) {
+        t.row(vec![s.to_string(), fmt_ns(occ), fmt_ns(lock)]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "Ablation — retry policy under heavy conflicts (8 KB, 16 writers)",
+        &["policy", "GB/s", "abort rate"],
+    );
+    for (label, g, rate) in retry_policy_sweep(opts) {
+        t.row(vec![label, fmt_gbps(g), format!("{:.1}%", rate * 100.0)]);
+    }
+    tables.push(t);
+
+    tables
+}

@@ -1,0 +1,59 @@
+//! Shared experiment scaffolding.
+
+use sabre_farm::{ObjectStore, StoreLayout};
+use sabre_mem::Addr;
+use sabre_rack::{Cluster, ClusterConfig};
+
+/// The transfer sizes of the microbenchmark figures (Figs. 7a/7b).
+pub const TRANSFER_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// The object sizes of the object-store figures (Figs. 1, 9, 10).
+pub const OBJECT_SIZES: [u32; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Builds the default two-node cluster of Table 2.
+pub fn default_cluster() -> Cluster {
+    Cluster::new(ClusterConfig::default())
+}
+
+/// Lays out a memory-resident region of raw transfer targets of `size`
+/// bytes each on `node`: enough objects (~16 MB) that uniform random access
+/// misses the 2 MB LLC, as in the "remote data is memory resident" setups.
+/// Each target starts with an even (unlocked) version word.
+///
+/// Returns the target addresses.
+pub fn raw_targets(cluster: &mut Cluster, node: usize, size: u32) -> Vec<Addr> {
+    let slot = (size as u64).div_ceil(64) * 64;
+    let count = (16 * 1024 * 1024 / slot).clamp(1, 16_384);
+    let mem = cluster.node_memory_mut(node);
+    let mut addrs = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let base = Addr::new(i * slot);
+        mem.write_u64(base, 0);
+        addrs.push(base);
+    }
+    addrs
+}
+
+/// Creates and initializes an object store region on `node`, memory
+/// resident (≈16 MB of objects) unless `n_objects` pins the count.
+pub fn build_store(
+    cluster: &mut Cluster,
+    node: u8,
+    layout: StoreLayout,
+    payload: u32,
+    n_objects: Option<u64>,
+) -> ObjectStore {
+    let slot = layout.object_bytes(payload as usize) as u64;
+    let count = n_objects.unwrap_or((16 * 1024 * 1024 / slot).clamp(1, 16_384));
+    let store = ObjectStore::new(node, Addr::new(0), layout, payload, count);
+    store.init(cluster.node_memory_mut(node as usize));
+    store
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

@@ -1,0 +1,85 @@
+//! Fig. 7a: microbenchmark end-to-end transfer latency — plain remote
+//! reads vs. LightSABRes vs. the non-speculative strawman.
+//!
+//! One thread issues synchronous operations over 64 B–8 KB memory-resident
+//! targets. Expected shape (paper): LightSABRes match plain reads at every
+//! size (diverging slightly above 2 KB, where a SABRe is pinned to one
+//! R2P2 while plain reads balance per block); the no-speculation variant
+//! pays the serialized version read — up to ≈40% extra on two-block
+//! transfers — until transfer time dominates at large sizes.
+
+use sabre_core::SpecMode;
+use sabre_rack::workloads::SyncReader;
+use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_sim::Time;
+
+use super::common::{raw_targets, TRANSFER_SIZES};
+use crate::table::fmt_ns;
+use crate::{RunOpts, Table};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Transfer size in bytes.
+    pub size: u32,
+    /// Mean plain-read latency (ns).
+    pub read_ns: f64,
+    /// Mean LightSABRes latency (ns).
+    pub sabre_ns: f64,
+    /// Mean non-speculative SABRe latency (ns).
+    pub nospec_ns: f64,
+}
+
+fn measure(size: u32, mech: ReadMechanism, spec: SpecMode, iters: u64) -> f64 {
+    let mut cfg = ClusterConfig::default();
+    cfg.lightsabres.spec_mode = spec;
+    let mut cluster = Cluster::new(cfg);
+    let targets = raw_targets(&mut cluster, 1, size);
+    let reader = SyncReader::endless(1, targets, size, mech);
+    // Cap the reader via time, not iterations, and average the transfer
+    // phase; drop nothing (single reader, no contention, no warmup needed
+    // beyond the LLC fills that memory residency makes rare anyway).
+    let mut reader = reader;
+    reader = match mech {
+        ReadMechanism::Raw | ReadMechanism::Sabre => reader,
+        _ => unreachable!("fig7a compares raw transfers"),
+    };
+    cluster.add_workload(0, 0, Box::new(reader));
+    // Enough simulated time for `iters` back-to-back ops at <10 us each.
+    cluster.run_for(Time::from_us(10 * iters));
+    let m = cluster.metrics(0, 0);
+    assert!(m.ops >= iters / 2, "too few ops completed: {}", m.ops);
+    m.latency.mean().expect("ops completed")
+}
+
+/// Runs the sweep.
+pub fn data(opts: RunOpts) -> Vec<Point> {
+    let iters = opts.pick(100, 10);
+    TRANSFER_SIZES
+        .iter()
+        .map(|&size| Point {
+            size,
+            read_ns: measure(size, ReadMechanism::Raw, SpecMode::Speculative, iters),
+            sabre_ns: measure(size, ReadMechanism::Sabre, SpecMode::Speculative, iters),
+            nospec_ns: measure(size, ReadMechanism::Sabre, SpecMode::ReadVersionFirst, iters),
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn run(opts: RunOpts) -> Table {
+    let mut t = Table::new(
+        "Fig. 7a — transfer latency: remote reads vs LightSABRes vs no-speculation",
+        &["size(B)", "remote read", "LightSABRes", "no-spec", "no-spec penalty"],
+    );
+    for p in data(opts) {
+        t.row(vec![
+            p.size.to_string(),
+            fmt_ns(p.read_ns),
+            fmt_ns(p.sabre_ns),
+            fmt_ns(p.nospec_ns),
+            format!("{:+.0}%", (p.nospec_ns / p.sabre_ns - 1.0) * 100.0),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper, plus ablations.
+//!
+//! Each module exposes `data(opts) -> Vec<…>` with structured results and
+//! `run(opts) -> Table` (or several) for printing. The DESIGN.md experiment
+//! index maps paper artifacts to these modules.
+
+pub mod ablations;
+pub mod common;
+pub mod fig1;
+pub mod fig2_race;
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+pub mod fig10;
+pub mod table1;
+pub mod table2;

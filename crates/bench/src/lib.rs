@@ -1,0 +1,56 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§7), plus the ablations its design sections motivate.
+//!
+//! Each experiment lives in [`experiments`] as a `data()` function returning
+//! structured results (consumed by the integration tests, which assert the
+//! paper's *shape*: who wins, by roughly what factor, where crossovers
+//! fall) and a `run()` function rendering the printable table. One binary
+//! per experiment regenerates it:
+//!
+//! ```text
+//! cargo run --release -p sabre-bench --bin fig7a [-- --quick]
+//! cargo run --release -p sabre-bench --bin all_figures
+//! ```
+//!
+//! `--quick` shrinks iteration counts and simulated durations (used by the
+//! smoke tests); full runs are the EXPERIMENTS.md numbers.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Global run options for experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Shrink iteration counts / durations for smoke testing.
+    pub quick: bool,
+}
+
+impl RunOpts {
+    /// Parses `--quick` from the process arguments (any position).
+    pub fn from_args() -> Self {
+        RunOpts {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+
+    /// Full-fidelity options.
+    pub fn full() -> Self {
+        RunOpts { quick: false }
+    }
+
+    /// Quick (smoke-test) options.
+    pub fn quick() -> Self {
+        RunOpts { quick: true }
+    }
+
+    /// Picks between a full and a quick value.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}

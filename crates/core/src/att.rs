@@ -1,0 +1,158 @@
+//! The Active Transfers Table (ATT), §4.2 / Fig. 4.
+//!
+//! An ATT entry represents a SABRe during its lifetime and drives its
+//! progress: how many request packets have arrived (soNUMA folds the
+//! source-unrolled stream back into one entry, §5.1), how many loads have
+//! been issued and replied, whether the window of vulnerability is still
+//! open, the sampled header version, and the abort/revalidate flags.
+
+use sabre_mem::{Addr, BlockAddr};
+
+use crate::ids::SabreId;
+
+/// Lifecycle of an ATT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabreState {
+    /// Issuing and receiving data-block reads.
+    Active,
+    /// All data replies received; a header re-read is in flight because the
+    /// base block was invalidated after the version sample (OCC only).
+    Validating,
+    /// Completion reported; a reader-lock release is still owed to the
+    /// memory system (locking mode only). The slot is freed once the
+    /// release issues.
+    Releasing,
+}
+
+/// One Active Transfers Table entry.
+///
+/// Fields mirror the hardware structure of Fig. 4: tag (id), base address
+/// and length, request/issue counters, the speculation bit, and the version
+/// field captured when the head block is read.
+#[derive(Debug, Clone)]
+pub struct AttEntry {
+    /// The SABRe this entry tracks.
+    pub id: SabreId,
+    /// Object base address (block-aligned).
+    pub base: Addr,
+    /// Length of the transfer in blocks.
+    pub size_blocks: u32,
+    /// Requested transfer size in bytes (for statistics; the payload is
+    /// whole blocks).
+    pub size_bytes: u32,
+    /// Offset of the 64-bit version/lock word within the first block.
+    pub version_offset: u32,
+    /// Data-request packets received so far (issue may never exceed this —
+    /// the request-reply flow-control invariant).
+    pub request_count: u32,
+    /// Block loads issued to the memory hierarchy.
+    pub issue_count: u32,
+    /// Block replies received from the memory hierarchy.
+    pub reply_count: u32,
+    /// The speculation bit: set while the window of vulnerability is open.
+    pub speculating: bool,
+    /// Version sampled from the head block (OCC), used by revalidation.
+    pub version: Option<u64>,
+    /// Set when the base block is invalidated after the version sample; the
+    /// header must be re-read before success can be reported.
+    pub revalidate: bool,
+    /// Conflict detected: the SABRe will complete with `atomic = false`.
+    /// Data movement continues so that every request still gets its reply.
+    pub aborted: bool,
+    /// Locking mode: the shared reader lock acquire has been issued.
+    pub lock_issued: bool,
+    /// Locking mode: the shared reader lock is currently held.
+    pub lock_held: bool,
+    /// A `Validate` header re-read has been issued (at most one).
+    pub validate_issued: bool,
+    /// Lifecycle state.
+    pub state: SabreState,
+}
+
+impl AttEntry {
+    /// Creates a fresh entry for a newly registered SABRe.
+    pub fn new(id: SabreId, base: Addr, size_bytes: u32, version_offset: u32) -> Self {
+        let size_blocks = sabre_mem::BlockRange::covering(base, size_bytes as u64).block_count();
+        AttEntry {
+            id,
+            base,
+            size_blocks: size_blocks as u32,
+            size_bytes,
+            version_offset,
+            request_count: 0,
+            issue_count: 0,
+            reply_count: 0,
+            speculating: true,
+            version: None,
+            revalidate: false,
+            aborted: false,
+            lock_issued: false,
+            lock_held: false,
+            validate_issued: false,
+            state: SabreState::Active,
+        }
+    }
+
+    /// The base block of the transfer.
+    pub fn base_block(&self) -> BlockAddr {
+        self.base.block()
+    }
+
+    /// Block address of the `i`-th block of the transfer.
+    pub fn block(&self, i: u32) -> BlockAddr {
+        self.base_block().offset(i as u64)
+    }
+
+    /// Address of the version/lock word.
+    pub fn version_addr(&self) -> Addr {
+        self.base + self.version_offset as u64
+    }
+
+    /// Whether every data reply has been received.
+    pub fn data_complete(&self) -> bool {
+        self.reply_count == self.size_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(size_bytes: u32) -> AttEntry {
+        AttEntry::new(
+            SabreId {
+                src_node: 0,
+                src_pipe: 0,
+                transfer: 9,
+            },
+            Addr::new(1024),
+            size_bytes,
+            0,
+        )
+    }
+
+    #[test]
+    fn block_count_from_bytes() {
+        assert_eq!(entry(64).size_blocks, 1);
+        assert_eq!(entry(65).size_blocks, 2);
+        assert_eq!(entry(8192).size_blocks, 128);
+    }
+
+    #[test]
+    fn addresses() {
+        let e = entry(128);
+        assert_eq!(e.base_block(), BlockAddr::from_index(16));
+        assert_eq!(e.block(1), BlockAddr::from_index(17));
+        assert_eq!(e.version_addr(), Addr::new(1024));
+    }
+
+    #[test]
+    fn fresh_entry_state() {
+        let e = entry(128);
+        assert!(e.speculating);
+        assert!(!e.aborted);
+        assert!(!e.revalidate);
+        assert_eq!(e.state, SabreState::Active);
+        assert!(!e.data_complete());
+    }
+}

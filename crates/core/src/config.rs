@@ -1,0 +1,176 @@
+//! Engine configuration and sizing.
+//!
+//! §4.1/§5.1: stream-buffer provisioning is *orthogonal to SABRe length* —
+//! it depends only on the memory hierarchy and the controller's target peak
+//! bandwidth. The number of stream buffers bounds inter-SABRe concurrency;
+//! their depth bounds how many loads a single SABRe can have outstanding
+//! during its window of vulnerability, and is sized by Little's law so that
+//! the window never throttles issue at peak bandwidth.
+
+use sabre_mem::BLOCK_BYTES;
+use sabre_sim::Time;
+
+/// Concurrency-control flavor the engine enforces at the destination
+/// (Table 1, right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcMode {
+    /// Optimistic: read the header version, snoop during the window,
+    /// re-validate the header if the base block was invalidated. The mode
+    /// the paper evaluates.
+    #[default]
+    Occ,
+    /// Pessimistic: acquire a shared reader lock on the object at the
+    /// destination before the read commits, release it after. Cancels both
+    /// drawbacks of *remote* (source-side) locking: no extra roundtrip, no
+    /// cross-node failure coupling.
+    Locking,
+}
+
+/// Whether the engine overlaps the version/lock access with data reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpecMode {
+    /// Full overlap guarded by address-range snooping (LightSABRes proper).
+    #[default]
+    Speculative,
+    /// The strawman of §3.2: serialize read-version-then-data, exposing a
+    /// full memory access latency before any data load. Evaluated in
+    /// Fig. 7a as "LightSABRes - no speculation".
+    ReadVersionFirst,
+}
+
+/// Static configuration of one LightSABRes engine instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LightSabresConfig {
+    /// Number of ATT entries / stream buffers, i.e. max concurrent SABRes
+    /// per R2P2 (paper: 16).
+    pub stream_buffers: usize,
+    /// Stream-buffer depth in blocks — max outstanding loads per SABRe
+    /// during the window of vulnerability (paper: 32).
+    pub depth: u32,
+    /// Concurrency-control mode.
+    pub cc_mode: CcMode,
+    /// Speculation mode.
+    pub spec_mode: SpecMode,
+}
+
+impl Default for LightSabresConfig {
+    fn default() -> Self {
+        LightSabresConfig {
+            stream_buffers: 16,
+            depth: 32,
+            cc_mode: CcMode::default(),
+            spec_mode: SpecMode::default(),
+        }
+    }
+}
+
+impl LightSabresConfig {
+    /// Stream-buffer depth required to sustain `gbps` of issue bandwidth
+    /// across `mem_latency` of memory latency (Little's law), rounded up to
+    /// the next power of two as hardware would.
+    ///
+    /// The paper's example: 20 GBps × 90 ns = 1800 B ≈ 28.1 blocks → 32.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sabre_core::LightSabresConfig;
+    /// use sabre_sim::Time;
+    ///
+    /// assert_eq!(LightSabresConfig::required_depth(20.0, Time::from_ns(90)), 32);
+    /// ```
+    pub fn required_depth(gbps: f64, mem_latency: Time) -> u32 {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        let bytes_in_flight = gbps * mem_latency.as_ns();
+        let blocks = (bytes_in_flight / BLOCK_BYTES as f64).ceil() as u32;
+        blocks.max(1).next_power_of_two()
+    }
+
+    /// SRAM cost of one ATT entry in bytes (§5.1: 24 B — id, base, length,
+    /// counters, version field, state bits).
+    pub const ATT_ENTRY_BYTES: usize = 24;
+
+    /// SRAM cost of one stream buffer: the received-bitvector plus the base
+    /// tag, length and control state (§5.1 quotes 11 B at depth 32, i.e.
+    /// 4 B of bitvector + 7 B of tag/length).
+    pub fn stream_buffer_bytes(&self) -> usize {
+        (self.depth as usize).div_ceil(8) + 7
+    }
+
+    /// Total SRAM the engine adds to an R2P2.
+    ///
+    /// With the default configuration this reproduces the paper's 560 B
+    /// figure (16 × (24 + 11)).
+    pub fn total_sram_bytes(&self) -> usize {
+        self.stream_buffers * (Self::ATT_ENTRY_BYTES + self.stream_buffer_bytes())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stream_buffers == 0 {
+            return Err("at least one stream buffer is required".into());
+        }
+        if self.stream_buffers > 256 {
+            return Err("SlotId is 8-bit: at most 256 stream buffers".into());
+        }
+        if self.depth == 0 {
+            return Err("stream-buffer depth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = LightSabresConfig::default();
+        assert_eq!(cfg.stream_buffers, 16);
+        assert_eq!(cfg.depth, 32);
+        assert_eq!(cfg.cc_mode, CcMode::Occ);
+        assert_eq!(cfg.spec_mode, SpecMode::Speculative);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn sram_budget_matches_paper() {
+        // §5.1: "560 bytes of SRAM storage" per R2P2.
+        let cfg = LightSabresConfig::default();
+        assert_eq!(cfg.stream_buffer_bytes(), 11);
+        assert_eq!(cfg.total_sram_bytes(), 560);
+    }
+
+    #[test]
+    fn little_law_sizing() {
+        assert_eq!(
+            LightSabresConfig::required_depth(20.0, Time::from_ns(90)),
+            32
+        );
+        // Slower controller or faster memory needs less.
+        assert_eq!(
+            LightSabresConfig::required_depth(5.0, Time::from_ns(90)),
+            8
+        );
+        assert_eq!(LightSabresConfig::required_depth(0.1, Time::from_ns(10)), 1);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut cfg = LightSabresConfig {
+            stream_buffers: 0,
+            ..LightSabresConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.stream_buffers = 300;
+        assert!(cfg.validate().is_err());
+        cfg.stream_buffers = 16;
+        cfg.depth = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

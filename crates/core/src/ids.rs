@@ -1,0 +1,53 @@
+//! Identifiers for in-flight SABRes.
+
+use std::fmt;
+
+/// Globally unique identifier of one SABRe operation.
+///
+/// §5.1: "a SABRe id uniquely defined by the set of source node id, Request
+/// Generation Pipeline id, and transfer id, all of which are carried in each
+/// request packet."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SabreId {
+    /// Node that issued the SABRe.
+    pub src_node: u8,
+    /// Request Generation Pipeline (backend) on the source node.
+    pub src_pipe: u8,
+    /// Per-pipeline transfer sequence number.
+    pub transfer: u32,
+}
+
+impl fmt::Display for SabreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sabre:{}.{}.{}", self.src_node, self.src_pipe, self.transfer)
+    }
+}
+
+/// Index of an Active Transfers Table entry (and its associated stream
+/// buffer) inside one LightSABRes engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u8);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_value_types() {
+        let a = SabreId {
+            src_node: 1,
+            src_pipe: 2,
+            transfer: 3,
+        };
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "sabre:1.2.3");
+        assert_eq!(SlotId(5).to_string(), "slot:5");
+    }
+}

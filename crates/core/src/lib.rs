@@ -1,0 +1,65 @@
+//! **LightSABRes** — the paper's contribution: a lightweight destination-side
+//! hardware engine providing *SABRes* (Single-site Atomic Bulk Reads), i.e.
+//! one-sided remote object reads that are atomic across multiple cache
+//! blocks.
+//!
+//! The engine lives inside a destination node's Remote Request Processing
+//! Pipeline (R2P2) and is integrated into the chip's coherence domain. Its
+//! job (§3–§4 of the paper):
+//!
+//! * overlap the object's **version/lock access with the data reads** to
+//!   extract maximum memory-level parallelism, instead of serializing a
+//!   read-version-then-data sequence;
+//! * during the resulting **window of vulnerability** (from issuing the head
+//!   block's read until its completion), track the object's address range in
+//!   a **stream buffer** and snoop coherence invalidations against it with a
+//!   simple subtractor — no associative search;
+//! * **abort** the SABRe when an invalidation hits an already-read block
+//!   inside the window (a racing writer), **ignore** invalidations after the
+//!   window closes (LLC-eviction false alarms), and **re-validate** the
+//!   header at the end whenever the base block itself was invalidated (the
+//!   one ambiguous event);
+//! * expose success/failure to software through the final validation reply —
+//!   the hardware never retries (§5.1).
+//!
+//! The engine here is a *sans-IO state machine*: it never touches memory or
+//! the network itself. Callers feed it packets, memory replies and
+//! invalidations, and execute the [`Action`]s it emits. That makes the exact
+//! protocol logic unit-testable in isolation, and reusable both under the
+//! full discrete-event cluster in `sabre-rack` and under the randomized
+//! schedules of the property-test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use sabre_core::{LightSabres, LightSabresConfig, SabreId, Action};
+//! use sabre_mem::Addr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut eng = LightSabres::new(LightSabresConfig::default());
+//! let id = SabreId { src_node: 0, src_pipe: 0, transfer: 1 };
+//! // Register a 2-block (128 B) SABRe at address 0, version at offset 0.
+//! let slot = eng.register(id, Addr::new(0), 128, 0)?;
+//! eng.on_data_request(id)?;  // soNUMA data-request packets arrive...
+//! eng.on_data_request(id)?;
+//! // The engine now wants to issue both block reads (speculatively).
+//! let first = eng.next_issue().expect("head block issuable");
+//! assert_eq!(first.block_index, 0);
+//! assert!(eng.next_issue().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod att;
+pub mod config;
+pub mod engine;
+pub mod ids;
+pub mod stream_buffer;
+
+pub use att::{AttEntry, SabreState};
+pub use config::{CcMode, LightSabresConfig, SpecMode};
+pub use engine::{
+    Action, BlockIssue, EngineStats, IssueKind, LightSabres, RegisterError, SabreError,
+};
+pub use ids::{SabreId, SlotId};
+pub use stream_buffer::StreamBuffer;

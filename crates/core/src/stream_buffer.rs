@@ -1,0 +1,265 @@
+//! The address-range-snooping stream buffer (§4.1, Fig. 3).
+//!
+//! One stream buffer guards one in-flight SABRe. It records the SABRe's
+//! base block and length; each of its `depth` entries stands for one block
+//! of the range (entry *i* ↔ block `base + i`), with a single bit meaning
+//! "the reply for this block has been received". Entries never store
+//! addresses or data — lookup is a subtraction against the base (the
+//! "subtractor" of §4.2), and payloads flow straight back to the requester.
+
+use sabre_mem::BlockAddr;
+
+/// What a snooped message matched inside a stream buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The message is for the base (head) block — the one holding the
+    /// object's version/lock.
+    Base,
+    /// The message is for tracked data block `base + index`.
+    Data {
+        /// Offset from the base block.
+        index: u32,
+        /// Whether this block's reply had already been received
+        /// (bit set) at probe time.
+        received: bool,
+    },
+    /// The address falls outside this buffer's range (or beyond its
+    /// tracked depth).
+    Miss,
+}
+
+/// A single stream buffer.
+///
+/// # Example
+///
+/// ```
+/// use sabre_core::StreamBuffer;
+/// use sabre_mem::BlockAddr;
+///
+/// let mut sb = StreamBuffer::new(32);
+/// sb.arm(BlockAddr::from_index(100), 4);
+/// sb.mark_received(1);
+/// use sabre_core::stream_buffer::Probe;
+/// assert_eq!(sb.probe(BlockAddr::from_index(101)),
+///            Probe::Data { index: 1, received: true });
+/// assert_eq!(sb.probe(BlockAddr::from_index(100)), Probe::Base);
+/// assert_eq!(sb.probe(BlockAddr::from_index(104)), Probe::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamBuffer {
+    depth: u32,
+    base: Option<BlockAddr>,
+    len_blocks: u32,
+    /// Received-reply bits, one per entry, `depth` bits total.
+    bits: Vec<u64>,
+}
+
+impl StreamBuffer {
+    /// Creates an idle stream buffer with the given depth (in blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: u32) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        StreamBuffer {
+            depth,
+            base: None,
+            len_blocks: 0,
+            bits: vec![0; (depth as usize).div_ceil(64)],
+        }
+    }
+
+    /// Arms the buffer for a SABRe spanning `len_blocks` blocks starting at
+    /// `base`. Any previous tracking state is cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_blocks == 0`.
+    pub fn arm(&mut self, base: BlockAddr, len_blocks: u32) {
+        assert!(len_blocks > 0, "SABRe must span at least one block");
+        self.base = Some(base);
+        self.len_blocks = len_blocks;
+        self.bits.fill(0);
+    }
+
+    /// Releases the buffer (SABRe completed or aborted).
+    pub fn release(&mut self) {
+        self.base = None;
+        self.len_blocks = 0;
+        self.bits.fill(0);
+    }
+
+    /// Whether the buffer is currently tracking a SABRe.
+    pub fn is_armed(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// The configured depth in blocks.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The armed base block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is idle.
+    pub fn base(&self) -> BlockAddr {
+        self.base.expect("stream buffer not armed")
+    }
+
+    /// Number of blocks of the armed range that fall within tracking depth.
+    pub fn tracked_blocks(&self) -> u32 {
+        self.len_blocks.min(self.depth)
+    }
+
+    /// Marks entry `index`'s reply as received.
+    ///
+    /// Indexes at or beyond the depth are accepted and ignored: those blocks
+    /// are only ever issued after the window of vulnerability closes, at
+    /// which point the buffer no longer tracks them (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is idle or `index` is outside the armed range.
+    pub fn mark_received(&mut self, index: u32) {
+        assert!(self.is_armed(), "mark_received on idle stream buffer");
+        assert!(index < self.len_blocks, "index {index} outside SABRe range");
+        if index < self.depth {
+            self.bits[(index / 64) as usize] |= 1 << (index % 64);
+        }
+    }
+
+    /// Whether entry `index`'s reply has been received (always `false` for
+    /// indexes beyond tracking depth).
+    pub fn received(&self, index: u32) -> bool {
+        if index >= self.depth {
+            return false;
+        }
+        self.bits[(index / 64) as usize] & (1 << (index % 64)) != 0
+    }
+
+    /// Probes the buffer with a snooped block address — the subtractor path
+    /// every reply and invalidation takes (§4.2).
+    pub fn probe(&self, block: BlockAddr) -> Probe {
+        let Some(base) = self.base else {
+            return Probe::Miss;
+        };
+        match block.distance_from(base) {
+            Some(0) => Probe::Base,
+            Some(d) if d < self.len_blocks as u64 => {
+                let index = d as u32;
+                if index < self.depth {
+                    Probe::Data {
+                        index,
+                        received: self.received(index),
+                    }
+                } else {
+                    // Beyond tracking depth: such blocks are only read after
+                    // the window closes, so snoops on them are irrelevant.
+                    Probe::Miss
+                }
+            }
+            _ => Probe::Miss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn arm_release_cycle() {
+        let mut sb = StreamBuffer::new(32);
+        assert!(!sb.is_armed());
+        sb.arm(blk(10), 5);
+        assert!(sb.is_armed());
+        assert_eq!(sb.base(), blk(10));
+        assert_eq!(sb.tracked_blocks(), 5);
+        sb.release();
+        assert!(!sb.is_armed());
+        assert_eq!(sb.probe(blk(10)), Probe::Miss);
+    }
+
+    #[test]
+    fn rearming_clears_bits() {
+        let mut sb = StreamBuffer::new(8);
+        sb.arm(blk(0), 4);
+        sb.mark_received(2);
+        sb.arm(blk(100), 4);
+        assert!(!sb.received(2));
+    }
+
+    #[test]
+    fn probe_classification() {
+        let mut sb = StreamBuffer::new(32);
+        sb.arm(blk(100), 10);
+        assert_eq!(sb.probe(blk(99)), Probe::Miss);
+        assert_eq!(sb.probe(blk(100)), Probe::Base);
+        assert_eq!(
+            sb.probe(blk(105)),
+            Probe::Data {
+                index: 5,
+                received: false
+            }
+        );
+        sb.mark_received(5);
+        assert_eq!(
+            sb.probe(blk(105)),
+            Probe::Data {
+                index: 5,
+                received: true
+            }
+        );
+        assert_eq!(sb.probe(blk(110)), Probe::Miss);
+    }
+
+    #[test]
+    fn beyond_depth_is_untracked() {
+        let mut sb = StreamBuffer::new(4);
+        sb.arm(blk(0), 100);
+        assert_eq!(sb.tracked_blocks(), 4);
+        // In range but beyond depth: miss.
+        assert_eq!(sb.probe(blk(4)), Probe::Miss);
+        assert_eq!(sb.probe(blk(99)), Probe::Miss);
+        // Marking beyond depth is an accepted no-op.
+        sb.mark_received(50);
+        assert!(!sb.received(50));
+    }
+
+    #[test]
+    fn wide_bitvector_words() {
+        let mut sb = StreamBuffer::new(128);
+        sb.arm(blk(0), 128);
+        sb.mark_received(0);
+        sb.mark_received(63);
+        sb.mark_received(64);
+        sb.mark_received(127);
+        for i in [0u32, 63, 64, 127] {
+            assert!(sb.received(i), "bit {i}");
+        }
+        assert!(!sb.received(1));
+        assert!(!sb.received(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside SABRe range")]
+    fn mark_outside_range_panics() {
+        let mut sb = StreamBuffer::new(32);
+        sb.arm(blk(0), 3);
+        sb.mark_received(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle stream buffer")]
+    fn mark_idle_panics() {
+        let mut sb = StreamBuffer::new(32);
+        sb.mark_received(0);
+    }
+}

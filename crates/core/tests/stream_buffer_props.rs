@@ -1,0 +1,89 @@
+//! Property tests: the subtractor-indexed stream buffer behaves exactly
+//! like an associative-search oracle (§4.2's claim that the cheap lookup
+//! loses nothing), and the ATT geometry math is consistent.
+
+use proptest::prelude::*;
+
+use sabre_core::stream_buffer::Probe;
+use sabre_core::{AttEntry, SabreId, StreamBuffer};
+use sabre_mem::{Addr, BlockAddr};
+
+/// Oracle: a plain list of (address, received) pairs searched linearly.
+struct Oracle {
+    entries: Vec<(u64, bool)>,
+    base: u64,
+}
+
+impl Oracle {
+    fn probe(&self, block: u64) -> Probe {
+        if block == self.base {
+            return Probe::Base;
+        }
+        for (i, &(addr, received)) in self.entries.iter().enumerate() {
+            if addr == block {
+                return Probe::Data {
+                    index: (i + 1) as u32,
+                    received,
+                };
+            }
+        }
+        Probe::Miss
+    }
+}
+
+proptest! {
+    #[test]
+    fn subtractor_lookup_equals_associative_search(
+        base in 0u64..1_000_000,
+        len in 1u32..200,
+        depth in 1u32..64,
+        marks in proptest::collection::vec(0u32..200, 0..64),
+        probes in proptest::collection::vec(0u64..1_000_100, 1..64),
+    ) {
+        let mut sb = StreamBuffer::new(depth);
+        sb.arm(BlockAddr::from_index(base), len);
+        let mut oracle = Oracle {
+            base,
+            // Entries beyond tracking depth are never tracked by hardware.
+            entries: (1..len.min(depth)).map(|i| (base + i as u64, false)).collect(),
+        };
+        for m in marks {
+            if m < len {
+                sb.mark_received(m);
+                if m > 0 && m < depth {
+                    if let Some(e) = oracle.entries.get_mut(m as usize - 1) {
+                        e.1 = true;
+                    }
+                }
+            }
+        }
+        for p in probes {
+            prop_assert_eq!(sb.probe(BlockAddr::from_index(p)), oracle.probe(p), "probe {}", p);
+        }
+    }
+
+    #[test]
+    fn att_geometry_is_consistent(
+        base_block in 0u64..1_000_000,
+        size_bytes in 1u32..100_000,
+        version_offset in 0u32..56,
+    ) {
+        let base = Addr::new(base_block * 64);
+        let entry = AttEntry::new(
+            SabreId { src_node: 0, src_pipe: 0, transfer: 0 },
+            base,
+            size_bytes,
+            version_offset,
+        );
+        // Block count covers the bytes exactly.
+        prop_assert_eq!(entry.size_blocks, size_bytes.div_ceil(64));
+        // The version word lives in the first block.
+        prop_assert_eq!(entry.version_addr().block(), entry.base_block());
+        // The i-th block is i blocks after the base.
+        let last = entry.block(entry.size_blocks - 1);
+        prop_assert_eq!(
+            last.index() - entry.base_block().index(),
+            (entry.size_blocks - 1) as u64
+        );
+    }
+}

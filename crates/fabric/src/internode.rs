@@ -1,0 +1,152 @@
+//! The lossless inter-node rack fabric.
+//!
+//! Table 2: fixed 35 ns latency per hop, 100 GBps links. The evaluated
+//! topology is two directly connected nodes, i.e. one hop in each
+//! direction. Each direction of each link is an independent queued
+//! bandwidth server, so request and reply streams do not contend with each
+//! other but *do* contend with same-direction traffic — this is what caps
+//! aggregate application throughput near 80–100 GBps in Figs. 7b and 8.
+
+use sabre_sim::{BandwidthServer, Time};
+
+/// Fabric parameters.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of nodes connected by the fabric.
+    pub nodes: usize,
+    /// Per-hop propagation latency (Table 2: 35 ns).
+    pub hop_latency: Time,
+    /// Link bandwidth in GB/s (Table 2: 100).
+    pub link_gbps: f64,
+    /// Per-packet wire overhead in bytes (header + CRC), added to every
+    /// packet's serialization cost.
+    pub header_bytes: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            nodes: 2,
+            hop_latency: Time::from_ns(35),
+            link_gbps: 100.0,
+            header_bytes: 16,
+        }
+    }
+}
+
+/// The rack fabric: a full mesh of directed links between node pairs.
+///
+/// # Example
+///
+/// ```
+/// use sabre_fabric::{Fabric, FabricConfig};
+/// use sabre_sim::Time;
+///
+/// let mut fabric = Fabric::new(FabricConfig::default());
+/// // A 64 B payload packet from node 0 to node 1: (64+16) B @ 100 GBps
+/// // serialization (0.8 ns) + 35 ns hop.
+/// let arrive = fabric.send(Time::ZERO, 0, 1, 64);
+/// assert_eq!(arrive, Time::from_ns_f64(35.8));
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    /// `links[src * nodes + dst]`, unused for `src == dst`.
+    links: Vec<BandwidthServer>,
+}
+
+impl Fabric {
+    /// Creates the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes < 2`.
+    pub fn new(cfg: FabricConfig) -> Self {
+        assert!(cfg.nodes >= 2, "a fabric needs at least two nodes");
+        let links = (0..cfg.nodes * cfg.nodes)
+            .map(|_| BandwidthServer::new(cfg.link_gbps, cfg.hop_latency))
+            .collect();
+        Fabric { cfg, links }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Sends a packet with `payload_bytes` of payload from `src` to `dst`
+    /// no earlier than `now`; returns its arrival time at `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either index is out of range.
+    pub fn send(&mut self, now: Time, src: usize, dst: usize, payload_bytes: u64) -> Time {
+        assert!(src != dst, "no self-links: {src} -> {dst}");
+        assert!(
+            src < self.cfg.nodes && dst < self.cfg.nodes,
+            "node index out of range: {src} -> {dst}"
+        );
+        let idx = src * self.cfg.nodes + dst;
+        self.links[idx].transmit(now, payload_bytes + self.cfg.header_bytes)
+    }
+
+    /// Total bytes (incl. headers) pushed from `src` to `dst` so far.
+    pub fn link_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.links[src * self.cfg.nodes + dst].bytes_total()
+    }
+
+    /// Utilization of the `src → dst` link over `[0, horizon]`.
+    pub fn link_utilization(&self, src: usize, dst: usize, horizon: Time) -> f64 {
+        self.links[src * self.cfg.nodes + dst].utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_packet_latency() {
+        let mut f = Fabric::new(FabricConfig::default());
+        // Header-only packet: 16 B = 0.16 ns + 35 ns.
+        assert_eq!(f.send(Time::ZERO, 0, 1, 0), Time::from_ps(35_160));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let big = 100_000; // 1 us of serialization at 100 GBps
+        let fwd = f.send(Time::ZERO, 0, 1, big);
+        let rev = f.send(Time::ZERO, 1, 0, 64);
+        assert!(rev < fwd, "reverse link must not queue behind forward");
+    }
+
+    #[test]
+    fn same_direction_traffic_queues() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let a = f.send(Time::ZERO, 0, 1, 8192);
+        let b = f.send(Time::ZERO, 0, 1, 8192);
+        assert!(b > a);
+        assert_eq!(f.link_bytes(0, 1), 2 * (8192 + 16));
+    }
+
+    #[test]
+    fn sustained_link_bandwidth() {
+        // 1 MB of 64 B packets: with 16 B headers the wire moves 1.25 MB,
+        // so drain ≈ 12.5 us at 100 GBps.
+        let mut f = Fabric::new(FabricConfig::default());
+        let mut last = Time::ZERO;
+        for _ in 0..(1_000_000 / 64) {
+            last = f.send(Time::ZERO, 0, 1, 64);
+        }
+        let expected_us = 1_000_000.0 * (80.0 / 64.0) / 100.0 / 1000.0;
+        assert!((last.as_us() - expected_us).abs() < 0.1, "{last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-links")]
+    fn self_send_rejected() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let _ = f.send(Time::ZERO, 1, 1, 64);
+    }
+}

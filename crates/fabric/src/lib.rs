@@ -1,0 +1,19 @@
+//! Interconnect models: the on-chip 2D mesh and the inter-node rack fabric.
+//!
+//! Table 2 parameters:
+//!
+//! * on-chip: 2D mesh, 16-byte links, 3 cycles/hop (at the 2 GHz core
+//!   clock);
+//! * inter-node: lossless fabric, fixed 35 ns per hop (following the Anton 2
+//!   unified-switching design the paper cites), 100 GBps links.
+//!
+//! The evaluation connects two nodes directly, so the inter-node path is a
+//! single hop each way. Both directions are modeled as independent
+//! [`BandwidthServer`](sabre_sim::BandwidthServer)s so that request and
+//! reply traffic do not contend.
+
+pub mod internode;
+pub mod mesh;
+
+pub use internode::{Fabric, FabricConfig};
+pub use mesh::{MeshConfig, MeshCoord};

@@ -1,0 +1,223 @@
+//! Unit-level tests of the rack's workload programs and cluster plumbing
+//! that the figure experiments do not isolate.
+
+use sabre_farm::{ObjectStore, StoreLayout};
+use sabre_mem::Addr;
+use sabre_rack::workloads::{
+    pattern_payload, verify_payload, AsyncReader, SyncReader, Writer, WriterLayout,
+};
+use sabre_rack::{Cluster, ClusterConfig, Phase, ReadMechanism};
+use sabre_sim::Time;
+use sabre_sw::layout::{CleanLayout, PerClLayout};
+
+fn small_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        memory_bytes: 8 * 1024 * 1024,
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn pattern_verify_round_trip_and_tear_detection() {
+    for len in [4usize, 8, 16, 17, 100, 8192] {
+        let p = pattern_payload(7, 42, len);
+        assert_eq!(p.len(), len);
+        if len >= 16 {
+            assert_eq!(verify_payload(7, &p), Some(42));
+            // Wrong object id is rejected.
+            assert_eq!(verify_payload(8, &p), None);
+        }
+        if len >= 32 {
+            // A mixed snapshot is rejected: keep this update's header but
+            // splice in the *next* update's filler tail.
+            let mut torn = p.clone();
+            let newer = pattern_payload(7, 43, len);
+            torn[3 * len / 4..].copy_from_slice(&newer[3 * len / 4..]);
+            assert_eq!(verify_payload(7, &torn), None);
+        }
+    }
+}
+
+#[test]
+fn writer_updates_publish_consistent_objects() {
+    let mut cluster = small_cluster();
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 4);
+    store.init(cluster.node_memory_mut(1));
+    cluster.add_workload(
+        1,
+        0,
+        Box::new(Writer::new(
+            store.object_entries(),
+            480,
+            WriterLayout::Clean,
+            Time::ZERO,
+        )),
+    );
+    cluster.run_for(Time::from_us(50));
+    // Whatever instant we stop at, at most one object is mid-update; the
+    // rest must be consistent published versions.
+    let mut locked = 0;
+    for i in 0..4 {
+        let image = cluster
+            .node_memory(1)
+            .read_vec(store.object_addr(i), store.slot_bytes() as usize);
+        if CleanLayout::version_of(&image).is_locked() {
+            locked += 1;
+        } else {
+            let payload = CleanLayout::payload_of(&image, 480);
+            assert!(
+                verify_payload(i, payload).is_some(),
+                "published object {i} is inconsistent"
+            );
+        }
+    }
+    assert!(locked <= 1, "a single writer can hold at most one object");
+}
+
+#[test]
+fn percl_writer_keeps_store_validatable() {
+    let mut cluster = small_cluster();
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::PerCl, 480, 3);
+    store.init(cluster.node_memory_mut(1));
+    cluster.add_workload(
+        1,
+        0,
+        Box::new(Writer::new(
+            store.object_entries(),
+            480,
+            WriterLayout::PerCl,
+            Time::from_ns(100),
+        )),
+    );
+    cluster.run_for(Time::from_us(60));
+    let mut validated = 0;
+    for i in 0..3 {
+        let image = cluster
+            .node_memory(1)
+            .read_vec(store.object_addr(i), store.slot_bytes() as usize);
+        if let Ok(payload) = PerClLayout::validate_and_strip(&image, 480) {
+            assert!(verify_payload(i, &payload).is_some());
+            validated += 1;
+        }
+    }
+    assert!(validated >= 2, "most objects must be in published state");
+}
+
+#[test]
+fn async_reader_keeps_window_full() {
+    let mut cluster = small_cluster();
+    cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
+    cluster.add_workload(
+        0,
+        0,
+        Box::new(AsyncReader::new(
+            1,
+            vec![Addr::new(0)],
+            128,
+            ReadMechanism::Sabre,
+            4,
+        )),
+    );
+    cluster.run_for(Time::from_us(50));
+    let m = cluster.metrics(0, 0);
+    // 4-deep pipelining must clearly beat what a synchronous reader could
+    // do in the same time (ops ≈ window × time / latency).
+    let sync_bound = 50_000 / 240; // ≈ one op per 240 ns
+    assert!(
+        m.ops > sync_bound,
+        "async window not pipelining: {} ops",
+        m.ops
+    );
+}
+
+#[test]
+fn sync_reader_phases_are_recorded() {
+    let mut cluster = small_cluster();
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::PerCl, 480, 8);
+    store.init(cluster.node_memory_mut(1));
+    cluster.add_workload(
+        0,
+        0,
+        Box::new(SyncReader::iterations(
+            1,
+            store.object_addrs(),
+            480,
+            ReadMechanism::PerClValidate { payload: 480 },
+            Addr::new(4 * 1024 * 1024),
+            20,
+        )),
+    );
+    cluster.run_for(Time::from_us(100));
+    let m = cluster.metrics(0, 0);
+    assert_eq!(m.ops, 20);
+    assert!(m.phase_mean_ns(Phase::Transfer).unwrap() > 100.0);
+    let strip = m.phase_mean_ns(Phase::Strip).unwrap();
+    // 480 B payload → 9 lines → 576 wire bytes at 2 B/cycle = 144 ns.
+    assert!((strip - 144.0).abs() < 1.0, "strip mean {strip}");
+}
+
+#[test]
+fn checksum_reader_works_end_to_end() {
+    let mut cluster = small_cluster();
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Checksum, 480, 8);
+    store.init(cluster.node_memory_mut(1));
+    cluster.add_workload(
+        0,
+        0,
+        Box::new(
+            SyncReader::iterations(
+                1,
+                store.object_addrs(),
+                480,
+                ReadMechanism::ChecksumValidate { payload: 480 },
+                Addr::new(4 * 1024 * 1024),
+                5,
+            )
+            .with_wire(store.slot_bytes() as u32),
+        ),
+    );
+    cluster.run_for(Time::from_us(200));
+    let m = cluster.metrics(0, 0);
+    assert_eq!(m.ops, 5);
+    assert_eq!(m.retries, 0);
+    // CRC dominates: 480 B × 12 cycles/B = 2.88 µs.
+    assert!(m.latency.mean().unwrap() > 2_880.0);
+}
+
+#[test]
+fn node_metrics_aggregate_cores() {
+    let mut cluster = small_cluster();
+    cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
+    for core in 0..3 {
+        cluster.add_workload(
+            0,
+            core,
+            Box::new(SyncReader::iterations(
+                1,
+                vec![Addr::new(0)],
+                64,
+                ReadMechanism::Raw,
+                Addr::new((4 + core as u64) * 1024 * 1024),
+                10,
+            )),
+        );
+    }
+    cluster.run_for(Time::from_us(50));
+    let agg = cluster.node_metrics(0);
+    assert_eq!(agg.ops, 30);
+    assert_eq!(agg.bytes, 30 * 64);
+}
+
+#[test]
+#[should_panic(expected = "within one cache block")]
+fn store_local_rejects_straddling_writes() {
+    struct Bad;
+    impl sabre_rack::Workload for Bad {
+        fn on_start(&mut self, api: &mut sabre_rack::CoreApi<'_>) {
+            api.store_local(Addr::new(60), &[0u8; 8]); // crosses a block
+        }
+    }
+    let mut cluster = small_cluster();
+    cluster.add_workload(0, 0, Box::new(Bad));
+    cluster.run_for(Time::from_ns(10));
+}

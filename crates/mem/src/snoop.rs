@@ -1,0 +1,63 @@
+//! Coherence invalidation messages.
+//!
+//! LightSABRes relies on the protocol controller's integration into the
+//! chip's coherence domain: any write to a block (a local core's store, or a
+//! DMA write) invalidates other on-chip copies, and the invalidation is
+//! visible to integrated agents. LLC evictions likewise produce
+//! invalidations toward agents that might be tracking the block — these are
+//! the *false alarms* of §4.2.
+//!
+//! The assembly crate fans each [`Invalidation`] out to every R2P2 on the
+//! node; each R2P2 probes its stream buffers by subtractor indexing, which
+//! is exactly the paper's snooping scheme (no associative search).
+
+use crate::block::BlockAddr;
+
+/// Why an invalidation was generated. LightSABRes cannot observe the cause
+/// (both arrive as plain coherence invalidations — that ambiguity is the
+/// point of the base-block re-validation mechanism), but tests and
+/// statistics can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalCause {
+    /// A core's store acquired exclusive ownership of the block.
+    WriterStore,
+    /// The block was displaced from the LLC.
+    LlcEviction,
+    /// A DMA engine (e.g. an inbound one-sided write) modified the block.
+    DmaWrite,
+}
+
+/// A coherence invalidation for one cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Invalidation {
+    /// The block whose on-chip copies are invalidated.
+    pub block: BlockAddr,
+    /// Why (observable by tests/stats only — see [`InvalCause`]).
+    pub cause: InvalCause,
+}
+
+impl Invalidation {
+    /// Convenience constructor.
+    pub fn new(block: BlockAddr, cause: InvalCause) -> Self {
+        Invalidation { block, cause }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Invalidation::new(BlockAddr::from_index(3), InvalCause::WriterStore);
+        let b = Invalidation {
+            block: BlockAddr::from_index(3),
+            cause: InvalCause::WriterStore,
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Invalidation::new(BlockAddr::from_index(3), InvalCause::LlcEviction)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! A generic LRU set-associative tag array.
+//!
+//! Used for the LLC presence model (and reusable for any other
+//! set-associative structure). Only tags are stored — data lives in
+//! [`crate::memory::NodeMemory`] — because the simulation needs *presence*
+//! (hit/miss/eviction), not duplicated contents.
+
+/// An LRU set-associative tag array over `u64` tags.
+///
+/// # Example
+///
+/// ```
+/// use sabre_mem::tags::SetAssocTags;
+///
+/// let mut t = SetAssocTags::new(2, 2); // 2 sets, 2 ways
+/// assert_eq!(t.insert(0), None);       // miss, no eviction
+/// assert_eq!(t.insert(2), None);       // same set (2 % 2 == 0), second way
+/// assert!(t.contains(0));
+/// assert_eq!(t.insert(4), Some(0));    // set full: LRU tag 0 evicted
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocTags {
+    sets: usize,
+    ways: usize,
+    /// `entries[set * ways + way]`: tag, or `None` when invalid.
+    entries: Vec<Option<u64>>,
+    /// Monotone per-entry access stamps for LRU.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SetAssocTags {
+    /// Creates an empty array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "sets and ways must be positive");
+        SetAssocTags {
+            sets,
+            ways,
+            entries: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates an array sized for `capacity_bytes` of `line_bytes` lines at
+    /// the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn with_geometry(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(ways) && lines > 0,
+            "capacity {capacity_bytes} not divisible into {ways}-way sets of {line_bytes}B lines"
+        );
+        SetAssocTags::new(lines / ways, ways)
+    }
+
+    fn set_of(&self, tag: u64) -> usize {
+        (tag % self.sets as u64) as usize
+    }
+
+    fn range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Whether `tag` is currently present (does not update LRU state).
+    pub fn contains(&self, tag: u64) -> bool {
+        let set = self.set_of(tag);
+        self.entries[self.range(set)].contains(&Some(tag))
+    }
+
+    /// Touches `tag`: returns `true` on hit (refreshing LRU), `false` on
+    /// miss (without inserting).
+    pub fn touch(&mut self, tag: u64) -> bool {
+        let set = self.set_of(tag);
+        self.tick += 1;
+        let range = self.range(set);
+        for i in range {
+            if self.entries[i] == Some(tag) {
+                self.stamps[i] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Ensures `tag` is present. Returns the evicted tag, if insertion
+    /// displaced one; `None` on hit or on filling an invalid way.
+    pub fn insert(&mut self, tag: u64) -> Option<u64> {
+        if self.touch(tag) {
+            return None;
+        }
+        let set = self.set_of(tag);
+        let range = self.range(set);
+        // Prefer an invalid way.
+        if let Some(i) = range.clone().find(|&i| self.entries[i].is_none()) {
+            self.entries[i] = Some(tag);
+            self.stamps[i] = self.tick;
+            return None;
+        }
+        // Evict LRU.
+        let victim = range.min_by_key(|&i| self.stamps[i]).expect("ways > 0");
+        let evicted = self.entries[victim];
+        self.entries[victim] = Some(tag);
+        self.stamps[victim] = self.tick;
+        self.evictions += 1;
+        evicted
+    }
+
+    /// Removes `tag` if present; returns whether it was present.
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        let set = self.set_of(tag);
+        for i in self.range(set) {
+            if self.entries[i] == Some(tag) {
+                self.entries[i] = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// (hits, misses, evictions) since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_basic() {
+        let mut t = SetAssocTags::new(4, 2);
+        assert!(!t.touch(5));
+        assert_eq!(t.insert(5), None);
+        assert!(t.touch(5));
+        assert!(t.contains(5));
+        let (h, m, _) = t.stats();
+        // Two misses (explicit touch + the probe inside insert), one hit.
+        assert_eq!((h, m), (1, 2));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = SetAssocTags::new(1, 3);
+        t.insert(10);
+        t.insert(20);
+        t.insert(30);
+        // Refresh 10 so 20 becomes LRU.
+        assert!(t.touch(10));
+        assert_eq!(t.insert(40), Some(20));
+        assert!(t.contains(10));
+        assert!(!t.contains(20));
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut t = SetAssocTags::new(1, 2);
+        t.insert(1);
+        t.insert(2);
+        assert!(t.invalidate(1));
+        assert!(!t.invalidate(1));
+        // Now an insert fills the invalid way without eviction.
+        assert_eq!(t.insert(3), None);
+    }
+
+    #[test]
+    fn geometry_constructor() {
+        // 2 MB, 64 B lines, 16-way: 2048 sets (Table 2 LLC).
+        let t = SetAssocTags::with_geometry(2 * 1024 * 1024, 64, 16);
+        assert_eq!(t.sets(), 2048);
+        assert_eq!(t.ways(), 16);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut t = SetAssocTags::new(2, 1);
+        t.insert(0); // set 0
+        t.insert(1); // set 1
+        assert!(t.contains(0));
+        assert!(t.contains(1));
+        // Inserting 2 (set 0) evicts 0, not 1.
+        assert_eq!(t.insert(2), Some(0));
+        assert!(t.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_geometry_rejected() {
+        let _ = SetAssocTags::new(0, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests of the memory substrate: the set-associative tag array
+//! against a naive LRU model, and block-range geometry.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use sabre_mem::tags::SetAssocTags;
+use sabre_mem::{Addr, BlockRange};
+
+/// Naive per-set LRU lists.
+struct LruModel {
+    sets: usize,
+    ways: usize,
+    lists: Vec<VecDeque<u64>>, // front = MRU
+}
+
+impl LruModel {
+    fn new(sets: usize, ways: usize) -> Self {
+        LruModel {
+            sets,
+            ways,
+            lists: vec![VecDeque::new(); sets],
+        }
+    }
+
+    fn insert(&mut self, tag: u64) -> Option<u64> {
+        let set = (tag % self.sets as u64) as usize;
+        let list = &mut self.lists[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            list.push_front(tag);
+            return None;
+        }
+        list.push_front(tag);
+        if list.len() > self.ways {
+            list.pop_back()
+        } else {
+            None
+        }
+    }
+
+    fn contains(&self, tag: u64) -> bool {
+        let set = (tag % self.sets as u64) as usize;
+        self.lists[set].contains(&tag)
+    }
+}
+
+proptest! {
+    #[test]
+    fn tags_match_naive_lru(
+        sets in 1usize..8,
+        ways in 1usize..6,
+        tags in proptest::collection::vec(0u64..64, 1..200),
+    ) {
+        let mut real = SetAssocTags::new(sets, ways);
+        let mut model = LruModel::new(sets, ways);
+        for &t in &tags {
+            let evicted_real = real.insert(t);
+            let evicted_model = model.insert(t);
+            prop_assert_eq!(evicted_real, evicted_model, "insert({})", t);
+        }
+        for t in 0..64u64 {
+            prop_assert_eq!(real.contains(t), model.contains(t), "contains({})", t);
+        }
+    }
+
+    #[test]
+    fn block_range_covers_exactly(
+        base in 0u64..1_000_000u64,
+        len in 1u64..100_000,
+    ) {
+        let range = BlockRange::covering(Addr::new(base), len);
+        // Every byte of [base, base+len) is in a covered block.
+        let first_byte_block = Addr::new(base).block();
+        let last_byte_block = Addr::new(base + len - 1).block();
+        prop_assert!(range.contains(first_byte_block));
+        prop_assert!(range.contains(last_byte_block));
+        // And no block outside is covered.
+        prop_assert!(!range.contains(first_byte_block.offset(range.block_count())));
+        // Count is minimal: removing the last block would lose coverage.
+        prop_assert_eq!(
+            range.block_count(),
+            last_byte_block.index() - first_byte_block.index() + 1
+        );
+    }
+
+    #[test]
+    fn block_range_iter_is_consecutive(
+        base_block in 0u64..1_000_000u64,
+        count in 1u64..300,
+    ) {
+        let range = BlockRange::from_blocks(sabre_mem::BlockAddr::from_index(base_block), count);
+        let blocks: Vec<u64> = range.iter().map(|b| b.index()).collect();
+        prop_assert_eq!(blocks.len() as u64, count);
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert_eq!(*b, base_block + i as u64);
+        }
+    }
+}

@@ -1,0 +1,945 @@
+//! The discrete-event cluster: nodes, RMCs, memory systems, fabric, cores.
+//!
+//! Every sans-IO component (pipelines, R2P2s, the LightSABRes engines) is
+//! driven from the single event loop here. The wiring follows Figs. 5 and 6
+//! of the paper:
+//!
+//! * a core schedules a WQ entry → its node's RGP backend unrolls it into
+//!   per-block packets (one per RMC cycle) onto the fabric;
+//! * the destination R2P2 services requests against the node's LLC/DRAM at
+//!   its issue bandwidth, snooping coherence invalidations from local
+//!   writer stores, DMA writes and LLC evictions;
+//! * replies return to the source RCP, which DMA-writes payloads into the
+//!   local buffer and posts the completion (with the SABRe success bit) to
+//!   the issuing core.
+//!
+//! Functional state (bytes) changes at the simulated instant each access is
+//! serviced, so racing readers and writers interleave at cache-block
+//! granularity exactly as the paper's atomicity argument requires.
+
+use sabre_fabric::Fabric;
+use sabre_mem::{Addr, BlockAddr, Llc, MemSystem, NodeMemory, ServiceLevel, BLOCK_BYTES};
+use sabre_sim::{EventQueue, FifoServer, SimRng, Time};
+use sabre_sonuma::r2p2::{R2p2Action, R2p2Stats};
+use sabre_sonuma::{Block, CqEntry, MemToken, OpKind, Packet, PacketKind, R2p2, SourcePipeline, WqEntry};
+use sabre_sw::{CpuCostModel, ReaderLockWord};
+
+use crate::config::ClusterConfig;
+use crate::metrics::CoreMetrics;
+use crate::workload::Workload;
+
+#[derive(Debug)]
+enum Event {
+    /// A packet enters the fabric.
+    FabricSend(Packet),
+    /// A packet arrives at its destination node.
+    PacketArrive(Packet),
+    /// An R2P2's issue pump fires.
+    Pump { node: u8, pipe: u8 },
+    /// An R2P2-issued block read completed.
+    ReadDone {
+        node: u8,
+        pipe: u8,
+        token: MemToken,
+        block: BlockAddr,
+    },
+    /// An R2P2-issued one-sided write completed (apply + ack).
+    WriteDone {
+        node: u8,
+        pipe: u8,
+        token: MemToken,
+        block: BlockAddr,
+        data: Block,
+    },
+    /// A reader-lock acquire RMW completed.
+    LockDone {
+        node: u8,
+        pipe: u8,
+        token: MemToken,
+        version_addr: Addr,
+    },
+    /// A reader-lock release reached memory.
+    ReleaseDone { node: u8, version_addr: Addr },
+    /// A remote write-lock CAS reached memory.
+    CasDone {
+        node: u8,
+        pipe: u8,
+        token: MemToken,
+        version_addr: Addr,
+    },
+    /// A remote unlock reached memory.
+    UnlockDone {
+        node: u8,
+        pipe: u8,
+        token: MemToken,
+        version_addr: Addr,
+    },
+    /// A sleeping workload wakes.
+    Wake { node: u8, core: u8 },
+    /// A completion reaches its issuing core.
+    Complete { node: u8, core: u8, cq: CqEntry },
+    /// An inbound RPC request reaches its target core.
+    RpcDeliver {
+        node: u8,
+        core: u8,
+        src_node: u8,
+        src_core: u8,
+        tag: u64,
+        bytes: u32,
+    },
+    /// An RPC reply reaches the core that sent the request.
+    RpcReplyDeliver {
+        node: u8,
+        core: u8,
+        tag: u64,
+        bytes: u32,
+    },
+}
+
+struct NodeState {
+    memory: NodeMemory,
+    llc: Llc,
+    mem_sys: MemSystem,
+    r2p2s: Vec<R2p2>,
+    r2p2_issue: Vec<FifoServer>,
+    pump_on: Vec<bool>,
+    pipelines: Vec<SourcePipeline>,
+    rgp_unroll: Vec<FifoServer>,
+}
+
+/// The simulated rack. See the [crate docs](crate) for an example.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    now: Time,
+    queue: EventQueue<Event>,
+    fabric: Fabric,
+    nodes: Vec<NodeState>,
+    workloads: Vec<Vec<Option<Box<dyn Workload>>>>,
+    metrics: Vec<Vec<CoreMetrics>>,
+    rngs: Vec<Vec<SimRng>>,
+    wq_seq: Vec<Vec<u64>>,
+    started: bool,
+}
+
+impl Cluster {
+    /// Builds a rack from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cluster configuration: {e}");
+        }
+        let root_rng = SimRng::seed(cfg.seed);
+        let nodes = (0..cfg.nodes)
+            .map(|n| NodeState {
+                memory: NodeMemory::new(cfg.memory_bytes),
+                llc: Llc::with_geometry(cfg.llc_bytes, cfg.llc_ways),
+                mem_sys: MemSystem::new(cfg.mem_timing.clone()),
+                r2p2s: (0..cfg.rmc_backends)
+                    .map(|p| R2p2::new(n as u8, p as u8, cfg.lightsabres.clone()))
+                    .collect(),
+                r2p2_issue: vec![FifoServer::new(); cfg.rmc_backends],
+                pump_on: vec![false; cfg.rmc_backends],
+                pipelines: (0..cfg.rmc_backends)
+                    .map(|p| SourcePipeline::new(n as u8, p as u8, cfg.rmc_backends as u8))
+                    .collect(),
+                rgp_unroll: vec![FifoServer::new(); cfg.rmc_backends],
+            })
+            .collect();
+        let rngs = (0..cfg.nodes)
+            .map(|n| {
+                (0..cfg.cores_per_node)
+                    .map(|c| root_rng.fork((n * 1000 + c) as u64))
+                    .collect()
+            })
+            .collect();
+        Cluster {
+            fabric: Fabric::new(cfg.fabric.clone()),
+            nodes,
+            workloads: (0..cfg.nodes)
+                .map(|_| (0..cfg.cores_per_node).map(|_| None).collect())
+                .collect(),
+            metrics: vec![vec![CoreMetrics::default(); cfg.cores_per_node]; cfg.nodes],
+            rngs,
+            wq_seq: vec![vec![0; cfg.cores_per_node]; cfg.nodes],
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            started: false,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Mutable access to a node's functional memory — for initializing data
+    /// stores *before* the simulation runs (no invalidations are raised).
+    pub fn node_memory_mut(&mut self, node: usize) -> &mut NodeMemory {
+        &mut self.nodes[node].memory
+    }
+
+    /// Read access to a node's functional memory.
+    pub fn node_memory(&self, node: usize) -> &NodeMemory {
+        &self.nodes[node].memory
+    }
+
+    /// Pre-warms the LLC with `range` (marks blocks resident, as a prior
+    /// pass over the data would).
+    pub fn warm_llc(&mut self, node: usize, base: Addr, bytes: u64) {
+        for b in sabre_mem::BlockRange::covering(base, bytes).iter() {
+            let _ = self.nodes[node].llc.access(b);
+        }
+    }
+
+    /// Installs a workload on a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has one or is out of range.
+    pub fn add_workload(&mut self, node: usize, core: usize, w: Box<dyn Workload>) {
+        assert!(
+            self.workloads[node][core].is_none(),
+            "core {node}.{core} already has a workload"
+        );
+        self.workloads[node][core] = Some(w);
+    }
+
+    /// Metrics of one core.
+    pub fn metrics(&self, node: usize, core: usize) -> &CoreMetrics {
+        &self.metrics[node][core]
+    }
+
+    /// Aggregated (summed) metrics over all cores of `node`.
+    pub fn node_metrics(&self, node: usize) -> CoreMetrics {
+        let mut total = CoreMetrics::default();
+        for m in &self.metrics[node] {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// R2P2 statistics of one destination pipeline.
+    pub fn r2p2_stats(&self, node: usize, pipe: usize) -> R2p2Stats {
+        self.nodes[node].r2p2s[pipe].stats()
+    }
+
+    /// LightSABRes engine statistics of one destination pipeline.
+    pub fn engine_stats(&self, node: usize, pipe: usize) -> sabre_core::EngineStats {
+        self.nodes[node].r2p2s[pipe].engine().stats()
+    }
+
+    /// Runs until `deadline` (events at exactly `deadline` still fire).
+    pub fn run_until(&mut self, deadline: Time) {
+        if !self.started {
+            self.started = true;
+            for node in 0..self.cfg.nodes {
+                for core in 0..self.cfg.cores_per_node {
+                    self.dispatch(node, core, |w, api| w.on_start(api));
+                }
+            }
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.now = deadline;
+    }
+
+    /// Runs for `duration` more simulated time.
+    pub fn run_for(&mut self, duration: Time) {
+        self.run_until(self.now + duration);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::FabricSend(pkt) => {
+                let arrival = self.fabric.send(
+                    self.now,
+                    pkt.src_node as usize,
+                    pkt.dst_node as usize,
+                    pkt.kind.payload_bytes(),
+                );
+                self.queue.schedule(arrival, Event::PacketArrive(pkt));
+            }
+            Event::PacketArrive(pkt) => self.on_packet_arrive(pkt),
+            Event::Pump { node, pipe } => self.on_pump(node, pipe),
+            Event::ReadDone {
+                node,
+                pipe,
+                token,
+                block,
+            } => {
+                let data = Block(self.nodes[node as usize].memory.read_block(block));
+                let actions = self.nodes[node as usize].r2p2s[pipe as usize]
+                    .on_mem_reply(token, data);
+                self.run_r2p2_actions(node, pipe, actions);
+                self.schedule_pump(node, pipe);
+            }
+            Event::WriteDone {
+                node,
+                pipe,
+                token,
+                block,
+                data,
+            } => {
+                self.apply_store(node as usize, block, &data.0);
+                let actions =
+                    self.nodes[node as usize].r2p2s[pipe as usize].on_mem_write_done(token);
+                self.run_r2p2_actions(node, pipe, actions);
+                self.schedule_pump(node, pipe);
+            }
+            Event::LockDone {
+                node,
+                pipe,
+                token,
+                version_addr,
+            } => {
+                let n = node as usize;
+                let acquired =
+                    ReaderLockWord::try_shared_acquire(&mut self.nodes[n].memory, version_addr);
+                // Deliver the outcome to the acquiring engine before the
+                // RMW's invalidation fans out: the requester owns the line
+                // it just modified, so its own stream buffer must not treat
+                // the acquisition as a foreign write (other R2P2s' SABRes
+                // on the object still see it — real reader-reader
+                // interference).
+                let actions =
+                    self.nodes[n].r2p2s[pipe as usize].on_lock_reply(token, acquired);
+                if acquired {
+                    self.broadcast_inval(n, version_addr.block());
+                }
+                self.run_r2p2_actions(node, pipe, actions);
+                self.schedule_pump(node, pipe);
+            }
+            Event::ReleaseDone { node, version_addr } => {
+                let n = node as usize;
+                ReaderLockWord::shared_release(&mut self.nodes[n].memory, version_addr);
+                self.broadcast_inval(n, version_addr.block());
+            }
+            Event::CasDone {
+                node,
+                pipe,
+                token,
+                version_addr,
+            } => {
+                let n = node as usize;
+                let v = sabre_sw::VersionWord::load(&self.nodes[n].memory, version_addr);
+                let acquired = !v.is_locked();
+                if acquired {
+                    v.locked().store(&mut self.nodes[n].memory, version_addr);
+                    self.broadcast_inval(n, version_addr.block());
+                }
+                let actions =
+                    self.nodes[n].r2p2s[pipe as usize].on_cas_done(token, acquired);
+                self.run_r2p2_actions(node, pipe, actions);
+                self.schedule_pump(node, pipe);
+            }
+            Event::UnlockDone {
+                node,
+                pipe,
+                token,
+                version_addr,
+            } => {
+                let n = node as usize;
+                let v = sabre_sw::VersionWord::load(&self.nodes[n].memory, version_addr);
+                v.unlocked().store(&mut self.nodes[n].memory, version_addr);
+                self.broadcast_inval(n, version_addr.block());
+                let actions =
+                    self.nodes[n].r2p2s[pipe as usize].on_unlock_done(token);
+                self.run_r2p2_actions(node, pipe, actions);
+                self.schedule_pump(node, pipe);
+            }
+            Event::Wake { node, core } => {
+                self.dispatch(node as usize, core as usize, |w, api| w.on_wake(api));
+            }
+            Event::Complete { node, core, cq } => {
+                self.dispatch(node as usize, core as usize, |w, api| {
+                    w.on_completion(api, cq)
+                });
+            }
+            Event::RpcDeliver {
+                node,
+                core,
+                src_node,
+                src_core,
+                tag,
+                bytes,
+            } => {
+                self.dispatch(node as usize, core as usize, |w, api| {
+                    w.on_rpc(api, src_node, src_core, tag, bytes)
+                });
+            }
+            Event::RpcReplyDeliver {
+                node,
+                core,
+                tag,
+                bytes,
+            } => {
+                self.dispatch(node as usize, core as usize, |w, api| {
+                    w.on_rpc_reply(api, tag, bytes)
+                });
+            }
+        }
+    }
+
+    fn on_packet_arrive(&mut self, pkt: Packet) {
+        let node = pkt.dst_node as usize;
+        match pkt.kind {
+            PacketKind::ReadReq { .. }
+            | PacketKind::WriteReq { .. }
+            | PacketKind::CasReq { .. }
+            | PacketKind::UnlockReq { .. }
+            | PacketKind::SabreReg { .. }
+            | PacketKind::SabreReadReq { .. } => {
+                let pipe = pkt.dst_pipe as usize;
+                if self.nodes[node].r2p2s[pipe].on_packet(&pkt) {
+                    self.schedule_pump(pkt.dst_node, pkt.dst_pipe);
+                }
+            }
+            PacketKind::ReadReply { .. }
+            | PacketKind::SabreReply { .. }
+            | PacketKind::WriteAck { .. }
+            | PacketKind::CasReply { .. }
+            | PacketKind::UnlockAck { .. }
+            | PacketKind::SabreValidation { .. } => {
+                let pipe = pkt.dst_pipe as usize;
+                let (write, done) = self.nodes[node].pipelines[pipe].on_reply(&pkt);
+                if let Some(w) = write {
+                    // DMA the payload into the local buffer (allocates into
+                    // the LLC like DDIO, raising any eviction invalidations).
+                    self.apply_store(node, w.addr.block(), &w.data.0);
+                }
+                if let Some(done) = done {
+                    let core = (done.wq_id >> 32) as u8;
+                    self.queue.schedule(
+                        self.now + self.cfg.completion_latency,
+                        Event::Complete {
+                            node: pkt.dst_node,
+                            core,
+                            cq: done.into_cq_entry(),
+                        },
+                    );
+                }
+            }
+            PacketKind::RpcReq { tag, bytes } => {
+                self.queue.schedule(
+                    self.now,
+                    Event::RpcDeliver {
+                        node: pkt.dst_node,
+                        core: pkt.dst_pipe,
+                        src_node: pkt.src_node,
+                        src_core: pkt.src_pipe,
+                        tag,
+                        bytes,
+                    },
+                );
+            }
+            PacketKind::RpcReply { tag, bytes } => {
+                self.queue.schedule(
+                    self.now,
+                    Event::RpcReplyDeliver {
+                        node: pkt.dst_node,
+                        core: pkt.dst_pipe,
+                        tag,
+                        bytes,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_pump(&mut self, node: u8, pipe: u8) {
+        let n = node as usize;
+        let p = pipe as usize;
+        self.nodes[n].pump_on[p] = false;
+        let Some(action) = self.nodes[n].r2p2s[p].next_issue() else {
+            return; // re-armed by the next state-changing event
+        };
+        let interval = self.cfg.r2p2_issue_interval();
+        self.nodes[n].r2p2_issue[p].admit(self.now, interval);
+        match action {
+            R2p2Action::MemRead { token, block, .. } => {
+                let level = self.llc_touch(n, block);
+                let done = self.nodes[n].mem_sys.access(self.now, block, level);
+                self.queue.schedule(
+                    done,
+                    Event::ReadDone {
+                        node,
+                        pipe,
+                        token,
+                        block,
+                    },
+                );
+            }
+            R2p2Action::MemWrite { token, block, data } => {
+                let level = self.llc_touch(n, block);
+                let done = self.nodes[n].mem_sys.access(self.now, block, level);
+                self.queue.schedule(
+                    done,
+                    Event::WriteDone {
+                        node,
+                        pipe,
+                        token,
+                        block,
+                        data,
+                    },
+                );
+            }
+            R2p2Action::LockRmw {
+                token,
+                version_addr,
+            } => {
+                let level = self.llc_touch(n, version_addr.block());
+                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                self.queue.schedule(
+                    done,
+                    Event::LockDone {
+                        node,
+                        pipe,
+                        token,
+                        version_addr,
+                    },
+                );
+            }
+            R2p2Action::WriterCas {
+                token,
+                version_addr,
+            } => {
+                let level = self.llc_touch(n, version_addr.block());
+                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                self.queue.schedule(
+                    done,
+                    Event::CasDone {
+                        node,
+                        pipe,
+                        token,
+                        version_addr,
+                    },
+                );
+            }
+            R2p2Action::WriterUnlock {
+                token,
+                version_addr,
+            } => {
+                let level = self.llc_touch(n, version_addr.block());
+                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                self.queue.schedule(
+                    done,
+                    Event::UnlockDone {
+                        node,
+                        pipe,
+                        token,
+                        version_addr,
+                    },
+                );
+            }
+            R2p2Action::LockRelease { version_addr } => {
+                let level = self.llc_touch(n, version_addr.block());
+                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                self.queue
+                    .schedule(done, Event::ReleaseDone { node, version_addr });
+            }
+            R2p2Action::Send(pkt) => {
+                self.queue.schedule(self.now, Event::FabricSend(pkt));
+            }
+        }
+        if self.nodes[n].r2p2s[p].has_issuable() {
+            self.schedule_pump(node, pipe);
+        }
+    }
+
+    fn run_r2p2_actions(&mut self, node: u8, pipe: u8, actions: Vec<R2p2Action>) {
+        for action in actions {
+            match action {
+                R2p2Action::Send(pkt) => {
+                    self.queue.schedule(self.now, Event::FabricSend(pkt));
+                }
+                other => {
+                    // Memory work emitted from a completion path would break
+                    // pacing; the R2P2 only emits it from next_issue().
+                    unreachable!("unexpected completion-path action: {other:?} on {node}.{pipe}")
+                }
+            }
+        }
+    }
+
+    /// Touches `block` in the node's LLC, broadcasting the eviction
+    /// invalidation if the fill displaced a tracked block. Returns the
+    /// service level of the access.
+    fn llc_touch(&mut self, node: usize, block: BlockAddr) -> ServiceLevel {
+        let outcome = self.nodes[node].llc.access(block);
+        if let Some(victim) = outcome.evicted {
+            self.broadcast_inval(node, victim);
+        }
+        if outcome.hit {
+            ServiceLevel::Llc
+        } else {
+            ServiceLevel::Dram
+        }
+    }
+
+    /// Applies a store (core or DMA) to functional memory with full
+    /// coherence side effects: byte write, LLC fill, invalidation fan-out.
+    fn apply_store(&mut self, node: usize, block: BlockAddr, data: &[u8; BLOCK_BYTES]) {
+        self.nodes[node].memory.write_block(block, data);
+        let _ = self.llc_touch(node, block);
+        self.broadcast_inval(node, block);
+    }
+
+    /// Delivers an invalidation for `block` to every R2P2 on `node` (the
+    /// engines probe their stream buffers by subtractor).
+    fn broadcast_inval(&mut self, node: usize, block: BlockAddr) {
+        for r2p2 in &mut self.nodes[node].r2p2s {
+            r2p2.on_invalidation(block);
+        }
+    }
+
+    fn schedule_pump(&mut self, node: u8, pipe: u8) {
+        let n = node as usize;
+        let p = pipe as usize;
+        if self.nodes[n].pump_on[p] {
+            return;
+        }
+        self.nodes[n].pump_on[p] = true;
+        let at = self.now.max(self.nodes[n].r2p2_issue[p].next_free());
+        self.queue.schedule(at, Event::Pump { node, pipe });
+    }
+
+    fn dispatch<F>(&mut self, node: usize, core: usize, f: F)
+    where
+        F: FnOnce(&mut dyn Workload, &mut CoreApi<'_>),
+    {
+        let Some(mut w) = self.workloads[node][core].take() else {
+            return;
+        };
+        let mut api = CoreApi {
+            cluster: self,
+            node,
+            core,
+        };
+        f(w.as_mut(), &mut api);
+        self.workloads[node][core] = Some(w);
+    }
+}
+
+/// The interface a [`Workload`] uses to act on the world. Scoped to one
+/// core of one node.
+pub struct CoreApi<'a> {
+    cluster: &'a mut Cluster,
+    node: usize,
+    core: usize,
+}
+
+impl CoreApi<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.cluster.now
+    }
+
+    /// This core's node index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// This core's index within its node.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The cluster configuration (cost model, Table 2 parameters).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cluster.cfg
+    }
+
+    /// The CPU cost model, for charging software work via [`CoreApi::sleep`].
+    pub fn cpu(&self) -> &CpuCostModel {
+        &self.cluster.cfg.cpu
+    }
+
+    /// This core's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.cluster.rngs[self.node][self.core]
+    }
+
+    /// This core's metrics sink.
+    pub fn metrics(&mut self) -> &mut CoreMetrics {
+        &mut self.cluster.metrics[self.node][self.core]
+    }
+
+    /// Schedules a one-sided operation; [`Workload::on_completion`] fires
+    /// when its CQ entry is observed. Returns the `wq_id` the completion
+    /// will carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`OpKind::Write`] — use [`CoreApi::issue_write`].
+    pub fn issue(
+        &mut self,
+        op: OpKind,
+        dst_node: u8,
+        remote_addr: Addr,
+        local_buf: Addr,
+        size_bytes: u32,
+        version_offset: u32,
+    ) -> u64 {
+        assert!(op != OpKind::Write, "use issue_write for one-sided writes");
+        self.issue_entry(op, dst_node, remote_addr, local_buf, size_bytes, version_offset, None)
+    }
+
+    /// Schedules a one-sided write of `size_bytes` from `local_buf`.
+    pub fn issue_write(
+        &mut self,
+        dst_node: u8,
+        remote_addr: Addr,
+        local_buf: Addr,
+        size_bytes: u32,
+    ) -> u64 {
+        let data = self.cluster.nodes[self.node]
+            .memory
+            .read_vec(local_buf, size_bytes as usize);
+        self.issue_entry(
+            OpKind::Write,
+            dst_node,
+            remote_addr,
+            local_buf,
+            size_bytes,
+            0,
+            Some(data),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the WQ entry's fields
+    fn issue_entry(
+        &mut self,
+        op: OpKind,
+        dst_node: u8,
+        remote_addr: Addr,
+        local_buf: Addr,
+        size_bytes: u32,
+        version_offset: u32,
+        write_data: Option<Vec<u8>>,
+    ) -> u64 {
+        let seq = &mut self.cluster.wq_seq[self.node][self.core];
+        let wq_id = ((self.core as u64) << 32) | (*seq & 0xFFFF_FFFF);
+        *seq += 1;
+        let pipe = self.core % self.cluster.cfg.rmc_backends;
+        let wq = WqEntry {
+            wq_id,
+            op,
+            dst_node,
+            remote_addr,
+            local_buf,
+            size_bytes,
+            version_offset,
+        };
+        let pkts = self.cluster.nodes[self.node].pipelines[pipe]
+            .start_transfer(&wq, write_data.as_deref());
+        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
+        let unroll = self.cluster.cfg.rgp_unroll_interval();
+        for pkt in pkts {
+            let start = self.cluster.nodes[self.node].rgp_unroll[pipe].admit(t0, unroll);
+            self.cluster
+                .queue
+                .schedule(start + unroll, Event::FabricSend(pkt));
+        }
+        wq_id
+    }
+
+    /// Sends an RPC request to a core on another node;
+    /// [`Workload::on_rpc`] fires there, and this core's
+    /// [`Workload::on_rpc_reply`] fires when the reply returns.
+    pub fn send_rpc(&mut self, dst_node: u8, dst_core: u8, tag: u64, bytes: u32) {
+        let pkt = Packet {
+            src_node: self.node as u8,
+            src_pipe: self.core as u8,
+            dst_node,
+            dst_pipe: dst_core,
+            kind: PacketKind::RpcReq { tag, bytes },
+        };
+        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
+        self.cluster.queue.schedule(t0, Event::FabricSend(pkt));
+    }
+
+    /// Replies to an RPC previously delivered to this core.
+    pub fn reply_rpc(&mut self, dst_node: u8, dst_core: u8, tag: u64, bytes: u32) {
+        let pkt = Packet {
+            src_node: self.node as u8,
+            src_pipe: self.core as u8,
+            dst_node,
+            dst_pipe: dst_core,
+            kind: PacketKind::RpcReply { tag, bytes },
+        };
+        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
+        self.cluster.queue.schedule(t0, Event::FabricSend(pkt));
+    }
+
+    /// Sleeps for `d`; [`Workload::on_wake`] fires afterwards. Used to
+    /// charge CPU work (strip kernels, application reads, think time).
+    pub fn sleep(&mut self, d: Time) {
+        self.cluster.queue.schedule(
+            self.cluster.now + d,
+            Event::Wake {
+                node: self.node as u8,
+                core: self.core as u8,
+            },
+        );
+    }
+
+    /// Reads `len` bytes from this node's memory (functional, instant —
+    /// charge time separately via [`CoreApi::sleep`]).
+    pub fn read_local(&self, addr: Addr, len: usize) -> Vec<u8> {
+        self.cluster.nodes[self.node].memory.read_vec(addr, len)
+    }
+
+    /// Performs one local store of up to a cache block: functional write,
+    /// LLC fill and coherence invalidation fan-out, at the current instant.
+    /// This is the primitive writer threads build object updates from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write would straddle a block boundary.
+    pub fn store_local(&mut self, addr: Addr, data: &[u8]) {
+        assert!(
+            addr.block() == (addr + (data.len().max(1) as u64 - 1)).block(),
+            "store_local must stay within one cache block"
+        );
+        let node = self.node;
+        self.cluster.nodes[node].memory.write(addr, data);
+        let block = addr.block();
+        let _ = self.cluster.llc_touch(node, block);
+        self.cluster.broadcast_inval(node, block);
+    }
+
+    /// Stores a 64-bit word locally (version updates).
+    pub fn store_local_u64(&mut self, addr: Addr, value: u64) {
+        self.store_local(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ReadMechanism;
+    use crate::workloads::SyncReader;
+    use sabre_sw::layout::CleanLayout;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            memory_bytes: 4 * 1024 * 1024,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_remote_read_completes_with_data() {
+        let mut cluster = Cluster::new(small_cfg());
+        // Put a recognizable pattern at node 1.
+        let pattern: Vec<u8> = (0..128u32).map(|i| (i * 7) as u8).collect();
+        cluster.node_memory_mut(1).write(Addr::new(0), &pattern);
+        let buf = Addr::new(1 << 20);
+        cluster.add_workload(
+            0,
+            0,
+            Box::new(SyncReader::iterations(
+                1,
+                vec![Addr::new(0)],
+                128,
+                ReadMechanism::Raw,
+                buf,
+                1,
+            )),
+        );
+        cluster.run_for(Time::from_us(5));
+        assert_eq!(cluster.metrics(0, 0).ops, 1);
+        // The payload landed in the local buffer.
+        assert_eq!(cluster.node_memory(0).read_vec(buf, 128), pattern);
+        // Latency is in the paper's ballpark: ~3-4× local memory access.
+        let lat = cluster.metrics(0, 0).latency.mean().unwrap();
+        assert!((150.0..500.0).contains(&lat), "64B-ish read at {lat} ns");
+    }
+
+    #[test]
+    fn single_sabre_completes_atomically() {
+        let mut cluster = Cluster::new(small_cfg());
+        let payload = vec![0xAB; 112];
+        {
+            let mem = cluster.node_memory_mut(1);
+            CleanLayout::init(mem, Addr::new(0), &payload);
+        }
+        let buf = Addr::new(1 << 20);
+        cluster.add_workload(
+            0,
+            0,
+            Box::new(SyncReader::iterations(
+                1,
+                vec![Addr::new(0)],
+                112,
+                ReadMechanism::Sabre,
+                buf,
+                1,
+            )),
+        );
+        cluster.run_for(Time::from_us(5));
+        let m = cluster.metrics(0, 0);
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.retries, 0);
+        let image = cluster
+            .node_memory(0)
+            .read_vec(buf, CleanLayout::object_bytes(112));
+        assert_eq!(CleanLayout::payload_of(&image, 112), &payload[..]);
+        let stats = (0..4)
+            .map(|p| cluster.engine_stats(1, p))
+            .fold((0, 0), |acc, s| {
+                (acc.0 + s.completed_ok, acc.1 + s.completed_failed)
+            });
+        assert_eq!(stats, (1, 0));
+    }
+
+    #[test]
+    fn sabre_latency_tracks_plain_read() {
+        // Fig. 7a's headline: LightSABRes match plain remote reads.
+        let mut latencies = Vec::new();
+        for mech in [ReadMechanism::Raw, ReadMechanism::Sabre] {
+            let mut cluster = Cluster::new(small_cfg());
+            cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
+            cluster.add_workload(
+                0,
+                0,
+                Box::new(SyncReader::iterations(
+                    1,
+                    vec![Addr::new(0)],
+                    1024,
+                    mech,
+                    Addr::new(1 << 20),
+                    20,
+                )),
+            );
+            cluster.run_for(Time::from_us(50));
+            assert_eq!(cluster.metrics(0, 0).ops, 20);
+            latencies.push(cluster.metrics(0, 0).latency.mean().unwrap());
+        }
+        let (read, sabre) = (latencies[0], latencies[1]);
+        assert!(
+            (sabre - read).abs() / read < 0.25,
+            "sabre {sabre} ns vs read {read} ns"
+        );
+    }
+}

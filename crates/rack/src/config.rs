@@ -1,0 +1,136 @@
+//! Cluster configuration: Table 2 of the paper plus the handful of
+//! calibration constants the table implies but does not state outright.
+
+use sabre_core::LightSabresConfig;
+use sabre_fabric::FabricConfig;
+use sabre_mem::MemTimingConfig;
+use sabre_sim::{Freq, Time};
+use sabre_sw::CpuCostModel;
+
+/// Configuration of the whole simulated rack.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (the evaluation uses 2, directly connected).
+    pub nodes: usize,
+    /// Cores per node (Table 2: 16).
+    pub cores_per_node: usize,
+    /// RGP/RCP backend pairs and R2P2s per node (Fig. 6: 4 across the edge).
+    pub rmc_backends: usize,
+    /// RMC pipeline clock (Table 2: 1 GHz).
+    pub rmc_clock: Freq,
+    /// Per-R2P2 issue bandwidth target in GB/s (§5.1: 20 GBps), which sets
+    /// the block issue interval.
+    pub r2p2_issue_gbps: f64,
+    /// Bytes of simulated DRAM per node.
+    pub memory_bytes: usize,
+    /// Memory timing (Table 2 DRAM/LLC rows).
+    pub mem_timing: MemTimingConfig,
+    /// LLC capacity in bytes (Table 2: 2 MB).
+    pub llc_bytes: usize,
+    /// LLC associativity (Table 2: 16).
+    pub llc_ways: usize,
+    /// Inter-node fabric (Table 2 network row).
+    pub fabric: FabricConfig,
+    /// LightSABRes engine configuration (§5.1: 16 × 32-entry buffers).
+    pub lightsabres: LightSabresConfig,
+    /// CPU cost model for the software paths.
+    pub cpu: CpuCostModel,
+    /// Core-side fixed cost from scheduling a WQ entry until the RGP
+    /// backend starts unrolling (WQ store + frontend poll + init).
+    pub frontend_latency: Time,
+    /// Fixed cost from the RCP writing the CQ entry until the core observes
+    /// the completion (CQ write + core poll).
+    pub completion_latency: Time,
+    /// A local writer thread's per-block store interval (store issue rate).
+    pub writer_store_interval: Time,
+    /// RNG seed for all workloads.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            cores_per_node: 16,
+            rmc_backends: 4,
+            rmc_clock: Freq::ghz(1.0),
+            r2p2_issue_gbps: 20.0,
+            memory_bytes: 64 * 1024 * 1024,
+            mem_timing: MemTimingConfig::default(),
+            llc_bytes: 2 * 1024 * 1024,
+            llc_ways: 16,
+            fabric: FabricConfig::default(),
+            lightsabres: LightSabresConfig::default(),
+            cpu: CpuCostModel::default(),
+            frontend_latency: Time::from_ns(40),
+            completion_latency: Time::from_ns(40),
+            writer_store_interval: Time::from_ns(8),
+            seed: 0x5AB2E5,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The R2P2's per-block issue interval derived from its bandwidth
+    /// target: 64 B / 20 GBps = 3.2 ns with the defaults.
+    pub fn r2p2_issue_interval(&self) -> Time {
+        sabre_sim::time::transfer_time(sabre_mem::BLOCK_BYTES as u64, self.r2p2_issue_gbps)
+    }
+
+    /// The RGP's per-packet unroll interval (one packet per RMC cycle).
+    pub fn rgp_unroll_interval(&self) -> Time {
+        self.rmc_clock.period()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("the rack needs at least two nodes".into());
+        }
+        if self.nodes != self.fabric.nodes {
+            return Err(format!(
+                "fabric is configured for {} nodes but the rack has {}",
+                self.fabric.nodes, self.nodes
+            ));
+        }
+        if self.cores_per_node == 0 || self.rmc_backends == 0 {
+            return Err("cores and RMC backends must be positive".into());
+        }
+        if self.rmc_backends > 256 || self.cores_per_node > 256 {
+            return Err("pipe and core ids are 8-bit".into());
+        }
+        self.lightsabres.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.nodes, 2);
+        assert_eq!(cfg.cores_per_node, 16);
+        assert_eq!(cfg.rmc_backends, 4);
+        assert_eq!(cfg.llc_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.r2p2_issue_interval(), Time::from_ps(3_200));
+        assert_eq!(cfg.rgp_unroll_interval(), Time::from_ns(1));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut cfg = ClusterConfig {
+            nodes: 3, // fabric still says 2
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.nodes = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Full-system assembly: a simulated rack of soNUMA nodes.
+//!
+//! This crate wires the sans-IO components — [`sabre_sonuma`] pipelines,
+//! the [`sabre_core`] LightSABRes engines, the [`sabre_mem`] memory systems
+//! and the [`sabre_fabric`] interconnects — into a single deterministic
+//! discrete-event simulation, and runs *workload programs* on the simulated
+//! cores.
+//!
+//! The evaluated topology matches the paper: two directly connected 16-core
+//! chips (Fig. 6), each with four RGP/RCP backend pairs and four R2P2s
+//! across the edge, 2 MB LLC, four DDR4-25.6 channels, and a 100 GBps
+//! 35 ns/hop fabric (Table 2).
+//!
+//! # Example
+//!
+//! ```
+//! use sabre_rack::{Cluster, ClusterConfig, workloads::SyncReader, ReadMechanism};
+//! use sabre_mem::Addr;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! // One object of 128 B at address 0 of node 1, version word at offset 0.
+//! cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
+//! cluster.add_workload(
+//!     0, 0,
+//!     Box::new(SyncReader::endless(1, vec![Addr::new(0)], 128, ReadMechanism::Sabre)),
+//! );
+//! cluster.run_for(sabre_sim::Time::from_us(10));
+//! assert!(cluster.metrics(0, 0).ops > 0);
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod metrics;
+pub mod workload;
+pub mod workloads;
+
+pub use cluster::Cluster;
+pub use config::ClusterConfig;
+pub use metrics::{CoreMetrics, Phase};
+pub use workload::{CoreApi, ReadMechanism, Workload};

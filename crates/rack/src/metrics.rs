@@ -1,0 +1,146 @@
+//! Per-core measurement plumbing for the experiment harness.
+
+use sabre_sim::{Histogram, MeanTracker, Time};
+
+/// Latency components the paper's breakdowns distinguish (Figs. 1 and 9a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The soNUMA transfer itself (WQ entry to CQ entry).
+    Transfer,
+    /// Framework code: lookup, buffer management, bookkeeping.
+    Framework,
+    /// Application code consuming the (clean) object.
+    App,
+    /// Software atomicity check + version stripping (baseline only).
+    Strip,
+}
+
+impl Phase {
+    /// All phases, in presentation order.
+    pub const ALL: [Phase; 4] = [Phase::Transfer, Phase::Framework, Phase::App, Phase::Strip];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Transfer => 0,
+            Phase::Framework => 1,
+            Phase::App => 2,
+            Phase::Strip => 3,
+        }
+    }
+}
+
+/// Metrics one core's workload accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct CoreMetrics {
+    /// Successful (atomic, validated) operations.
+    pub ops: u64,
+    /// Clean payload bytes delivered by successful operations.
+    pub bytes: u64,
+    /// Operations retried after an atomicity failure.
+    pub retries: u64,
+    /// End-to-end latency of successful operations (ns).
+    pub latency: Histogram,
+    phases: [MeanTracker; 4],
+}
+
+impl CoreMetrics {
+    /// Records one successful operation.
+    pub fn record_success(&mut self, bytes: u64, latency: Time) {
+        self.ops += 1;
+        self.bytes += bytes;
+        self.latency.record_time(latency);
+    }
+
+    /// Records one atomicity-failure retry.
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records the duration of one latency component.
+    pub fn record_phase(&mut self, phase: Phase, t: Time) {
+        self.phases[phase.index()].record_time(t);
+    }
+
+    /// Mean duration of a phase in ns, if sampled.
+    pub fn phase_mean_ns(&self, phase: Phase) -> Option<f64> {
+        self.phases[phase.index()].mean()
+    }
+
+    /// Goodput over `[0, horizon]` in GB/s.
+    pub fn gbps(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / horizon.as_ns()
+    }
+
+    /// Abort rate: retries / (ops + retries).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.ops + self.retries;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.retries as f64 / attempts as f64
+        }
+    }
+
+    /// Merges another core's metrics into this one (aggregation).
+    pub fn merge(&mut self, other: &CoreMetrics) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+        self.retries += other.retries;
+        // Histograms and phase means are kept per-core; aggregate callers
+        // use ops/bytes. Merging distributions is not needed by any
+        // experiment, so we do not pretend to support it.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_and_throughput() {
+        let mut m = CoreMetrics::default();
+        m.record_success(1000, Time::from_ns(100));
+        m.record_success(1000, Time::from_ns(300));
+        assert_eq!(m.ops, 2);
+        assert_eq!(m.bytes, 2000);
+        // 2000 B over 1 us = 2 GB/s.
+        assert!((m.gbps(Time::from_us(1)) - 2.0).abs() < 1e-12);
+        assert_eq!(m.latency.mean(), Some(200.0));
+    }
+
+    #[test]
+    fn abort_rate() {
+        let mut m = CoreMetrics::default();
+        assert_eq!(m.abort_rate(), 0.0);
+        m.record_success(64, Time::from_ns(1));
+        m.record_retry();
+        assert!((m.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_tracked_independently() {
+        let mut m = CoreMetrics::default();
+        m.record_phase(Phase::Transfer, Time::from_ns(100));
+        m.record_phase(Phase::Strip, Time::from_ns(50));
+        m.record_phase(Phase::Strip, Time::from_ns(150));
+        assert_eq!(m.phase_mean_ns(Phase::Transfer), Some(100.0));
+        assert_eq!(m.phase_mean_ns(Phase::Strip), Some(100.0));
+        assert_eq!(m.phase_mean_ns(Phase::App), None);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = CoreMetrics::default();
+        let mut b = CoreMetrics::default();
+        a.record_success(10, Time::from_ns(1));
+        b.record_success(20, Time::from_ns(1));
+        b.record_retry();
+        a.merge(&b);
+        assert_eq!(a.ops, 2);
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.retries, 1);
+    }
+}

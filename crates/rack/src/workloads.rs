@@ -1,0 +1,694 @@
+//! Reusable workload programs: the microbenchmark readers and writers of
+//! §6/§7 ("a number of writer threads that update objects in their local
+//! memory, or reader threads that access objects in remote memory using
+//! one-sided soNUMA operations in a tight loop").
+
+use sabre_mem::{Addr, BLOCK_BYTES};
+use sabre_sim::Time;
+use sabre_sonuma::CqEntry;
+use sabre_sw::cost::DataSource;
+use sabre_sw::layout::{CleanLayout, PerClLayout};
+use sabre_sw::{ChecksumLayout, VersionWord};
+
+use crate::cluster::CoreApi;
+use crate::metrics::Phase;
+use crate::workload::{ReadMechanism, Workload};
+
+/// Generates the recognizable payload a writer stores: `[obj_id u64 | seq
+/// u64 | filler…]`, with the filler byte derived from both. Readers and
+/// property tests use [`verify_payload`] to prove a read was not torn.
+pub fn pattern_payload(obj_id: u64, seq: u64, payload_len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; payload_len];
+    let fill = (obj_id.wrapping_mul(31).wrapping_add(seq) & 0xFF) as u8;
+    out.fill(fill);
+    if payload_len >= 8 {
+        out[..8].copy_from_slice(&obj_id.to_le_bytes());
+    }
+    if payload_len >= 16 {
+        out[8..16].copy_from_slice(&seq.to_le_bytes());
+    }
+    out
+}
+
+/// Verifies a payload produced by [`pattern_payload`]: returns the sequence
+/// number if the bytes form one consistent snapshot, `None` if torn.
+pub fn verify_payload(obj_id: u64, data: &[u8]) -> Option<u64> {
+    if data.len() < 16 {
+        // Too small to carry the ids; check filler consistency only.
+        return data
+            .iter()
+            .all(|&b| b == data[0])
+            .then_some(u64::from(data[0]));
+    }
+    let stored_id = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    if stored_id != obj_id {
+        return None;
+    }
+    let fill = (obj_id.wrapping_mul(31).wrapping_add(seq) & 0xFF) as u8;
+    data[16..].iter().all(|&b| b == fill).then_some(seq)
+}
+
+/// The sequence of single-block stores one object update performs under
+/// `layout`, in protocol order (the version word stores around them are the
+/// caller's job). Shared by local [`Writer`]s and the FaRM RPC write server.
+///
+/// For the per-CL layout the head line comes *last*: it carries the header
+/// version every stamp is compared against, so writing it last publishes
+/// the update atomically with respect to the stamp check.
+pub fn update_chunks(
+    layout: WriterLayout,
+    base: Addr,
+    obj_id: u64,
+    seq: u64,
+    payload_len: usize,
+    locked_version: u64,
+) -> Vec<(Addr, Vec<u8>)> {
+    let payload = pattern_payload(obj_id, seq, payload_len);
+    match layout {
+        WriterLayout::Clean => {
+            let start = base + CleanLayout::HEADER_BYTES as u64;
+            let mut out = Vec::new();
+            let mut off = 0usize;
+            while off < payload.len() {
+                let addr = start + off as u64;
+                let room = BLOCK_BYTES - addr.block_offset();
+                let end = (off + room).min(payload.len());
+                out.push((addr, payload[off..end].to_vec()));
+                off = end;
+            }
+            out
+        }
+        WriterLayout::PerCl => {
+            let lines = PerClLayout::lines_needed(payload.len());
+            let next_version = VersionWord::new(locked_version + 2);
+            let mut out = Vec::new();
+            for line in (0..lines).rev() {
+                let addr = base + (line * BLOCK_BYTES) as u64;
+                out.push((
+                    addr,
+                    PerClLayout::encode_line(next_version, &payload, line).to_vec(),
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaderState {
+    Idle,
+    AwaitTransfer,
+    AwaitStrip,
+    AwaitConsume,
+    Backoff,
+}
+
+/// A reader thread issuing synchronous one-sided operations in a tight
+/// loop, with the mechanism-appropriate post-processing and immediate
+/// retry on atomicity failure.
+#[derive(Debug)]
+pub struct SyncReader {
+    dst_node: u8,
+    objects: Vec<Addr>,
+    payload: u32,
+    mech: ReadMechanism,
+    local_buf: Option<Addr>,
+    remaining: Option<u64>,
+    /// Model the application reading the clean object after a SABRe (the
+    /// §7.2 microbenchmark semantics: "a remote operation completes when
+    /// the clean data is read by the core").
+    consume: bool,
+    /// Pause before retrying a failed read (§5.1: retry policy is
+    /// software's choice; zero = immediate retry, the Fig. 8 policy).
+    backoff: Time,
+    /// Explicit transfer size (store-backed readers pass the store's slot
+    /// footprint; defaults to the mechanism's natural wire size).
+    wire_override: Option<u32>,
+    cur_obj: usize,
+    t0: Time,
+    state: ReaderState,
+}
+
+impl SyncReader {
+    /// A reader that runs until the simulation ends. The local buffer is
+    /// placed automatically (per-core slot in the upper half of memory).
+    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32, mech: ReadMechanism) -> Self {
+        SyncReader {
+            dst_node,
+            objects,
+            payload,
+            mech,
+            local_buf: None,
+            remaining: None,
+            consume: false,
+            backoff: Time::ZERO,
+            wire_override: None,
+            cur_obj: 0,
+            t0: Time::ZERO,
+            state: ReaderState::Idle,
+        }
+    }
+
+    /// A reader that performs exactly `n` successful operations, with an
+    /// explicit local buffer.
+    pub fn iterations(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        mech: ReadMechanism,
+        local_buf: Addr,
+        n: u64,
+    ) -> Self {
+        let mut r = SyncReader::endless(dst_node, objects, payload, mech);
+        r.local_buf = Some(local_buf);
+        r.remaining = Some(n);
+        r
+    }
+
+    /// Enables the post-transfer application read (Fig. 8 semantics).
+    pub fn with_consume(mut self) -> Self {
+        self.consume = true;
+        self
+    }
+
+    /// Sets a backoff pause before each retry (default: immediate retry).
+    pub fn with_backoff(mut self, backoff: Time) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Overrides the transfer size (e.g. a store's exact slot footprint).
+    pub fn with_wire(mut self, wire: u32) -> Self {
+        self.wire_override = Some(wire);
+        self
+    }
+
+    fn wire(&self) -> u32 {
+        self.wire_override
+            .unwrap_or_else(|| self.mech.wire_bytes(self.payload))
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        self.local_buf.unwrap_or_else(|| {
+            let half = api.config().memory_bytes as u64 / 2;
+            Addr::new(half + api.core() as u64 * 256 * 1024)
+        })
+    }
+
+    fn issue_next(&mut self, api: &mut CoreApi<'_>, new_object: bool) {
+        if self.remaining == Some(0) {
+            self.state = ReaderState::Idle;
+            return;
+        }
+        if new_object {
+            self.cur_obj = api.rng().below(self.objects.len() as u64) as usize;
+        }
+        let buf = self.buf(api);
+        self.t0 = api.now();
+        api.issue(
+            self.mech.op(),
+            self.dst_node,
+            self.objects[self.cur_obj],
+            buf,
+            self.wire(),
+            0,
+        );
+        self.state = ReaderState::AwaitTransfer;
+    }
+
+    fn success(&mut self, api: &mut CoreApi<'_>) {
+        let latency = api.now() - self.t0;
+        api.metrics().record_success(self.payload as u64, latency);
+        if let Some(n) = &mut self.remaining {
+            *n -= 1;
+        }
+        self.issue_next(api, true);
+    }
+
+    fn retry(&mut self, api: &mut CoreApi<'_>) {
+        // §7.2: "Upon a conflict detection, readers immediately retry
+        // reading the same object again." (Or after the configured backoff.)
+        api.metrics().record_retry();
+        if self.backoff == Time::ZERO {
+            self.issue_next(api, false);
+        } else {
+            self.state = ReaderState::Backoff;
+            api.sleep(self.backoff);
+        }
+    }
+}
+
+impl Workload for SyncReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.issue_next(api, true);
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        assert_eq!(self.state, ReaderState::AwaitTransfer);
+        let transfer = api.now() - self.t0;
+        api.metrics().record_phase(Phase::Transfer, transfer);
+        match self.mech {
+            ReadMechanism::Raw => self.success(api),
+            ReadMechanism::Sabre => {
+                if !cq.success {
+                    self.retry(api);
+                } else if self.consume {
+                    self.state = ReaderState::AwaitConsume;
+                    let t = api.cpu().read_time(self.payload as usize, DataSource::Llc);
+                    api.metrics().record_phase(Phase::App, t);
+                    api.sleep(t);
+                } else {
+                    self.success(api);
+                }
+            }
+            ReadMechanism::PerClValidate { .. } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().strip_time(self.wire() as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                api.sleep(t);
+            }
+            ReadMechanism::ChecksumValidate { payload } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().crc_time(payload as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                api.sleep(t);
+            }
+        }
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        match self.state {
+            ReaderState::AwaitStrip => {
+                let buf = self.buf(api);
+                let image = api.read_local(buf, self.wire() as usize);
+                let ok = match self.mech {
+                    ReadMechanism::PerClValidate { payload } => {
+                        PerClLayout::validate_and_strip(&image, payload as usize).is_ok()
+                    }
+                    ReadMechanism::ChecksumValidate { payload } => {
+                        ChecksumLayout::validate(&image, payload as usize).is_ok()
+                    }
+                    _ => unreachable!("strip state only for software mechanisms"),
+                };
+                if ok {
+                    self.success(api);
+                } else {
+                    self.retry(api);
+                }
+            }
+            ReaderState::AwaitConsume => self.success(api),
+            ReaderState::Backoff => self.issue_next(api, false),
+            s => panic!("unexpected wake in state {s:?}"),
+        }
+    }
+}
+
+/// A reader keeping a window of asynchronous operations in flight
+/// (Fig. 7b: peak-throughput measurement).
+#[derive(Debug)]
+pub struct AsyncReader {
+    dst_node: u8,
+    objects: Vec<Addr>,
+    payload: u32,
+    mech: ReadMechanism,
+    window: usize,
+    /// wq_id → (issue time, slot).
+    inflight: std::collections::HashMap<u64, (Time, usize)>,
+    buf_base: Option<Addr>,
+}
+
+impl AsyncReader {
+    /// Creates a reader with `window` operations in flight at all times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mechanism needs CPU post-processing (use
+    /// [`SyncReader`] for those) or the window is zero.
+    pub fn new(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        mech: ReadMechanism,
+        window: usize,
+    ) -> Self {
+        assert!(
+            matches!(mech, ReadMechanism::Raw | ReadMechanism::Sabre),
+            "AsyncReader models pure transfer throughput"
+        );
+        assert!(window > 0, "window must be positive");
+        AsyncReader {
+            dst_node,
+            objects,
+            payload,
+            mech,
+            window,
+            inflight: std::collections::HashMap::new(),
+            buf_base: None,
+        }
+    }
+
+    fn slot_buf(&self, api: &CoreApi<'_>, slot: usize) -> Addr {
+        let base = self.buf_base.unwrap_or_else(|| {
+            let half = api.config().memory_bytes as u64 / 2;
+            Addr::new(half + api.core() as u64 * 512 * 1024)
+        });
+        base + (slot as u64) * ((self.mech.wire_bytes(self.payload) as u64).div_ceil(64) * 64)
+    }
+
+    fn issue_slot(&mut self, api: &mut CoreApi<'_>, slot: usize) {
+        let obj = self.objects[api.rng().below(self.objects.len() as u64) as usize];
+        let buf = self.slot_buf(api, slot);
+        let wq_id = api.issue(
+            self.mech.op(),
+            self.dst_node,
+            obj,
+            buf,
+            self.mech.wire_bytes(self.payload),
+            0,
+        );
+        self.inflight.insert(wq_id, (api.now(), slot));
+    }
+}
+
+impl Workload for AsyncReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        for slot in 0..self.window {
+            self.issue_slot(api, slot);
+        }
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        let (t0, slot) = self
+            .inflight
+            .remove(&cq.wq_id)
+            .expect("completion for an operation we issued");
+        if cq.success {
+            let latency = api.now() - t0;
+            api.metrics().record_success(self.payload as u64, latency);
+        } else {
+            api.metrics().record_retry();
+        }
+        self.issue_slot(api, slot);
+    }
+}
+
+/// Which object layout a writer maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriterLayout {
+    /// Clean layout (SABRe experiments): header + contiguous payload.
+    Clean,
+    /// FaRM per-cache-line versions layout.
+    PerCl,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterPhase {
+    Idle,
+    /// Version word set odd; writing payload chunk `chunk` next.
+    Writing { chunk: usize },
+    /// All data written; publish (even version) next.
+    Publishing,
+    /// Waiting for readers to drain (locking-mode experiments).
+    SpinningOnReaders,
+}
+
+/// A local writer thread repeatedly updating its subset of objects
+/// (Concurrent-Read-Exclusive-Write: each object has one writer).
+///
+/// One store (one cache block or less) is applied per
+/// [`ClusterConfig::writer_store_interval`](crate::ClusterConfig), so a
+/// racing remote reader observes genuinely torn intermediate states unless
+/// an atomicity mechanism intervenes.
+#[derive(Debug)]
+pub struct Writer {
+    objects: Vec<(u64, Addr)>,
+    payload: u32,
+    layout: WriterLayout,
+    think: Time,
+    /// Respect the shared reader-lock word before locking (destination-
+    /// locking experiments).
+    respect_reader_locks: bool,
+    seq: u64,
+    cur: usize,
+    phase: WriterPhase,
+    /// The (even) version read at lock time; the update publishes at +2.
+    locked_version: u64,
+    updates: u64,
+}
+
+impl Writer {
+    /// Creates a writer owning `objects` (pairs of object id and base
+    /// address, all local), updating them round-robin with `think` pause
+    /// between updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is empty.
+    pub fn new(objects: Vec<(u64, Addr)>, payload: u32, layout: WriterLayout, think: Time) -> Self {
+        assert!(!objects.is_empty(), "a writer needs at least one object");
+        Writer {
+            objects,
+            payload,
+            layout,
+            think,
+            respect_reader_locks: false,
+            seq: 0,
+            cur: 0,
+            phase: WriterPhase::Idle,
+            locked_version: 0,
+            updates: 0,
+        }
+    }
+
+    /// Makes the writer wait for the shared reader lock to drain before
+    /// each update (destination-locking mode).
+    pub fn respecting_reader_locks(mut self) -> Self {
+        self.respect_reader_locks = true;
+        self
+    }
+
+    /// Completed object updates.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn base(&self) -> Addr {
+        self.objects[self.cur].1
+    }
+
+    fn obj_id(&self) -> u64 {
+        self.objects[self.cur].0
+    }
+
+    /// The payload chunks of the current update, split on absolute cache
+    /// block boundaries so each is a single store.
+    fn chunks(&self) -> Vec<(Addr, Vec<u8>)> {
+        update_chunks(
+            self.layout,
+            self.base(),
+            self.obj_id(),
+            self.seq,
+            self.payload as usize,
+            self.locked_version,
+        )
+    }
+}
+
+impl Writer {
+    fn begin_update(&mut self, api: &mut CoreApi<'_>) {
+        if self.respect_reader_locks {
+            let rlock = api.read_local(self.base() + 8, 8);
+            let readers = u64::from_le_bytes(rlock.try_into().expect("8 bytes"));
+            if readers > 0 {
+                self.phase = WriterPhase::SpinningOnReaders;
+                api.sleep(Time::from_ns(10));
+                return;
+            }
+        }
+        let v = VersionWord::new(u64::from_le_bytes(
+            api.read_local(self.base(), 8).try_into().expect("8 bytes"),
+        ));
+        let locked = v.locked();
+        self.locked_version = v.raw();
+        api.store_local_u64(self.base(), locked.raw());
+        self.phase = WriterPhase::Writing { chunk: 0 };
+        api.sleep(api.config().writer_store_interval);
+    }
+}
+
+impl Workload for Writer {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.begin_update(api);
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        match self.phase {
+            WriterPhase::Idle => self.begin_update(api),
+            WriterPhase::SpinningOnReaders => self.begin_update(api),
+            WriterPhase::Writing { chunk } => {
+                let chunks = self.chunks();
+                if chunk < chunks.len() {
+                    let (addr, data) = &chunks[chunk];
+                    api.store_local(*addr, data);
+                    self.phase = WriterPhase::Writing { chunk: chunk + 1 };
+                    api.sleep(api.config().writer_store_interval);
+                } else {
+                    self.phase = WriterPhase::Publishing;
+                    api.sleep(Time::ZERO.max(api.config().writer_store_interval));
+                }
+            }
+            WriterPhase::Publishing => {
+                // Publish: version becomes even (old + 2).
+                api.store_local_u64(self.base(), self.locked_version + 2);
+                self.updates += 1;
+                self.seq += 1;
+                self.cur = (self.cur + 1) % self.objects.len();
+                self.phase = WriterPhase::Idle;
+                api.sleep(self.think.max(api.config().writer_store_interval));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockReaderState {
+    Idle,
+    AwaitCas,
+    AwaitRead,
+    Backoff,
+}
+
+/// A DrTM-style reader using *source-side remote locking* (Table 1,
+/// top-left): a remote CAS acquires the object's write lock (one extra
+/// network roundtrip), the data read follows, and the unlock is fired
+/// asynchronously. Contended CAS retries after a short backoff.
+#[derive(Debug)]
+pub struct SourceLockingReader {
+    dst_node: u8,
+    objects: Vec<Addr>,
+    payload: u32,
+    local_buf: Option<Addr>,
+    remaining: Option<u64>,
+    backoff: Time,
+    cur_obj: usize,
+    t0: Time,
+    state: LockReaderState,
+}
+
+impl SourceLockingReader {
+    /// A locking reader that runs until the simulation ends.
+    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32) -> Self {
+        SourceLockingReader {
+            dst_node,
+            objects,
+            payload,
+            local_buf: None,
+            remaining: None,
+            backoff: Time::from_ns(200),
+            cur_obj: 0,
+            t0: Time::ZERO,
+            state: LockReaderState::Idle,
+        }
+    }
+
+    /// A locking reader performing exactly `n` successful reads.
+    pub fn iterations(dst_node: u8, objects: Vec<Addr>, payload: u32, n: u64) -> Self {
+        let mut r = SourceLockingReader::endless(dst_node, objects, payload);
+        r.remaining = Some(n);
+        r
+    }
+
+    fn wire(&self) -> u32 {
+        CleanLayout::object_bytes(self.payload as usize) as u32
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        self.local_buf.unwrap_or_else(|| {
+            let half = api.config().memory_bytes as u64 / 2;
+            Addr::new(half + api.core() as u64 * 256 * 1024)
+        })
+    }
+
+    fn begin(&mut self, api: &mut CoreApi<'_>, new_object: bool) {
+        if self.remaining == Some(0) {
+            self.state = LockReaderState::Idle;
+            return;
+        }
+        if new_object {
+            self.cur_obj = api.rng().below(self.objects.len() as u64) as usize;
+        }
+        let buf = self.buf(api);
+        self.t0 = api.now();
+        // Roundtrip 1: acquire the remote lock with a one-sided CAS.
+        api.issue(
+            sabre_sonuma::OpKind::LockCas,
+            self.dst_node,
+            self.objects[self.cur_obj],
+            buf,
+            8,
+            0,
+        );
+        self.state = LockReaderState::AwaitCas;
+    }
+}
+
+impl Workload for SourceLockingReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.begin(api, true);
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        // Dispatch on the operation type: the asynchronous unlock's ack can
+        // arrive at any point of the *next* read's lifecycle.
+        match cq.op {
+            sabre_sonuma::OpKind::Unlock => {}
+            sabre_sonuma::OpKind::LockCas => {
+                assert_eq!(self.state, LockReaderState::AwaitCas);
+                if !cq.success {
+                    // Contended: back off, then retry the CAS.
+                    api.metrics().record_retry();
+                    self.state = LockReaderState::Backoff;
+                    api.sleep(self.backoff);
+                    return;
+                }
+                // Roundtrip 2: the data read, now race-free.
+                let buf = self.buf(api);
+                api.issue(
+                    sabre_sonuma::OpKind::Read,
+                    self.dst_node,
+                    self.objects[self.cur_obj],
+                    buf,
+                    self.wire(),
+                    0,
+                );
+                self.state = LockReaderState::AwaitRead;
+            }
+            sabre_sonuma::OpKind::Read => {
+                assert_eq!(self.state, LockReaderState::AwaitRead);
+                // Fire the unlock without waiting for it.
+                let buf = self.buf(api);
+                api.issue(
+                    sabre_sonuma::OpKind::Unlock,
+                    self.dst_node,
+                    self.objects[self.cur_obj],
+                    buf,
+                    8,
+                    0,
+                );
+                let latency = api.now() - self.t0;
+                api.metrics().record_success(self.payload as u64, latency);
+                if let Some(n) = &mut self.remaining {
+                    *n -= 1;
+                }
+                self.begin(api, true);
+            }
+            op => panic!("unexpected completion op {op:?}"),
+        }
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        assert_eq!(self.state, LockReaderState::Backoff);
+        self.begin(api, false);
+    }
+}

@@ -1,0 +1,84 @@
+//! Work Queue and Completion Queue entries — the memory-mapped interface
+//! between cores and the RMC.
+
+use sabre_mem::Addr;
+
+/// The one-sided operation types the hardware-software interface exposes.
+/// §5.2 extends the original soNUMA set with the SABRe type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Plain one-sided remote read (no multi-block atomicity guarantee).
+    Read,
+    /// One-sided remote write.
+    Write,
+    /// Atomic remote object read (the new operation).
+    Sabre,
+    /// Remote CAS acquiring an object's write lock (DrTM-style source
+    /// locking; single cache-block atomicity, as RDMA provides).
+    LockCas,
+    /// Remote unlock releasing a write lock acquired by
+    /// [`OpKind::LockCas`].
+    Unlock,
+}
+
+/// A Work Queue entry: one remote operation scheduled by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WqEntry {
+    /// Caller-assigned id, echoed in the completion.
+    pub wq_id: u64,
+    /// Operation type.
+    pub op: OpKind,
+    /// Destination node.
+    pub dst_node: u8,
+    /// Remote address (object base for SABRes; block-aligned).
+    pub remote_addr: Addr,
+    /// Local buffer the payload lands in (reads) or comes from (writes).
+    pub local_buf: Addr,
+    /// Transfer size in bytes.
+    pub size_bytes: u32,
+    /// SABRes only: offset of the version word within the first block.
+    pub version_offset: u32,
+}
+
+/// A Completion Queue entry. §5.2: "an additional success field in the
+/// Completion Queue entry … used to expose SABRe atomicity violations to
+/// the application."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqEntry {
+    /// The completed operation's `wq_id`.
+    pub wq_id: u64,
+    /// Operation type (echoed for the application's dispatch convenience).
+    pub op: OpKind,
+    /// SABRes: whether the read was atomic. Always `true` for plain reads
+    /// and writes.
+    pub success: bool,
+    /// Payload bytes transferred.
+    pub bytes: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_plain_data() {
+        let wq = WqEntry {
+            wq_id: 9,
+            op: OpKind::Sabre,
+            dst_node: 1,
+            remote_addr: Addr::new(4096),
+            local_buf: Addr::new(0),
+            size_bytes: 128,
+            version_offset: 0,
+        };
+        let cq = CqEntry {
+            wq_id: wq.wq_id,
+            op: wq.op,
+            success: false,
+            bytes: wq.size_bytes,
+        };
+        assert_eq!(cq.wq_id, 9);
+        assert_eq!(cq.op, OpKind::Sabre);
+        assert!(!cq.success);
+    }
+}

@@ -1,0 +1,803 @@
+//! The destination-side Remote Request Processing Pipeline, upgraded to an
+//! R2P2 (§4.2): stateless service for plain reads and writes, plus the
+//! [`LightSabres`] engine for SABRes, with parking for registrations that
+//! arrive while the ATT is full.
+//!
+//! Like the engine it embeds, the R2P2 is sans-IO: packets go in, actions
+//! come out. The assembly layer owns pacing — it pulls memory operations
+//! one at a time through [`R2p2::next_issue`] at the pipeline's issue
+//! bandwidth and performs them against the node's memory system.
+
+use std::collections::{HashMap, VecDeque};
+
+use sabre_core::{Action, IssueKind, LightSabres, LightSabresConfig, RegisterError, SabreError,
+                 SabreId, SlotId};
+use sabre_mem::{Addr, BlockAddr, BlockRange};
+
+use crate::wire::{Block, NodeId, Packet, PacketKind, PipeId};
+
+pub use sabre_core::engine::IssueKind as EngineIssueKind;
+
+/// Opaque tag pairing a memory access with its completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemToken(pub u64);
+
+/// Why a memory read was issued (exposed for tests and tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadKind {
+    /// A plain one-sided read request.
+    Plain,
+    /// A SABRe data block.
+    SabreData,
+    /// A SABRe header re-read (OCC revalidation).
+    SabreValidate,
+}
+
+/// An action the assembly layer must perform for the R2P2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum R2p2Action {
+    /// Read `block` from local memory; call [`R2p2::on_mem_reply`] with the
+    /// data when it completes.
+    MemRead {
+        /// Completion tag.
+        token: MemToken,
+        /// The block to read.
+        block: BlockAddr,
+        /// Why (tracing only; handling is identical).
+        kind: ReadKind,
+    },
+    /// Write `data` to `block` (one-sided write); call
+    /// [`R2p2::on_mem_write_done`] when it completes. The write must raise
+    /// coherence invalidations like any store.
+    MemWrite {
+        /// Completion tag.
+        token: MemToken,
+        /// The block to write.
+        block: BlockAddr,
+        /// The data.
+        data: Block,
+    },
+    /// Atomically try-acquire the shared reader lock at `version_addr`
+    /// (locking mode); call [`R2p2::on_lock_reply`] with the outcome.
+    LockRmw {
+        /// Completion tag.
+        token: MemToken,
+        /// Address of the version/lock word.
+        version_addr: Addr,
+    },
+    /// Release one shared reader hold (fire-and-forget).
+    LockRelease {
+        /// Address of the version/lock word.
+        version_addr: Addr,
+    },
+    /// Atomically CAS the version word at `version_addr` from even to odd
+    /// (remote write-lock acquire); call [`R2p2::on_cas_done`].
+    WriterCas {
+        /// Completion tag.
+        token: MemToken,
+        /// Address of the version/lock word.
+        version_addr: Addr,
+    },
+    /// Advance the odd version word at `version_addr` to even (remote
+    /// unlock); call [`R2p2::on_unlock_done`].
+    WriterUnlock {
+        /// Completion tag.
+        token: MemToken,
+        /// Address of the version/lock word.
+        version_addr: Addr,
+    },
+    /// Transmit a packet on the fabric.
+    Send(Packet),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    CasApply {
+        reply_node: NodeId,
+        reply_pipe: PipeId,
+        transfer: u32,
+    },
+    UnlockApply {
+        reply_node: NodeId,
+        reply_pipe: PipeId,
+        transfer: u32,
+    },
+    PlainRead {
+        reply_node: NodeId,
+        reply_pipe: PipeId,
+        transfer: u32,
+        block_index: u32,
+    },
+    WriteApply {
+        reply_node: NodeId,
+        reply_pipe: PipeId,
+        transfer: u32,
+        block_index: u32,
+    },
+    SabreData { slot: SlotId, block_index: u32 },
+    SabreValidate { slot: SlotId },
+    SabreLock { slot: SlotId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    node: NodeId,
+    pipe: PipeId,
+    transfer: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParkedSabre {
+    id: SabreId,
+    base: Addr,
+    size_bytes: u32,
+    version_offset: u32,
+    /// Data requests that arrived while parked, to be replayed.
+    requests: u32,
+}
+
+/// R2P2 statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct R2p2Stats {
+    /// Plain read requests serviced.
+    pub plain_reads: u64,
+    /// One-sided write blocks applied.
+    pub writes: u64,
+    /// SABRes accepted into the ATT.
+    pub sabres_registered: u64,
+    /// Registrations parked because the ATT was full.
+    pub sabres_parked: u64,
+}
+
+/// One Remote Request Processing Pipeline.
+#[derive(Debug)]
+pub struct R2p2 {
+    node: NodeId,
+    pipe: PipeId,
+    engine: LightSabres,
+    next_token: u64,
+    pending: HashMap<u64, Pending>,
+    /// Plain-service work awaiting an issue slot (FIFO).
+    ready: VecDeque<R2p2Action>,
+    /// SABRes waiting for a free ATT entry (in arrival order).
+    parked: VecDeque<ParkedSabre>,
+    routes: HashMap<u8, Route>,
+    stats: R2p2Stats,
+}
+
+impl R2p2 {
+    /// Creates an R2P2 for pipeline `pipe` of node `node` with the given
+    /// LightSABRes configuration.
+    pub fn new(node: NodeId, pipe: PipeId, cfg: LightSabresConfig) -> Self {
+        R2p2 {
+            node,
+            pipe,
+            engine: LightSabres::new(cfg),
+            next_token: 0,
+            pending: HashMap::new(),
+            ready: VecDeque::new(),
+            parked: VecDeque::new(),
+            routes: HashMap::new(),
+            stats: R2p2Stats::default(),
+        }
+    }
+
+    /// The embedded LightSABRes engine (stats and tests).
+    pub fn engine(&self) -> &LightSabres {
+        &self.engine
+    }
+
+    /// R2P2-level statistics.
+    pub fn stats(&self) -> R2p2Stats {
+        self.stats
+    }
+
+    /// Whether any work is waiting for an issue slot.
+    pub fn has_issuable(&self) -> bool {
+        // `next_issue` on the engine is destructive; this conservative probe
+        // (plain work queued, or any active SABRe) lets the pump decide
+        // whether to keep itself scheduled.
+        !self.ready.is_empty() || self.engine.active_count() > 0
+    }
+
+    fn token(&mut self, p: Pending) -> MemToken {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(t, p);
+        MemToken(t)
+    }
+
+    /// Consumes one inbound request packet. Returns `true` if new issuable
+    /// work may exist (the pump should be (re)scheduled).
+    ///
+    /// # Panics
+    ///
+    /// Panics on reply packets (mis-routed) or malformed SABRe protocol
+    /// sequences — simulator bugs, not recoverable conditions.
+    pub fn on_packet(&mut self, pkt: &Packet) -> bool {
+        match pkt.kind {
+            PacketKind::ReadReq {
+                addr,
+                transfer,
+                block_index,
+            } => {
+                self.stats.plain_reads += 1;
+                let token = self.token(Pending::PlainRead {
+                    reply_node: pkt.src_node,
+                    reply_pipe: pkt.src_pipe,
+                    transfer,
+                    block_index,
+                });
+                self.ready.push_back(R2p2Action::MemRead {
+                    token,
+                    block: addr.block(),
+                    kind: ReadKind::Plain,
+                });
+                true
+            }
+            PacketKind::WriteReq {
+                addr,
+                transfer,
+                block_index,
+                data,
+            } => {
+                self.stats.writes += 1;
+                let token = self.token(Pending::WriteApply {
+                    reply_node: pkt.src_node,
+                    reply_pipe: pkt.src_pipe,
+                    transfer,
+                    block_index,
+                });
+                self.ready.push_back(R2p2Action::MemWrite {
+                    token,
+                    block: addr.block(),
+                    data,
+                });
+                true
+            }
+            PacketKind::CasReq { addr, transfer } => {
+                let token = self.token(Pending::CasApply {
+                    reply_node: pkt.src_node,
+                    reply_pipe: pkt.src_pipe,
+                    transfer,
+                });
+                self.ready.push_back(R2p2Action::WriterCas {
+                    token,
+                    version_addr: addr,
+                });
+                true
+            }
+            PacketKind::UnlockReq { addr, transfer } => {
+                let token = self.token(Pending::UnlockApply {
+                    reply_node: pkt.src_node,
+                    reply_pipe: pkt.src_pipe,
+                    transfer,
+                });
+                self.ready.push_back(R2p2Action::WriterUnlock {
+                    token,
+                    version_addr: addr,
+                });
+                true
+            }
+            PacketKind::SabreReg {
+                transfer,
+                base,
+                size_bytes,
+                version_offset,
+            } => {
+                let id = SabreId {
+                    src_node: pkt.src_node,
+                    src_pipe: pkt.src_pipe,
+                    transfer,
+                };
+                self.register_or_park(id, base, size_bytes, version_offset);
+                true
+            }
+            PacketKind::SabreReadReq { transfer, .. } => {
+                let id = SabreId {
+                    src_node: pkt.src_node,
+                    src_pipe: pkt.src_pipe,
+                    transfer,
+                };
+                match self.engine.on_data_request(id) {
+                    Ok(()) => {}
+                    Err(SabreError::UnknownId) => {
+                        // The registration is parked; count the request for
+                        // replay (in-order fabric guarantees reg-first).
+                        let parked = self
+                            .parked
+                            .iter_mut()
+                            .find(|p| p.id == id)
+                            .unwrap_or_else(|| {
+                                panic!("data request for unregistered, unparked SABRe {id}")
+                            });
+                        parked.requests += 1;
+                    }
+                    Err(e) => panic!("SABRe protocol violation for {id}: {e}"),
+                }
+                true
+            }
+            _ => panic!("R2P2 received a reply-side packet: {pkt:?}"),
+        }
+    }
+
+    fn register_or_park(&mut self, id: SabreId, base: Addr, size_bytes: u32, version_offset: u32) {
+        match self.engine.register(id, base, size_bytes, version_offset) {
+            Ok(slot) => {
+                self.stats.sabres_registered += 1;
+                self.routes.insert(
+                    slot.0,
+                    Route {
+                        node: id.src_node,
+                        pipe: id.src_pipe,
+                        transfer: id.transfer,
+                    },
+                );
+            }
+            Err(RegisterError::Full) => {
+                self.stats.sabres_parked += 1;
+                self.parked.push_back(ParkedSabre {
+                    id,
+                    base,
+                    size_bytes,
+                    version_offset,
+                    requests: 0,
+                });
+            }
+            Err(e) => panic!("malformed SABRe registration {id}: {e}"),
+        }
+    }
+
+    fn try_unpark(&mut self) {
+        while !self.engine.is_full() {
+            let Some(parked) = self.parked.pop_front() else {
+                return;
+            };
+            self.register_or_park(
+                parked.id,
+                parked.base,
+                parked.size_bytes,
+                parked.version_offset,
+            );
+            for _ in 0..parked.requests {
+                self.engine
+                    .on_data_request(parked.id)
+                    .expect("replaying parked requests");
+            }
+        }
+    }
+
+    /// Pulls the next memory operation to issue, if any: queued plain
+    /// service first (FIFO arrival order), then the engine's round-robin
+    /// pick. The caller paces calls at the R2P2's issue bandwidth.
+    pub fn next_issue(&mut self) -> Option<R2p2Action> {
+        if let Some(a) = self.ready.pop_front() {
+            return Some(a);
+        }
+        let issue = self.engine.next_issue()?;
+        Some(match issue.kind {
+            IssueKind::Data => {
+                let token = self.token(Pending::SabreData {
+                    slot: issue.slot,
+                    block_index: issue.block_index,
+                });
+                R2p2Action::MemRead {
+                    token,
+                    block: issue.block,
+                    kind: ReadKind::SabreData,
+                }
+            }
+            IssueKind::Validate => {
+                let token = self.token(Pending::SabreValidate { slot: issue.slot });
+                R2p2Action::MemRead {
+                    token,
+                    block: issue.block,
+                    kind: ReadKind::SabreValidate,
+                }
+            }
+            IssueKind::LockAcquire => {
+                let entry = self
+                    .engine
+                    .entry(issue.slot)
+                    .expect("lock acquire for live slot");
+                let version_addr = entry.version_addr();
+                let token = self.token(Pending::SabreLock { slot: issue.slot });
+                R2p2Action::LockRmw {
+                    token,
+                    version_addr,
+                }
+            }
+            IssueKind::LockRelease => {
+                // Pulling the release frees the slot; parked SABRes can run.
+                let version_addr = issue.block.first_byte();
+                self.try_unpark();
+                R2p2Action::LockRelease { version_addr }
+            }
+        })
+    }
+
+    /// Completes a memory read issued earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens (wiring bug).
+    pub fn on_mem_reply(&mut self, token: MemToken, data: Block) -> Vec<R2p2Action> {
+        let pending = self
+            .pending
+            .remove(&token.0)
+            .unwrap_or_else(|| panic!("unknown memory token {token:?}"));
+        match pending {
+            Pending::PlainRead {
+                reply_node,
+                reply_pipe,
+                transfer,
+                block_index,
+            } => vec![R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: reply_node,
+                dst_pipe: reply_pipe,
+                kind: PacketKind::ReadReply {
+                    transfer,
+                    block_index,
+                    data,
+                },
+            })],
+            Pending::SabreData { slot, block_index } => {
+                let route = self.routes[&slot.0];
+                let mut out = vec![R2p2Action::Send(Packet {
+                    src_node: self.node,
+                    src_pipe: self.pipe,
+                    dst_node: route.node,
+                    dst_pipe: route.pipe,
+                    kind: PacketKind::SabreReply {
+                        transfer: route.transfer,
+                        block_index,
+                        data,
+                    },
+                })];
+                let actions = self.engine.on_block_reply(slot, block_index, &data.0);
+                self.extend_with_completions(&mut out, actions);
+                out
+            }
+            Pending::SabreValidate { slot } => {
+                let mut out = Vec::new();
+                let actions = self.engine.on_validate_reply(slot, &data.0);
+                self.extend_with_completions(&mut out, actions);
+                out
+            }
+            Pending::WriteApply { .. } => panic!("write token completed as a read"),
+            Pending::SabreLock { .. } => panic!("lock token completed as a read"),
+            Pending::CasApply { .. } | Pending::UnlockApply { .. } => {
+                panic!("CAS/unlock token completed as a read")
+            }
+        }
+    }
+
+    /// Completes a remote write-lock CAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens.
+    pub fn on_cas_done(&mut self, token: MemToken, acquired: bool) -> Vec<R2p2Action> {
+        match self.pending.remove(&token.0) {
+            Some(Pending::CasApply {
+                reply_node,
+                reply_pipe,
+                transfer,
+            }) => vec![R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: reply_node,
+                dst_pipe: reply_pipe,
+                kind: PacketKind::CasReply { transfer, acquired },
+            })],
+            other => panic!("CAS completion for non-CAS token: {other:?}"),
+        }
+    }
+
+    /// Completes a remote unlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens.
+    pub fn on_unlock_done(&mut self, token: MemToken) -> Vec<R2p2Action> {
+        match self.pending.remove(&token.0) {
+            Some(Pending::UnlockApply {
+                reply_node,
+                reply_pipe,
+                transfer,
+            }) => vec![R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: reply_node,
+                dst_pipe: reply_pipe,
+                kind: PacketKind::UnlockAck { transfer },
+            })],
+            other => panic!("unlock completion for non-unlock token: {other:?}"),
+        }
+    }
+
+    /// Completes a one-sided write.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens.
+    pub fn on_mem_write_done(&mut self, token: MemToken) -> Vec<R2p2Action> {
+        match self.pending.remove(&token.0) {
+            Some(Pending::WriteApply {
+                reply_node,
+                reply_pipe,
+                transfer,
+                block_index,
+            }) => vec![R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: reply_node,
+                dst_pipe: reply_pipe,
+                kind: PacketKind::WriteAck {
+                    transfer,
+                    block_index,
+                },
+            })],
+            other => panic!("write completion for non-write token: {other:?}"),
+        }
+    }
+
+    /// Completes a reader-lock acquire RMW.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown tokens.
+    pub fn on_lock_reply(&mut self, token: MemToken, acquired: bool) -> Vec<R2p2Action> {
+        match self.pending.remove(&token.0) {
+            Some(Pending::SabreLock { slot }) => {
+                let mut out = Vec::new();
+                let actions = self.engine.on_lock_reply(slot, acquired);
+                self.extend_with_completions(&mut out, actions);
+                out
+            }
+            other => panic!("lock completion for non-lock token: {other:?}"),
+        }
+    }
+
+    /// Delivers a coherence invalidation to the engine's stream buffers.
+    pub fn on_invalidation(&mut self, block: BlockAddr) {
+        self.engine.on_invalidation(block);
+    }
+
+    fn extend_with_completions(&mut self, out: &mut Vec<R2p2Action>, actions: Vec<Action>) {
+        for action in actions {
+            let Action::Complete { slot, id, atomic } = action;
+            let route = self
+                .routes
+                .remove(&slot.0)
+                .unwrap_or_else(|| panic!("completion for routeless slot of {id}"));
+            out.push(R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: route.node,
+                dst_pipe: route.pipe,
+                kind: PacketKind::SabreValidation {
+                    transfer: route.transfer,
+                    atomic,
+                },
+            }));
+            self.try_unpark();
+        }
+    }
+}
+
+/// Convenience: the blocks a registration spans (used by tests).
+pub fn sabre_blocks(base: Addr, size_bytes: u32) -> BlockRange {
+    BlockRange::covering(base, size_bytes as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_mem::BLOCK_BYTES;
+
+    fn req(kind: PacketKind) -> Packet {
+        Packet {
+            src_node: 0,
+            src_pipe: 1,
+            dst_node: 1,
+            dst_pipe: 0,
+            kind,
+        }
+    }
+
+    fn block_with_version(v: u64) -> Block {
+        let mut b = [0u8; BLOCK_BYTES];
+        b[..8].copy_from_slice(&v.to_le_bytes());
+        Block(b)
+    }
+
+    fn sabre_packets(transfer: u32, base: u64, size: u32) -> Vec<Packet> {
+        let mut v = vec![req(PacketKind::SabreReg {
+            transfer,
+            base: Addr::new(base),
+            size_bytes: size,
+            version_offset: 0,
+        })];
+        for i in 0..BlockRange::covering(Addr::new(base), size as u64).block_count() {
+            v.push(req(PacketKind::SabreReadReq {
+                transfer,
+                block_index: i as u32,
+            }));
+        }
+        v
+    }
+
+    #[test]
+    fn plain_read_round_trip() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.on_packet(&req(PacketKind::ReadReq {
+            addr: Addr::new(128),
+            transfer: 5,
+            block_index: 0,
+        }));
+        let issue = r.next_issue().expect("read queued");
+        let R2p2Action::MemRead { token, block, kind } = issue else {
+            panic!("expected MemRead, got {issue:?}");
+        };
+        assert_eq!(block, BlockAddr::from_index(2));
+        assert_eq!(kind, ReadKind::Plain);
+        let out = r.on_mem_reply(token, Block([9; BLOCK_BYTES]));
+        assert_eq!(out.len(), 1);
+        let R2p2Action::Send(reply) = out[0] else {
+            panic!("expected Send");
+        };
+        assert_eq!(reply.dst_node, 0);
+        assert_eq!(reply.dst_pipe, 1);
+        assert!(matches!(
+            reply.kind,
+            PacketKind::ReadReply {
+                transfer: 5,
+                block_index: 0,
+                ..
+            }
+        ));
+        assert_eq!(r.stats().plain_reads, 1);
+    }
+
+    #[test]
+    fn sabre_full_round_trip() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        for pkt in sabre_packets(7, 0, 128) {
+            r.on_packet(&pkt);
+        }
+        // Two data issues.
+        let mut tokens = Vec::new();
+        while let Some(a) = r.next_issue() {
+            let R2p2Action::MemRead { token, kind, .. } = a else {
+                panic!("expected MemRead, got {a:?}");
+            };
+            assert_eq!(kind, ReadKind::SabreData);
+            tokens.push(token);
+        }
+        assert_eq!(tokens.len(), 2);
+        let out0 = r.on_mem_reply(tokens[0], block_with_version(2));
+        assert_eq!(out0.len(), 1, "payload forwarded immediately");
+        let out1 = r.on_mem_reply(tokens[1], Block::ZERO);
+        assert_eq!(out1.len(), 2, "last payload + validation");
+        let R2p2Action::Send(val) = out1[1] else {
+            panic!()
+        };
+        assert_eq!(
+            val.kind,
+            PacketKind::SabreValidation {
+                transfer: 7,
+                atomic: true
+            }
+        );
+    }
+
+    #[test]
+    fn att_overflow_parks_and_unparks() {
+        let cfg = LightSabresConfig {
+            stream_buffers: 1,
+            ..LightSabresConfig::default()
+        };
+        let mut r = R2p2::new(1, 0, cfg);
+        for pkt in sabre_packets(1, 0, 64) {
+            r.on_packet(&pkt);
+        }
+        for pkt in sabre_packets(2, 4096, 64) {
+            r.on_packet(&pkt);
+        }
+        assert_eq!(r.stats().sabres_parked, 1);
+        // Only SABRe 1's block issues.
+        let R2p2Action::MemRead { token, block, .. } = r.next_issue().unwrap() else {
+            panic!()
+        };
+        assert_eq!(block, BlockAddr::from_index(0));
+        assert!(r.next_issue().is_none(), "SABRe 2 is parked");
+        // Completing SABRe 1 unparks SABRe 2, replaying its request.
+        let out = r.on_mem_reply(token, block_with_version(0));
+        assert_eq!(out.len(), 2);
+        let R2p2Action::MemRead { block, .. } = r.next_issue().unwrap() else {
+            panic!()
+        };
+        assert_eq!(block, BlockAddr::from_index(64));
+        assert_eq!(r.stats().sabres_registered, 2);
+    }
+
+    #[test]
+    fn one_sided_write_acks() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.on_packet(&req(PacketKind::WriteReq {
+            addr: Addr::new(0),
+            transfer: 3,
+            block_index: 0,
+            data: Block([1; BLOCK_BYTES]),
+        }));
+        let R2p2Action::MemWrite { token, .. } = r.next_issue().unwrap() else {
+            panic!()
+        };
+        let out = r.on_mem_write_done(token);
+        let R2p2Action::Send(ack) = out[0] else { panic!() };
+        assert!(matches!(ack.kind, PacketKind::WriteAck { transfer: 3, .. }));
+    }
+
+    #[test]
+    fn cas_and_unlock_round_trip() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.on_packet(&req(PacketKind::CasReq {
+            addr: Addr::new(0),
+            transfer: 4,
+        }));
+        let R2p2Action::WriterCas { token, version_addr } = r.next_issue().unwrap() else {
+            panic!("expected WriterCas");
+        };
+        assert_eq!(version_addr, Addr::new(0));
+        let out = r.on_cas_done(token, true);
+        let R2p2Action::Send(rep) = out[0] else { panic!() };
+        assert_eq!(
+            rep.kind,
+            PacketKind::CasReply {
+                transfer: 4,
+                acquired: true
+            }
+        );
+        r.on_packet(&req(PacketKind::UnlockReq {
+            addr: Addr::new(0),
+            transfer: 5,
+        }));
+        let R2p2Action::WriterUnlock { token, .. } = r.next_issue().unwrap() else {
+            panic!("expected WriterUnlock");
+        };
+        let out = r.on_unlock_done(token);
+        let R2p2Action::Send(rep) = out[0] else { panic!() };
+        assert_eq!(rep.kind, PacketKind::UnlockAck { transfer: 5 });
+    }
+
+    #[test]
+    fn invalidation_reaches_engine() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        for pkt in sabre_packets(1, 0, 128) {
+            r.on_packet(&pkt);
+        }
+        let t0 = match r.next_issue().unwrap() {
+            R2p2Action::MemRead { token, .. } => token,
+            a => panic!("{a:?}"),
+        };
+        let t1 = match r.next_issue().unwrap() {
+            R2p2Action::MemRead { token, .. } => token,
+            a => panic!("{a:?}"),
+        };
+        // Reply for block 1 first, then a conflicting invalidation.
+        r.on_mem_reply(t1, Block::ZERO);
+        r.on_invalidation(BlockAddr::from_index(1));
+        let out = r.on_mem_reply(t0, block_with_version(0));
+        let R2p2Action::Send(val) = out[1] else { panic!() };
+        assert_eq!(
+            val.kind,
+            PacketKind::SabreValidation {
+                transfer: 1,
+                atomic: false
+            }
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Packet formats of the (extended) soNUMA transport.
+//!
+//! All data packets carry exactly one cache block — source unrolling
+//! guarantees it. §5.2 adds two packet types for SABRes: the registration
+//! packet and the payload-free validation packet.
+
+use sabre_mem::{Addr, BLOCK_BYTES};
+
+/// A node index within the rack.
+pub type NodeId = u8;
+
+/// An RMC backend pipeline index within a node (Fig. 6: replicated across
+/// the chip edge).
+pub type PipeId = u8;
+
+/// One cache block of payload.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Block(pub [u8; BLOCK_BYTES]);
+
+impl Block {
+    /// An all-zero block.
+    pub const ZERO: Block = Block([0; BLOCK_BYTES]);
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print only a prefix; full 64-byte dumps drown test output.
+        write!(
+            f,
+            "Block({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::ZERO
+    }
+}
+
+impl From<[u8; BLOCK_BYTES]> for Block {
+    fn from(b: [u8; BLOCK_BYTES]) -> Self {
+        Block(b)
+    }
+}
+
+/// The payload-relevant content of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// One-sided read request for a single cache block.
+    ReadReq {
+        /// Remote (destination-local) address of the block.
+        addr: Addr,
+        /// Source transfer this block belongs to.
+        transfer: u32,
+        /// Block index within the transfer.
+        block_index: u32,
+    },
+    /// Reply carrying one block of data.
+    ReadReply {
+        /// Transfer the reply belongs to.
+        transfer: u32,
+        /// Block index within the transfer.
+        block_index: u32,
+        /// The data.
+        data: Block,
+    },
+    /// One-sided write request carrying one block.
+    WriteReq {
+        /// Remote address of the block.
+        addr: Addr,
+        /// Source transfer.
+        transfer: u32,
+        /// Block index within the transfer.
+        block_index: u32,
+        /// The data to write.
+        data: Block,
+    },
+    /// Acknowledgment of one written block.
+    WriteAck {
+        /// Transfer the ack belongs to.
+        transfer: u32,
+        /// Block index within the transfer.
+        block_index: u32,
+    },
+    /// SABRe registration (§5.2): precedes the data requests and carries
+    /// the SABRe's geometry so the destination R2P2 can allocate an ATT
+    /// entry.
+    SabreReg {
+        /// Source transfer id.
+        transfer: u32,
+        /// Object base address at the destination.
+        base: Addr,
+        /// Total SABRe size in bytes.
+        size_bytes: u32,
+        /// Offset of the version word within the first block.
+        version_offset: u32,
+    },
+    /// One data request of a registered SABRe.
+    SabreReadReq {
+        /// Source transfer id.
+        transfer: u32,
+        /// Block index within the SABRe.
+        block_index: u32,
+    },
+    /// Reply carrying one block of SABRe data.
+    SabreReply {
+        /// Source transfer id.
+        transfer: u32,
+        /// Block index within the SABRe.
+        block_index: u32,
+        /// The data.
+        data: Block,
+    },
+    /// The final, payload-free packet of every SABRe (§5.2), reporting
+    /// atomicity success or failure.
+    SabreValidation {
+        /// Source transfer id.
+        transfer: u32,
+        /// Whether the read was atomic.
+        atomic: bool,
+    },
+    /// Remote compare-and-swap acquiring an object's write lock: flips the
+    /// version word from even (free) to odd (held). The cache-block-sized
+    /// atomic the paper notes RDMA offers (§2) and DrTM-style source
+    /// locking builds on.
+    CasReq {
+        /// Remote address of the version/lock word.
+        addr: Addr,
+        /// Source transfer id.
+        transfer: u32,
+    },
+    /// Outcome of a [`PacketKind::CasReq`].
+    CasReply {
+        /// Source transfer id.
+        transfer: u32,
+        /// Whether the lock was acquired.
+        acquired: bool,
+    },
+    /// Remote unlock: advances the odd version word to the next even value.
+    UnlockReq {
+        /// Remote address of the version/lock word.
+        addr: Addr,
+        /// Source transfer id.
+        transfer: u32,
+    },
+    /// Acknowledgment of an [`PacketKind::UnlockReq`].
+    UnlockAck {
+        /// Source transfer id.
+        transfer: u32,
+    },
+    /// An RPC request (FaRM sends writes to the data owner over RPCs). The
+    /// payload is opaque to the transport.
+    RpcReq {
+        /// Caller-assigned request tag.
+        tag: u64,
+        /// Payload size in bytes (for wire accounting).
+        bytes: u32,
+    },
+    /// An RPC response.
+    RpcReply {
+        /// Tag of the request being answered.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+}
+
+impl PacketKind {
+    /// Payload bytes this packet adds on the wire (the fabric model adds a
+    /// fixed per-packet header on top).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            PacketKind::ReadReq { .. } | PacketKind::SabreReadReq { .. } => 8,
+            PacketKind::ReadReply { .. }
+            | PacketKind::SabreReply { .. }
+            | PacketKind::WriteReq { .. } => BLOCK_BYTES as u64,
+            PacketKind::WriteAck { .. } => 4,
+            PacketKind::CasReq { .. } => 16,
+            PacketKind::CasReply { .. } | PacketKind::UnlockAck { .. } => 4,
+            PacketKind::UnlockReq { .. } => 8,
+            PacketKind::SabreReg { .. } => 16,
+            PacketKind::SabreValidation { .. } => 4,
+            PacketKind::RpcReq { bytes, .. } | PacketKind::RpcReply { bytes, .. } => {
+                *bytes as u64
+            }
+        }
+    }
+}
+
+/// A routed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Originating node.
+    pub src_node: NodeId,
+    /// Originating RMC backend (replies return to its paired RCP).
+    pub src_pipe: PipeId,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Destination pipeline (R2P2 for requests, RCP for replies).
+    pub dst_pipe: PipeId,
+    /// Content.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// The reply skeleton for a request packet: swaps the endpoints so the
+    /// reply returns to the requester's paired completion pipeline.
+    pub fn reply_to(&self, kind: PacketKind) -> Packet {
+        Packet {
+            src_node: self.dst_node,
+            src_pipe: self.dst_pipe,
+            dst_node: self.src_node,
+            dst_pipe: self.src_pipe,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        let req = PacketKind::ReadReq {
+            addr: Addr::new(0),
+            transfer: 1,
+            block_index: 0,
+        };
+        assert_eq!(req.payload_bytes(), 8);
+        let rep = PacketKind::ReadReply {
+            transfer: 1,
+            block_index: 0,
+            data: Block::ZERO,
+        };
+        assert_eq!(rep.payload_bytes(), 64);
+        assert_eq!(
+            PacketKind::SabreValidation {
+                transfer: 1,
+                atomic: true
+            }
+            .payload_bytes(),
+            4
+        );
+        assert_eq!(PacketKind::RpcReq { tag: 0, bytes: 300 }.payload_bytes(), 300);
+    }
+
+    #[test]
+    fn reply_routing_swaps_endpoints() {
+        let req = Packet {
+            src_node: 0,
+            src_pipe: 2,
+            dst_node: 1,
+            dst_pipe: 3,
+            kind: PacketKind::SabreReadReq {
+                transfer: 7,
+                block_index: 0,
+            },
+        };
+        let rep = req.reply_to(PacketKind::SabreValidation {
+            transfer: 7,
+            atomic: true,
+        });
+        assert_eq!(rep.src_node, 1);
+        assert_eq!(rep.src_pipe, 3);
+        assert_eq!(rep.dst_node, 0);
+        assert_eq!(rep.dst_pipe, 2);
+    }
+
+    #[test]
+    fn block_debug_is_compact() {
+        let b = Block([0xAB; BLOCK_BYTES]);
+        assert_eq!(format!("{b:?}"), "Block(abababab…)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Source-side remote locking (DrTM-style), the top-left quadrant of
+//! Table 1.
+//!
+//! A reader that wants an atomic remote object read under this scheme pays:
+//!
+//! 1. a one-sided **remote CAS** on the object's lock word (one full network
+//!    roundtrip) to acquire the lock;
+//! 2. the one-sided **data read** itself;
+//! 3. a one-sided **unlock write** — fired asynchronously, so it adds
+//!    occupancy but not latency.
+//!
+//! The paper's two criticisms are both observable here: the extra roundtrip
+//! (vs. SABRes' zero) and the fault-tolerance coupling (a crashed reader
+//! leaves the lock held — represented by an unreleased lock in simulated
+//! memory). The lease variant bounds that exposure at the cost of
+//! clock-skew sensitivity, modeled as an expiry timestamp.
+
+use sabre_mem::{Addr, NodeMemory};
+use sabre_sim::Time;
+
+use crate::version::VersionWord;
+
+/// Outcome of a remote CAS on a lock word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The lock was acquired.
+    Acquired,
+    /// The word did not match (someone else holds the lock).
+    Contended,
+}
+
+/// Performs the remote CAS a DrTM-style reader sends: atomically flips the
+/// version word from even (free) to odd (held). Executed at a single
+/// simulated instant at the destination's memory.
+pub fn remote_cas_lock(mem: &mut NodeMemory, version_addr: Addr) -> CasOutcome {
+    let v = VersionWord::load(mem, version_addr);
+    if v.is_locked() {
+        return CasOutcome::Contended;
+    }
+    v.locked().store(mem, version_addr);
+    CasOutcome::Acquired
+}
+
+/// The matching unlock: flips the word back to even, *advancing* the
+/// version so that optimistic readers racing the locked section retry.
+///
+/// # Panics
+///
+/// Panics if the lock is not held (protocol bug).
+pub fn remote_unlock(mem: &mut NodeMemory, version_addr: Addr) {
+    let v = VersionWord::load(mem, version_addr);
+    v.unlocked().store(mem, version_addr);
+}
+
+/// A lease lock: a lock acquisition that self-expires, the DrTM answer to
+/// the deadlock-on-failure problem. Sensitive to clock skew between the
+/// machines — [`LeaseLock::is_valid_at`] takes the *local* clock, and a
+/// skewed holder may believe the lease valid while the destination has
+/// already re-granted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseLock {
+    /// When the lease was granted (destination clock).
+    pub granted_at: Time,
+    /// Lease duration.
+    pub duration: Time,
+}
+
+impl LeaseLock {
+    /// Grants a lease at `now` for `duration`.
+    pub fn grant(now: Time, duration: Time) -> Self {
+        LeaseLock {
+            granted_at: now,
+            duration,
+        }
+    }
+
+    /// Expiry instant (destination clock).
+    pub fn expires_at(&self) -> Time {
+        self.granted_at + self.duration
+    }
+
+    /// Whether the lease is still valid at `local_now + skew`: a holder
+    /// whose clock runs behind the grantor's by `skew` believes the lease
+    /// lasts longer than it does.
+    pub fn is_valid_at(&self, local_now: Time, skew: Time) -> bool {
+        local_now + skew < self.expires_at()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_lock_unlock_cycle() {
+        let mut mem = NodeMemory::new(256);
+        let va = Addr::new(0);
+        assert_eq!(remote_cas_lock(&mut mem, va), CasOutcome::Acquired);
+        assert_eq!(remote_cas_lock(&mut mem, va), CasOutcome::Contended);
+        remote_unlock(&mut mem, va);
+        // Version advanced past the critical section: 0 → 1 → 2.
+        assert_eq!(VersionWord::load(&mem, va).raw(), 2);
+        assert_eq!(remote_cas_lock(&mut mem, va), CasOutcome::Acquired);
+    }
+
+    #[test]
+    #[should_panic(expected = "not locked")]
+    fn unlock_free_lock_panics() {
+        let mut mem = NodeMemory::new(256);
+        remote_unlock(&mut mem, Addr::new(0));
+    }
+
+    #[test]
+    fn lease_expiry() {
+        let lease = LeaseLock::grant(Time::from_us(10), Time::from_us(5));
+        assert!(lease.is_valid_at(Time::from_us(12), Time::ZERO));
+        assert!(!lease.is_valid_at(Time::from_us(15), Time::ZERO));
+    }
+
+    #[test]
+    fn clock_skew_shrinks_effective_lease() {
+        let lease = LeaseLock::grant(Time::ZERO, Time::from_us(10));
+        // With 4 us of skew the holder must stop 4 us early.
+        assert!(lease.is_valid_at(Time::from_us(5), Time::from_us(4)));
+        assert!(!lease.is_valid_at(Time::from_us(7), Time::from_us(4)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the software atomicity layouts: round trips preserve
+//! payloads exactly, and *any* single-byte corruption of the protected
+//! region is detected.
+
+use proptest::prelude::*;
+
+use sabre_sw::layout::{AtomicityViolation, PerClLayout};
+use sabre_sw::{crc64_ecma, ChecksumLayout, VersionWord};
+
+proptest! {
+    #[test]
+    fn percl_round_trip_preserves_payload(
+        payload in proptest::collection::vec(any::<u8>(), 1..4096),
+        version in (0u64..1_000_000).prop_map(|v| v * 2), // even
+    ) {
+        let image = PerClLayout::encode(VersionWord::new(version), &payload);
+        prop_assert_eq!(image.len() % 64, 0);
+        let out = PerClLayout::validate_and_strip(&image, payload.len()).unwrap();
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn percl_detects_any_stamp_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 57..4096),
+        version in (1u64..1_000_000).prop_map(|v| v * 2),
+        line_sel in any::<u64>(),
+    ) {
+        let mut image = PerClLayout::encode(VersionWord::new(version), &payload);
+        let lines = image.len() / 64;
+        // Corrupt one stamp (any line, incl. the header): must be caught.
+        let line = (line_sel % lines as u64) as usize;
+        image[line * 64] ^= 0x01;
+        prop_assert!(PerClLayout::validate_and_strip(&image, payload.len()).is_err());
+    }
+
+    #[test]
+    fn percl_odd_header_always_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..1024),
+        version in (0u64..1_000_000).prop_map(|v| v * 2 + 1), // odd
+    ) {
+        let image = PerClLayout::encode(VersionWord::new(version), &payload);
+        prop_assert_eq!(
+            PerClLayout::validate_and_strip(&image, payload.len()),
+            Err(AtomicityViolation::WriterInProgress)
+        );
+    }
+
+    #[test]
+    fn checksum_round_trip_and_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..4096),
+        flip_at in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let image = ChecksumLayout::encode(0, &payload);
+        prop_assert_eq!(
+            ChecksumLayout::validate(&image, payload.len()).unwrap(),
+            &payload[..]
+        );
+        // Flip one payload bit: the CRC must catch it.
+        let mut torn = image.clone();
+        let pos = 16 + (flip_at % payload.len() as u64) as usize;
+        torn[pos] ^= 1 << flip_bit;
+        prop_assert!(ChecksumLayout::validate(&torn, payload.len()).is_err());
+    }
+
+    #[test]
+    fn crc64_is_a_function_and_detects_swaps(
+        a in proptest::collection::vec(any::<u8>(), 2..512),
+    ) {
+        prop_assert_eq!(crc64_ecma(&a), crc64_ecma(&a));
+        // Swapping two different bytes changes the CRC.
+        let mut b = a.clone();
+        if b[0] != b[1] {
+            b.swap(0, 1);
+            prop_assert_ne!(crc64_ecma(&a), crc64_ecma(&b));
+        }
+    }
+
+    #[test]
+    fn odd_even_protocol_linearizes(
+        rounds in 1u64..50,
+    ) {
+        let mut v = VersionWord::new(0);
+        for _ in 0..rounds {
+            v = v.locked();
+            prop_assert!(v.is_locked());
+            v = v.unlocked();
+            prop_assert!(!v.is_locked());
+        }
+        prop_assert_eq!(v.raw(), rounds * 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Conflict handling policies under write pressure.
+//!
+//! §5.1: the hardware never retries a failed SABRe — atomicity failures are
+//! exposed through the Completion Queue and *software* picks the policy.
+//! This example pits three policies against a hot, write-heavy object set:
+//! immediate retry, exponential-style fixed backoff, and a long backoff.
+//!
+//! ```text
+//! cargo run --release --example conflict_retry
+//! ```
+
+use sabres::prelude::*;
+
+fn run_policy(label: &str, backoff: Time) {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+
+    // A small, hot store: 32 × 2 KB objects, all LLC-resident, with four
+    // aggressive writers (CREW) — a conflict-heavy regime.
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 2048, 32);
+    store.init(cluster.node_memory_mut(1));
+    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let wire = StoreLayout::Clean.object_bytes(2048) as u32;
+
+    for core in 0..8 {
+        cluster.add_workload(
+            0,
+            core,
+            Box::new(
+                SyncReader::endless(1, store.object_addrs(), 2048, ReadMechanism::Sabre)
+                    .with_wire(wire)
+                    .with_consume()
+                    .with_backoff(backoff),
+            ),
+        );
+    }
+    let entries = store.object_entries();
+    for (w, chunk) in entries.chunks(8).enumerate() {
+        cluster.add_workload(
+            1,
+            w,
+            Box::new(Writer::new(
+                chunk.to_vec(),
+                2048,
+                WriterLayout::Clean,
+                Time::ZERO,
+            )),
+        );
+    }
+
+    cluster.run_for(Time::from_us(300));
+    let m = cluster.node_metrics(0);
+    println!(
+        "{label:<18} {:>7.2} GB/s   abort rate {:>5.1}%   {} reads / {} retries",
+        m.gbps(cluster.now()),
+        m.abort_rate() * 100.0,
+        m.ops,
+        m.retries
+    );
+}
+
+fn main() {
+    println!("8 readers vs 4 continuous writers on 32 hot objects:\n");
+    run_policy("immediate retry", Time::ZERO);
+    run_policy("backoff 500 ns", Time::from_ns(500));
+    run_policy("backoff 2 us", Time::from_us(2));
+    println!(
+        "\nImmediate retry keeps goodput highest here (aborted SABRes waste\n\
+         fabric bandwidth but the reader loses no time); longer backoffs cut\n\
+         the abort rate instead — the trade §5.1 leaves to the application."
+    );
+}

@@ -1,0 +1,74 @@
+//! # sabres — atomic object reads for in-memory rack-scale computing
+//!
+//! A from-scratch Rust reproduction of **"SABRes: Atomic Object Reads for
+//! In-Memory Rack-Scale Computing"** (Daglis, Ustiugov, Novaković, Bugnion,
+//! Falsafi, Grot — MICRO 2016): the **LightSABRes** destination-side
+//! hardware engine for multi-cache-block atomic one-sided reads, the
+//! **Scale-Out NUMA** substrate it plugs into, the software atomicity
+//! mechanisms it replaces (FaRM per-cache-line versions, Pilaf checksums,
+//! DrTM remote locking), and a FaRM-like key-value store — all runnable
+//! inside a deterministic discrete-event simulation of the paper's two-node
+//! rack.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `sabre-core` | the paper's contribution: stream buffers, ATT, the LightSABRes engine |
+//! | [`sonuma`] | `sabre-sonuma` | WQ/CQ, RGP/RCP/R2P2 pipelines, wire protocol |
+//! | [`rack`] | `sabre-rack` | the simulated cluster and workload programs |
+//! | [`farm`] | `sabre-farm` | object store, KV store, FaRM read/write paths |
+//! | [`sw`] | `sabre-sw` | software atomicity layouts and the CPU cost model |
+//! | [`mem`] | `sabre-mem` | functional memory, LLC model, DRAM timing |
+//! | [`fabric`] | `sabre-fabric` | on-chip mesh and inter-node fabric |
+//! | [`sim`] | `sabre-sim` | event queue, virtual time, statistics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sabres::prelude::*;
+//!
+//! // A two-node Table-2 rack with a 100-object clean-layout store on node 1.
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 128, 100);
+//! store.init(cluster.node_memory_mut(1));
+//!
+//! // One core on node 0 reads objects atomically with SABRes.
+//! cluster.add_workload(
+//!     0, 0,
+//!     Box::new(SyncReader::endless(1, store.object_addrs(), 128, ReadMechanism::Sabre)
+//!         .with_wire(StoreLayout::Clean.object_bytes(128) as u32)),
+//! );
+//! cluster.run_for(Time::from_us(20));
+//! assert!(cluster.metrics(0, 0).ops > 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use sabre_core as core;
+pub use sabre_fabric as fabric;
+pub use sabre_farm as farm;
+pub use sabre_mem as mem;
+pub use sabre_rack as rack;
+pub use sabre_sim as sim;
+pub use sabre_sonuma as sonuma;
+pub use sabre_sw as sw;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sabre_core::{CcMode, LightSabres, LightSabresConfig, SpecMode};
+    pub use sabre_farm::{
+        FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore, RpcWriteServer, RpcWriter,
+        StoreLayout,
+    };
+    pub use sabre_mem::{Addr, BlockAddr, NodeMemory, BLOCK_BYTES};
+    pub use sabre_rack::workloads::{
+        pattern_payload, verify_payload, AsyncReader, SourceLockingReader, SyncReader, Writer,
+        WriterLayout,
+    };
+    pub use sabre_rack::{Cluster, ClusterConfig, CoreApi, Phase, ReadMechanism, Workload};
+    pub use sabre_sim::{SimRng, Time};
+    pub use sabre_sonuma::{CqEntry, OpKind};
+    pub use sabre_sw::{CleanLayout, CpuCostModel, PerClLayout, VersionWord};
+}

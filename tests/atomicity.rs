@@ -1,0 +1,303 @@
+//! End-to-end atomicity soundness: the paper's core guarantee, checked on
+//! the full simulated system.
+//!
+//! **Invariant**: any read that completes as *atomic* — whether checked by
+//! LightSABRes in hardware (OCC or locking, speculative or not) or by the
+//! software mechanisms (per-CL versions, checksums) — returns bytes equal
+//! to a single committed snapshot of the object, under racing writers.
+//!
+//! Writers store recognizable patterns ([`pattern_payload`]); a read is a
+//! consistent snapshot iff [`verify_payload`] accepts it. The verifying
+//! reader asserts this on *every* successful completion, so any torn read
+//! that slips past an atomicity mechanism fails the test immediately.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sabres::prelude::*;
+
+/// Counts verified/torn/aborted reads, shared with the reader workload.
+#[derive(Debug, Default)]
+struct Outcome {
+    verified: u64,
+    torn: u64,
+    aborts: u64,
+}
+
+/// A reader that cross-checks every "atomic" completion against the
+/// writer pattern.
+struct CheckedReader {
+    mech: ReadMechanism,
+    store: ObjectStore,
+    outcome: Rc<RefCell<Outcome>>,
+    cur_obj: u64,
+}
+
+impl CheckedReader {
+    fn new(mech: ReadMechanism, store: ObjectStore, outcome: Rc<RefCell<Outcome>>) -> Self {
+        CheckedReader {
+            mech,
+            store,
+            outcome,
+            cur_obj: 0,
+        }
+    }
+
+    fn wire(&self) -> u32 {
+        self.store.slot_bytes() as u32
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        Addr::new(api.config().memory_bytes as u64 / 2 + api.core() as u64 * 64 * 1024)
+    }
+
+    fn issue(&mut self, api: &mut CoreApi<'_>) {
+        self.cur_obj = api.rng().below(self.store.n_objects());
+        let addr = self.store.object_addr(self.cur_obj);
+        let buf = self.buf(api);
+        let wire = self.wire();
+        api.issue(self.mech.op(), self.store.node(), addr, buf, wire, 0);
+    }
+
+    /// Validates the image under the mechanism; `Some(payload)` when the
+    /// mechanism declares the read atomic.
+    fn extract(&self, image: &[u8]) -> Option<Vec<u8>> {
+        let payload = self.store.payload() as usize;
+        match self.mech {
+            ReadMechanism::Sabre => Some(CleanLayout::payload_of(image, payload).to_vec()),
+            ReadMechanism::PerClValidate { .. } => {
+                PerClLayout::validate_and_strip(image, payload).ok()
+            }
+            ReadMechanism::ChecksumValidate { .. } => {
+                sabres::sw::ChecksumLayout::validate(image, payload)
+                    .ok()
+                    .map(<[u8]>::to_vec)
+            }
+            ReadMechanism::Raw => unreachable!("raw reads claim no atomicity"),
+        }
+    }
+}
+
+impl Workload for CheckedReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.issue(api);
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        let mut o = self.outcome.borrow_mut();
+        if cq.success {
+            let image = api.read_local(self.buf(api), self.wire() as usize);
+            match self.extract(&image) {
+                Some(payload) => {
+                    if verify_payload(self.cur_obj, &payload).is_some() {
+                        o.verified += 1;
+                    } else {
+                        o.torn += 1;
+                    }
+                }
+                // The software check itself rejected the image.
+                None => o.aborts += 1,
+            }
+        } else {
+            o.aborts += 1;
+        }
+        drop(o);
+        self.issue(api);
+    }
+}
+
+/// Runs `readers` checked readers against continuous writers for `dur_us`
+/// of simulated time and returns the outcome.
+fn race(
+    mech: ReadMechanism,
+    layout: StoreLayout,
+    writer_layout: WriterLayout,
+    cc_mode: CcMode,
+    spec_mode: SpecMode,
+    payload: u32,
+    seed: u64,
+) -> Outcome {
+    let mut cfg = ClusterConfig::default();
+    cfg.lightsabres.cc_mode = cc_mode;
+    cfg.lightsabres.spec_mode = spec_mode;
+    cfg.seed = seed;
+    let mut cluster = Cluster::new(cfg);
+    let store = ObjectStore::new(1, Addr::new(0), layout, payload, 24);
+    store.init(cluster.node_memory_mut(1));
+    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+
+    let outcome = Rc::new(RefCell::new(Outcome::default()));
+    for core in 0..4 {
+        cluster.add_workload(
+            0,
+            core,
+            Box::new(CheckedReader::new(mech, store.clone(), Rc::clone(&outcome))),
+        );
+    }
+    // Aggressive writers over small CREW subsets maximize conflicts.
+    let entries = store.object_entries();
+    for (w, chunk) in entries.chunks(6).enumerate() {
+        let mut writer = Writer::new(chunk.to_vec(), payload, writer_layout, Time::ZERO);
+        if cc_mode == CcMode::Locking {
+            writer = writer.respecting_reader_locks();
+        }
+        cluster.add_workload(1, w, Box::new(writer));
+    }
+    cluster.run_for(Time::from_us(120));
+    let o = outcome.borrow();
+    Outcome {
+        verified: o.verified,
+        torn: o.torn,
+        aborts: o.aborts,
+    }
+}
+
+fn assert_sound(mech: ReadMechanism, o: &Outcome) {
+    assert_eq!(
+        o.torn, 0,
+        "{mech:?}: {} torn objects delivered as atomic (of {} verified, {} aborts)",
+        o.torn, o.verified, o.aborts
+    );
+    assert!(o.verified > 50, "{mech:?}: too few successes: {o:?}");
+    assert!(
+        o.aborts > 0,
+        "{mech:?}: no conflicts at all — the race harness is not racing: {o:?}"
+    );
+}
+
+#[test]
+fn sabre_occ_speculative_reads_are_never_torn() {
+    for seed in [1, 2, 3] {
+        let o = race(
+            ReadMechanism::Sabre,
+            StoreLayout::Clean,
+            WriterLayout::Clean,
+            CcMode::Occ,
+            SpecMode::Speculative,
+            480,
+            seed,
+        );
+        assert_sound(ReadMechanism::Sabre, &o);
+    }
+}
+
+#[test]
+fn sabre_occ_no_speculation_reads_are_never_torn() {
+    let o = race(
+        ReadMechanism::Sabre,
+        StoreLayout::Clean,
+        WriterLayout::Clean,
+        CcMode::Occ,
+        SpecMode::ReadVersionFirst,
+        480,
+        7,
+    );
+    assert_sound(ReadMechanism::Sabre, &o);
+}
+
+#[test]
+fn sabre_destination_locking_reads_are_never_torn() {
+    let o = race(
+        ReadMechanism::Sabre,
+        StoreLayout::Clean,
+        WriterLayout::Clean,
+        CcMode::Locking,
+        SpecMode::Speculative,
+        480,
+        11,
+    );
+    assert_eq!(o.torn, 0, "locking mode delivered torn objects: {o:?}");
+    assert!(o.verified > 50, "too few successes: {o:?}");
+}
+
+#[test]
+fn sabre_large_objects_are_never_torn() {
+    let o = race(
+        ReadMechanism::Sabre,
+        StoreLayout::Clean,
+        WriterLayout::Clean,
+        CcMode::Occ,
+        SpecMode::Speculative,
+        4000,
+        13,
+    );
+    assert_sound(ReadMechanism::Sabre, &o);
+}
+
+#[test]
+fn percl_validated_reads_are_never_torn() {
+    for seed in [1, 5] {
+        let o = race(
+            ReadMechanism::PerClValidate { payload: 480 },
+            StoreLayout::PerCl,
+            WriterLayout::PerCl,
+            CcMode::Occ,
+            SpecMode::Speculative,
+            480,
+            seed,
+        );
+        assert_sound(ReadMechanism::PerClValidate { payload: 480 }, &o);
+    }
+}
+
+#[test]
+fn raw_reads_do_tear_under_conflict() {
+    // The control experiment: with no atomicity mechanism, the same racing
+    // harness must produce torn reads — otherwise the other tests prove
+    // nothing.
+    let cfg = ClusterConfig {
+        seed: 99,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 8);
+    store.init(cluster.node_memory_mut(1));
+    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let outcome = Rc::new(RefCell::new(Outcome::default()));
+
+    /// Raw variant of the checked reader: counts torn images instead of
+    /// asserting.
+    struct RawReader(CheckedReader);
+    impl Workload for RawReader {
+        fn on_start(&mut self, api: &mut CoreApi<'_>) {
+            self.0.issue(api);
+        }
+        fn on_completion(&mut self, api: &mut CoreApi<'_>, _cq: CqEntry) {
+            let image = api.read_local(self.0.buf(api), self.0.wire() as usize);
+            let payload = CleanLayout::payload_of(&image, 480);
+            let mut o = self.0.outcome.borrow_mut();
+            if verify_payload(self.0.cur_obj, payload).is_some() {
+                o.verified += 1;
+            } else {
+                o.torn += 1;
+            }
+            drop(o);
+            self.0.issue(api);
+        }
+    }
+
+    for core in 0..4 {
+        cluster.add_workload(
+            0,
+            core,
+            Box::new(RawReader(CheckedReader::new(
+                ReadMechanism::Raw,
+                store.clone(),
+                Rc::clone(&outcome),
+            ))),
+        );
+    }
+    for (w, chunk) in store.object_entries().chunks(2).enumerate() {
+        cluster.add_workload(
+            1,
+            w,
+            Box::new(Writer::new(chunk.to_vec(), 480, WriterLayout::Clean, Time::ZERO)),
+        );
+    }
+    cluster.run_for(Time::from_us(120));
+    let o = outcome.borrow();
+    assert!(
+        o.torn > 0,
+        "raw reads never tore — the harness is not generating real races"
+    );
+}
