@@ -15,15 +15,33 @@ const Q: RunOpts = RunOpts { quick: true };
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig1_breakdown", |b| b.iter(|| black_box(ex::fig1::data(Q))));
-    g.bench_function("fig2_race", |b| b.iter(|| black_box(ex::fig2_race::data(Q))));
-    g.bench_function("fig7a_latency", |b| b.iter(|| black_box(ex::fig7a::data(Q))));
-    g.bench_function("fig7b_throughput", |b| b.iter(|| black_box(ex::fig7b::data(Q))));
-    g.bench_function("fig8_conflicts", |b| b.iter(|| black_box(ex::fig8::data(Q))));
-    g.bench_function("fig9a_farm_breakdown", |b| b.iter(|| black_box(ex::fig9a::data(Q))));
-    g.bench_function("fig9b_farm_throughput", |b| b.iter(|| black_box(ex::fig9b::data(Q))));
-    g.bench_function("fig10_local_reads", |b| b.iter(|| black_box(ex::fig10::data(Q))));
-    g.bench_function("table1_design_space", |b| b.iter(|| black_box(ex::table1::data(Q))));
+    g.bench_function("fig1_breakdown", |b| {
+        b.iter(|| black_box(ex::fig1::data(Q)))
+    });
+    g.bench_function("fig2_race", |b| {
+        b.iter(|| black_box(ex::fig2_race::data(Q)))
+    });
+    g.bench_function("fig7a_latency", |b| {
+        b.iter(|| black_box(ex::fig7a::data(Q)))
+    });
+    g.bench_function("fig7b_throughput", |b| {
+        b.iter(|| black_box(ex::fig7b::data(Q)))
+    });
+    g.bench_function("fig8_conflicts", |b| {
+        b.iter(|| black_box(ex::fig8::data(Q)))
+    });
+    g.bench_function("fig9a_farm_breakdown", |b| {
+        b.iter(|| black_box(ex::fig9a::data(Q)))
+    });
+    g.bench_function("fig9b_farm_throughput", |b| {
+        b.iter(|| black_box(ex::fig9b::data(Q)))
+    });
+    g.bench_function("fig10_local_reads", |b| {
+        b.iter(|| black_box(ex::fig10::data(Q)))
+    });
+    g.bench_function("table1_design_space", |b| {
+        b.iter(|| black_box(ex::table1::data(Q)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("ablations");

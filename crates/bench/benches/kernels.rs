@@ -43,7 +43,9 @@ fn bench_engine(c: &mut Criterion) {
                 src_pipe: 0,
                 transfer,
             };
-            let slot = engine.register(id, Addr::new(0), 512, 0).expect("free slot");
+            let slot = engine
+                .register(id, Addr::new(0), 512, 0)
+                .expect("free slot");
             for _ in 0..8 {
                 engine.on_data_request(id).expect("in range");
             }
@@ -61,7 +63,9 @@ fn bench_engine(c: &mut Criterion) {
                 src_pipe: 0,
                 transfer: t,
             };
-            engine.register(id, Addr::new(t as u64 * 4096), 2048, 0).unwrap();
+            engine
+                .register(id, Addr::new(t as u64 * 4096), 2048, 0)
+                .unwrap();
         }
         b.iter(|| engine.on_invalidation(black_box(BlockAddr::from_index(17))))
     });

@@ -71,7 +71,10 @@ pub fn concurrency_sweep(opts: RunOpts) -> Vec<(usize, f64)> {
                 );
             }
             cluster.run_for(duration);
-            (buffers, cluster.node_metrics(0).bytes as f64 / duration.as_ns())
+            (
+                buffers,
+                cluster.node_metrics(0).bytes as f64 / duration.as_ns(),
+            )
         })
         .collect()
 }

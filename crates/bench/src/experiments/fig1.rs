@@ -72,7 +72,14 @@ pub fn data(opts: RunOpts) -> Vec<Point> {
 pub fn run(opts: RunOpts) -> Table {
     let mut t = Table::new(
         "Fig. 1 — E2E latency breakdown, per-CL versions on FaRM/soNUMA",
-        &["size(B)", "transfer", "framework+app", "stripping", "E2E", "strip share"],
+        &[
+            "size(B)",
+            "transfer",
+            "framework+app",
+            "stripping",
+            "E2E",
+            "strip share",
+        ],
     );
     for p in data(opts) {
         t.row(vec![

@@ -156,7 +156,12 @@ pub fn run(opts: RunOpts) -> Table {
     let o = data(opts);
     let mut t = Table::new(
         "Fig. 2 — reader-writer race on a 2-block object (1 writer racing 1 reader)",
-        &["mechanism", "reads", "torn (undetected)", "aborts (detected)"],
+        &[
+            "mechanism",
+            "reads",
+            "torn (undetected)",
+            "aborts (detected)",
+        ],
     );
     t.row(vec![
         "plain remote read".into(),

@@ -61,7 +61,12 @@ pub fn data(opts: RunOpts) -> Vec<Point> {
             size,
             read_ns: measure(size, ReadMechanism::Raw, SpecMode::Speculative, iters),
             sabre_ns: measure(size, ReadMechanism::Sabre, SpecMode::Speculative, iters),
-            nospec_ns: measure(size, ReadMechanism::Sabre, SpecMode::ReadVersionFirst, iters),
+            nospec_ns: measure(
+                size,
+                ReadMechanism::Sabre,
+                SpecMode::ReadVersionFirst,
+                iters,
+            ),
         })
         .collect()
 }
@@ -70,7 +75,13 @@ pub fn data(opts: RunOpts) -> Vec<Point> {
 pub fn run(opts: RunOpts) -> Table {
     let mut t = Table::new(
         "Fig. 7a — transfer latency: remote reads vs LightSABRes vs no-speculation",
-        &["size(B)", "remote read", "LightSABRes", "no-spec", "no-spec penalty"],
+        &[
+            "size(B)",
+            "remote read",
+            "LightSABRes",
+            "no-spec",
+            "no-spec penalty",
+        ],
     );
     for p in data(opts) {
         t.row(vec![

@@ -74,17 +74,8 @@ fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f
         // continuously, an artificial hot spot).
         let entries = store.object_entries();
         for w in 0..writers {
-            let owned: Vec<_> = entries
-                .iter()
-                .copied()
-                .skip(w)
-                .step_by(writers)
-                .collect();
-            cluster.add_workload(
-                1,
-                w,
-                Box::new(Writer::new(owned, size, wl, Time::ZERO)),
-            );
+            let owned: Vec<_> = entries.iter().copied().skip(w).step_by(writers).collect();
+            cluster.add_workload(1, w, Box::new(Writer::new(owned, size, wl, Time::ZERO)));
         }
     }
     cluster.run_for(duration);

@@ -53,7 +53,11 @@ fn measure(size: u32, layout: StoreLayout, iters: u64) -> Breakdown {
     let mut cluster = Cluster::new(ClusterConfig::default());
     let store = build_store(&mut cluster, 1, layout, size, None);
     let kv = KvStore::new(store, 100_000);
-    cluster.add_workload(0, 0, Box::new(FarmReader::endless(kv, FarmCosts::default())));
+    cluster.add_workload(
+        0,
+        0,
+        Box::new(FarmReader::endless(kv, FarmCosts::default())),
+    );
     cluster.run_for(Time::from_us(12 * iters));
     let m = cluster.metrics(0, 0);
     assert!(m.ops >= iters / 2, "too few lookups: {}", m.ops);
@@ -84,7 +88,13 @@ pub fn run(opts: RunOpts) -> Table {
     let mut t = Table::new(
         "Fig. 9a — FaRM KV store E2E latency breakdown: baseline (perCL) vs LightSABRes",
         &[
-            "size(B)", "variant", "transfer", "FaRM system", "app", "stripping", "E2E",
+            "size(B)",
+            "variant",
+            "transfer",
+            "FaRM system",
+            "app",
+            "stripping",
+            "E2E",
             "improvement",
         ],
     );

@@ -7,12 +7,12 @@
 pub mod ablations;
 pub mod common;
 pub mod fig1;
+pub mod fig10;
 pub mod fig2_race;
 pub mod fig7a;
 pub mod fig7b;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
-pub mod fig10;
 pub mod table1;
 pub mod table2;

@@ -128,15 +128,18 @@ fn measure(quadrant: Quadrant, iters: u64) -> f64 {
                 0,
                 0,
                 Box::new(
-                    SyncReader::endless(1, objects, PAYLOAD, ReadMechanism::Sabre)
-                        .with_wire(wire),
+                    SyncReader::endless(1, objects, PAYLOAD, ReadMechanism::Sabre).with_wire(wire),
                 ),
             );
         }
     }
     cluster.run_for(Time::from_us(20 * iters));
     let m = cluster.metrics(0, 0);
-    assert!(m.ops >= iters / 2, "too few ops for {quadrant:?}: {}", m.ops);
+    assert!(
+        m.ops >= iters / 2,
+        "too few ops for {quadrant:?}: {}",
+        m.ops
+    );
     m.latency.mean().expect("ops completed")
 }
 

@@ -153,10 +153,7 @@ mod tests {
             32
         );
         // Slower controller or faster memory needs less.
-        assert_eq!(
-            LightSabresConfig::required_depth(5.0, Time::from_ns(90)),
-            8
-        );
+        assert_eq!(LightSabresConfig::required_depth(5.0, Time::from_ns(90)), 8);
         assert_eq!(LightSabresConfig::required_depth(0.1, Time::from_ns(10)), 1);
     }
 

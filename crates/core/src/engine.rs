@@ -456,7 +456,11 @@ impl LightSabres {
         let entry = self.entries[idx]
             .as_mut()
             .unwrap_or_else(|| panic!("lock reply for idle {slot}"));
-        assert!(entry.lock_issued, "lock reply without acquire for {}", entry.id);
+        assert!(
+            entry.lock_issued,
+            "lock reply without acquire for {}",
+            entry.id
+        );
         entry.speculating = false;
         if acquired {
             entry.lock_held = true;
@@ -541,9 +545,7 @@ impl LightSabres {
                             // Before the lock is held the head block is
                             // ordinary speculative data; a hit on read data
                             // inside the window is a conflict.
-                            if entry.speculating
-                                && self.buffers[idx].received(0)
-                                && !entry.aborted
+                            if entry.speculating && self.buffers[idx].received(0) && !entry.aborted
                             {
                                 entry.aborted = true;
                                 self.stats.aborts_window_conflict += 1;
@@ -673,7 +675,9 @@ mod tests {
         assert_eq!(i0.kind, IssueKind::Data);
         assert!(eng.next_issue().is_none());
         // Replies arrive; head carries an even (unlocked) version.
-        assert!(eng.on_block_reply(slot, 0, &block_with_version(4)).is_empty());
+        assert!(eng
+            .on_block_reply(slot, 0, &block_with_version(4))
+            .is_empty());
         let done = eng.on_block_reply(slot, 1, &[0u8; BLOCK_BYTES]);
         assert_eq!(
             done,

@@ -19,7 +19,11 @@ pub struct SabreId {
 
 impl fmt::Display for SabreId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sabre:{}.{}.{}", self.src_node, self.src_pipe, self.transfer)
+        write!(
+            f,
+            "sabre:{}.{}.{}",
+            self.src_node, self.src_pipe, self.transfer
+        )
     }
 }
 

@@ -60,7 +60,10 @@ impl MeshConfig {
     ///
     /// Panics if `i` is out of range.
     pub fn coord(&self, i: usize) -> MeshCoord {
-        assert!(i < self.dim as usize * self.dim as usize, "tile {i} out of range");
+        assert!(
+            i < self.dim as usize * self.dim as usize,
+            "tile {i} out of range"
+        );
         MeshCoord {
             x: (i % self.dim as usize) as u8,
             y: (i / self.dim as usize) as u8,

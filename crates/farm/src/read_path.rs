@@ -104,7 +104,8 @@ impl FarmReader {
         }
         self.t0 = api.now();
         self.state = State::Lookup;
-        api.metrics().record_phase(Phase::Framework, self.costs.lookup);
+        api.metrics()
+            .record_phase(Phase::Framework, self.costs.lookup);
         api.sleep(self.costs.lookup);
     }
 
@@ -144,9 +145,11 @@ impl FarmReader {
             StoreLayout::PerCl => {
                 PerClLayout::validate_and_strip(&image, self.payload() as usize).ok()
             }
-            StoreLayout::Checksum => sabre_sw::ChecksumLayout::validate(&image, self.payload() as usize)
-                .ok()
-                .map(|p| p.to_vec()),
+            StoreLayout::Checksum => {
+                sabre_sw::ChecksumLayout::validate(&image, self.payload() as usize)
+                    .ok()
+                    .map(|p| p.to_vec())
+            }
             StoreLayout::Clean => {
                 Some(CleanLayout::payload_of(&image, self.payload() as usize).to_vec())
             }

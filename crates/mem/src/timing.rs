@@ -141,11 +141,7 @@ impl MemSystem {
     /// Aggregate DRAM utilization over `[0, horizon]` (mean across
     /// channels).
     pub fn dram_utilization(&self, horizon: Time) -> f64 {
-        let sum: f64 = self
-            .channels
-            .iter()
-            .map(|c| c.utilization(horizon))
-            .sum();
+        let sum: f64 = self.channels.iter().map(|c| c.utilization(horizon)).sum();
         sum / self.channels.len() as f64
     }
 }

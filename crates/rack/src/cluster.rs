@@ -21,7 +21,9 @@ use sabre_fabric::Fabric;
 use sabre_mem::{Addr, BlockAddr, Llc, MemSystem, NodeMemory, ServiceLevel, BLOCK_BYTES};
 use sabre_sim::{EventQueue, FifoServer, SimRng, Time};
 use sabre_sonuma::r2p2::{R2p2Action, R2p2Stats};
-use sabre_sonuma::{Block, CqEntry, MemToken, OpKind, Packet, PacketKind, R2p2, SourcePipeline, WqEntry};
+use sabre_sonuma::{
+    Block, CqEntry, MemToken, OpKind, Packet, PacketKind, R2p2, SourcePipeline, WqEntry,
+};
 use sabre_sw::{CpuCostModel, ReaderLockWord};
 
 use crate::config::ClusterConfig;
@@ -288,8 +290,8 @@ impl Cluster {
                 block,
             } => {
                 let data = Block(self.nodes[node as usize].memory.read_block(block));
-                let actions = self.nodes[node as usize].r2p2s[pipe as usize]
-                    .on_mem_reply(token, data);
+                let actions =
+                    self.nodes[node as usize].r2p2s[pipe as usize].on_mem_reply(token, data);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -321,8 +323,7 @@ impl Cluster {
                 // the acquisition as a foreign write (other R2P2s' SABRes
                 // on the object still see it — real reader-reader
                 // interference).
-                let actions =
-                    self.nodes[n].r2p2s[pipe as usize].on_lock_reply(token, acquired);
+                let actions = self.nodes[n].r2p2s[pipe as usize].on_lock_reply(token, acquired);
                 if acquired {
                     self.broadcast_inval(n, version_addr.block());
                 }
@@ -347,8 +348,7 @@ impl Cluster {
                     v.locked().store(&mut self.nodes[n].memory, version_addr);
                     self.broadcast_inval(n, version_addr.block());
                 }
-                let actions =
-                    self.nodes[n].r2p2s[pipe as usize].on_cas_done(token, acquired);
+                let actions = self.nodes[n].r2p2s[pipe as usize].on_cas_done(token, acquired);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -362,8 +362,7 @@ impl Cluster {
                 let v = sabre_sw::VersionWord::load(&self.nodes[n].memory, version_addr);
                 v.unlocked().store(&mut self.nodes[n].memory, version_addr);
                 self.broadcast_inval(n, version_addr.block());
-                let actions =
-                    self.nodes[n].r2p2s[pipe as usize].on_unlock_done(token);
+                let actions = self.nodes[n].r2p2s[pipe as usize].on_unlock_done(token);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -508,7 +507,9 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                let done = self.nodes[n]
+                    .mem_sys
+                    .access(self.now, version_addr.block(), level);
                 self.queue.schedule(
                     done,
                     Event::LockDone {
@@ -524,7 +525,9 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                let done = self.nodes[n]
+                    .mem_sys
+                    .access(self.now, version_addr.block(), level);
                 self.queue.schedule(
                     done,
                     Event::CasDone {
@@ -540,7 +543,9 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                let done = self.nodes[n]
+                    .mem_sys
+                    .access(self.now, version_addr.block(), level);
                 self.queue.schedule(
                     done,
                     Event::UnlockDone {
@@ -553,7 +558,9 @@ impl Cluster {
             }
             R2p2Action::LockRelease { version_addr } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n].mem_sys.access(self.now, version_addr.block(), level);
+                let done = self.nodes[n]
+                    .mem_sys
+                    .access(self.now, version_addr.block(), level);
                 self.queue
                     .schedule(done, Event::ReleaseDone { node, version_addr });
             }
@@ -701,7 +708,15 @@ impl CoreApi<'_> {
         version_offset: u32,
     ) -> u64 {
         assert!(op != OpKind::Write, "use issue_write for one-sided writes");
-        self.issue_entry(op, dst_node, remote_addr, local_buf, size_bytes, version_offset, None)
+        self.issue_entry(
+            op,
+            dst_node,
+            remote_addr,
+            local_buf,
+            size_bytes,
+            version_offset,
+            None,
+        )
     }
 
     /// Schedules a one-sided write of `size_bytes` from `local_buf`.

@@ -53,9 +53,7 @@ impl ReadMechanism {
     pub fn wire_bytes(self, payload: u32) -> u32 {
         match self {
             ReadMechanism::Raw | ReadMechanism::Sabre => payload,
-            ReadMechanism::PerClValidate { .. } => {
-                PerClLayout::wire_bytes(payload as usize) as u32
-            }
+            ReadMechanism::PerClValidate { .. } => PerClLayout::wire_bytes(payload as usize) as u32,
             ReadMechanism::ChecksumValidate { .. } => {
                 ChecksumLayout::object_bytes(payload as usize) as u32
             }
@@ -79,7 +77,14 @@ pub trait Workload {
     fn on_completion(&mut self, _api: &mut CoreApi<'_>, _cq: CqEntry) {}
 
     /// Called when an RPC request addressed to this core arrives.
-    fn on_rpc(&mut self, _api: &mut CoreApi<'_>, _src_node: u8, _src_core: u8, _tag: u64, _bytes: u32) {
+    fn on_rpc(
+        &mut self,
+        _api: &mut CoreApi<'_>,
+        _src_node: u8,
+        _src_core: u8,
+        _tag: u64,
+        _bytes: u32,
+    ) {
     }
 
     /// Called when a reply to an RPC this core sent arrives.

@@ -406,7 +406,9 @@ pub enum WriterLayout {
 enum WriterPhase {
     Idle,
     /// Version word set odd; writing payload chunk `chunk` next.
-    Writing { chunk: usize },
+    Writing {
+        chunk: usize,
+    },
     /// All data written; publish (even version) next.
     Publishing,
     /// Waiting for readers to drain (locking-mode experiments).

@@ -10,8 +10,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use sabre_core::{Action, IssueKind, LightSabres, LightSabresConfig, RegisterError, SabreError,
-                 SabreId, SlotId};
+use sabre_core::{
+    Action, IssueKind, LightSabres, LightSabresConfig, RegisterError, SabreError, SabreId, SlotId,
+};
 use sabre_mem::{Addr, BlockAddr, BlockRange};
 
 use crate::wire::{Block, NodeId, Packet, PacketKind, PipeId};
@@ -114,9 +115,16 @@ enum Pending {
         transfer: u32,
         block_index: u32,
     },
-    SabreData { slot: SlotId, block_index: u32 },
-    SabreValidate { slot: SlotId },
-    SabreLock { slot: SlotId },
+    SabreData {
+        slot: SlotId,
+        block_index: u32,
+    },
+    SabreValidate {
+        slot: SlotId,
+    },
+    SabreLock {
+        slot: SlotId,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -304,13 +312,13 @@ impl R2p2 {
                     Err(SabreError::UnknownId) => {
                         // The registration is parked; count the request for
                         // replay (in-order fabric guarantees reg-first).
-                        let parked = self
-                            .parked
-                            .iter_mut()
-                            .find(|p| p.id == id)
-                            .unwrap_or_else(|| {
-                                panic!("data request for unregistered, unparked SABRe {id}")
-                            });
+                        let parked =
+                            self.parked
+                                .iter_mut()
+                                .find(|p| p.id == id)
+                                .unwrap_or_else(|| {
+                                    panic!("data request for unregistered, unparked SABRe {id}")
+                                });
                         parked.requests += 1;
                     }
                     Err(e) => panic!("SABRe protocol violation for {id}: {e}"),
@@ -737,7 +745,9 @@ mod tests {
             panic!()
         };
         let out = r.on_mem_write_done(token);
-        let R2p2Action::Send(ack) = out[0] else { panic!() };
+        let R2p2Action::Send(ack) = out[0] else {
+            panic!()
+        };
         assert!(matches!(ack.kind, PacketKind::WriteAck { transfer: 3, .. }));
     }
 
@@ -748,12 +758,18 @@ mod tests {
             addr: Addr::new(0),
             transfer: 4,
         }));
-        let R2p2Action::WriterCas { token, version_addr } = r.next_issue().unwrap() else {
+        let R2p2Action::WriterCas {
+            token,
+            version_addr,
+        } = r.next_issue().unwrap()
+        else {
             panic!("expected WriterCas");
         };
         assert_eq!(version_addr, Addr::new(0));
         let out = r.on_cas_done(token, true);
-        let R2p2Action::Send(rep) = out[0] else { panic!() };
+        let R2p2Action::Send(rep) = out[0] else {
+            panic!()
+        };
         assert_eq!(
             rep.kind,
             PacketKind::CasReply {
@@ -769,7 +785,9 @@ mod tests {
             panic!("expected WriterUnlock");
         };
         let out = r.on_unlock_done(token);
-        let R2p2Action::Send(rep) = out[0] else { panic!() };
+        let R2p2Action::Send(rep) = out[0] else {
+            panic!()
+        };
         assert_eq!(rep.kind, PacketKind::UnlockAck { transfer: 5 });
     }
 
@@ -791,7 +809,9 @@ mod tests {
         r.on_mem_reply(t1, Block::ZERO);
         r.on_invalidation(BlockAddr::from_index(1));
         let out = r.on_mem_reply(t0, block_with_version(0));
-        let R2p2Action::Send(val) = out[1] else { panic!() };
+        let R2p2Action::Send(val) = out[1] else {
+            panic!()
+        };
         assert_eq!(
             val.kind,
             PacketKind::SabreValidation {

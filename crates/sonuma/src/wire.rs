@@ -182,9 +182,7 @@ impl PacketKind {
             PacketKind::UnlockReq { .. } => 8,
             PacketKind::SabreReg { .. } => 16,
             PacketKind::SabreValidation { .. } => 4,
-            PacketKind::RpcReq { bytes, .. } | PacketKind::RpcReply { bytes, .. } => {
-                *bytes as u64
-            }
+            PacketKind::RpcReq { bytes, .. } | PacketKind::RpcReply { bytes, .. } => *bytes as u64,
         }
     }
 }
@@ -244,7 +242,10 @@ mod tests {
             .payload_bytes(),
             4
         );
-        assert_eq!(PacketKind::RpcReq { tag: 0, bytes: 300 }.payload_bytes(), 300);
+        assert_eq!(
+            PacketKind::RpcReq { tag: 0, bytes: 300 }.payload_bytes(),
+            300
+        );
     }
 
     #[test]

@@ -81,7 +81,8 @@ impl CpuCostModel {
 
     /// Time to CRC64 `bytes` of payload (Pilaf readers and writers).
     pub fn crc_time(&self, bytes: usize) -> Time {
-        self.clock.cycles_f64(bytes as f64 * self.crc_cycles_per_byte)
+        self.clock
+            .cycles_f64(bytes as f64 * self.crc_cycles_per_byte)
     }
 
     /// Time to copy `bytes` between cache-resident buffers.

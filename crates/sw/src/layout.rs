@@ -192,9 +192,7 @@ impl PerClLayout {
             lines * BLOCK_BYTES,
             "image size does not match payload length"
         );
-        let header = VersionWord::new(u64::from_le_bytes(
-            image[..8].try_into().expect("8 bytes"),
-        ));
+        let header = VersionWord::new(u64::from_le_bytes(image[..8].try_into().expect("8 bytes")));
         if header.is_locked() {
             return Err(AtomicityViolation::WriterInProgress);
         }
@@ -206,7 +204,8 @@ impl PerClLayout {
                 return Err(AtomicityViolation::StampMismatch { line });
             }
             let take = (payload_len - payload.len()).min(Self::DATA_PER_LINE);
-            payload.extend_from_slice(&image[off + Self::STAMP_BYTES..off + Self::STAMP_BYTES + take]);
+            payload
+                .extend_from_slice(&image[off + Self::STAMP_BYTES..off + Self::STAMP_BYTES + take]);
         }
         Ok(payload)
     }

@@ -1,0 +1,205 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! This workspace builds in environments without network access to a crates
+//! registry, so the subset of the criterion 0.5 API its benches use is
+//! provided here: [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs a short warm-up,
+//! then measures the median of a fixed number of timed batches and prints
+//! one line per benchmark (with bytes/s when a throughput is set). That is
+//! enough for `cargo bench --no-run` compile gating and for coarse local
+//! regression eyeballing; swap in the real crate for serious measurement.
+
+use std::time::{Duration, Instant};
+
+/// How elements given to [`Bencher::iter_batched`] are batched. The shim
+/// always materializes one input per iteration, so the variants only exist
+/// for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Per-iteration inputs of unknown size.
+    PerIteration,
+}
+
+/// Units for reporting a benchmark's processing rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    /// Timed passes per benchmark (from the group's `sample_size`).
+    passes: usize,
+}
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // Warm up, then take the median of the configured passes.
+        timed_pass();
+        let mut samples: Vec<f64> = (0..self.passes)
+            .map(|_| timed_pass().as_nanos() as f64)
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate with one timed call so heavyweight routines (whole
+        // simulated experiments) run once per pass while nanosecond-scale
+        // kernels get batched enough to out-resolve the clock.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let probe_ns = start.elapsed().as_nanos().max(1);
+        let iters = (1_000_000 / probe_ns).clamp(1, 64) as u32;
+        self.measure(|| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed() / iters
+        });
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed passes each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 1000);
+        self
+    }
+
+    /// Reports subsequent benchmarks' rates in the given units.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            passes: self.samples,
+        };
+        f(&mut bencher);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if bencher.ns_per_iter > 0.0 => {
+                format!(" ({:.1} MiB/s)", n as f64 / bencher.ns_per_iter * 953.67)
+            }
+            Some(Throughput::Elements(n)) if bencher.ns_per_iter > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / bencher.ns_per_iter * 1000.0)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{:<40} {:>12.1} ns/iter{}",
+            self.name, id, bencher.ns_per_iter, rate
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point collecting benchmark groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            samples: 7,
+            _criterion: self,
+        }
+    }
+
+    /// Prints the closing summary (a no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Collects benchmark functions into a group callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates a `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.throughput(Throughput::Bytes(8))
+            .bench_function("spin", |b| {
+                b.iter(|| {
+                    count += 1;
+                    count
+                })
+            });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

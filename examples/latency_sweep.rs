@@ -23,11 +23,7 @@ fn one_reader(size: u32, mech: ReadMechanism, spec: SpecMode) -> f64 {
         objects.push(Addr::new(i * slot));
     }
 
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(SyncReader::endless(1, objects, size, mech)),
-    );
+    cluster.add_workload(0, 0, Box::new(SyncReader::endless(1, objects, size, mech)));
     cluster.run_for(Time::from_us(400));
     cluster.metrics(0, 0).latency.mean().expect("ops completed")
 }

@@ -291,7 +291,12 @@ fn raw_reads_do_tear_under_conflict() {
         cluster.add_workload(
             1,
             w,
-            Box::new(Writer::new(chunk.to_vec(), 480, WriterLayout::Clean, Time::ZERO)),
+            Box::new(Writer::new(
+                chunk.to_vec(),
+                480,
+                WriterLayout::Clean,
+                Time::ZERO,
+            )),
         );
     }
     cluster.run_for(Time::from_us(120));

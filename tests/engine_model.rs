@@ -17,9 +17,9 @@
 
 use proptest::prelude::*;
 
-use sabres::prelude::*;
 use sabres::core::{Action, BlockIssue, IssueKind, LightSabres, SabreId};
 use sabres::mem::BLOCK_BYTES;
+use sabres::prelude::*;
 
 /// One writer's position inside an update.
 struct WriterModel {

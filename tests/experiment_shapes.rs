@@ -29,7 +29,11 @@ fn fig7a_sabres_track_remote_reads_and_nospec_pays() {
         // …and never beat them (they do strictly more work).
         assert!(p.sabre_ns >= p.read_ns * 0.95, "{}B inversion", p.size);
         // The non-speculative strawman is never faster than LightSABRes.
-        assert!(p.nospec_ns >= p.sabre_ns * 0.98, "{}B nospec faster", p.size);
+        assert!(
+            p.nospec_ns >= p.sabre_ns * 0.98,
+            "{}B nospec faster",
+            p.size
+        );
     }
     // The paper's headline: a two-cache-block SABRe pays up to ~40% for
     // the serialized version read.
@@ -90,8 +94,14 @@ fn fig8_gap_grows_with_size_and_throughput_declines_with_writers() {
     }
     // The gap at 1 KB+ exceeds the 128 B gap (the software check's cost
     // scales with size).
-    let g128 = gap(points.iter().find(|p| p.size == 128 && p.writers == 0).unwrap());
-    let g8k = gap(points.iter().find(|p| p.size == 8192 && p.writers == 0).unwrap());
+    let g128 = gap(points
+        .iter()
+        .find(|p| p.size == 128 && p.writers == 0)
+        .unwrap());
+    let g8k = gap(points
+        .iter()
+        .find(|p| p.size == 8192 && p.writers == 0)
+        .unwrap());
     assert!(g8k > g128, "8KB gap {g8k:.2} <= 128B gap {g128:.2}");
 }
 

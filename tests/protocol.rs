@@ -121,7 +121,10 @@ fn att_overflow_parks_and_everything_still_completes() {
             e.completed_ok + e.completed_failed
         );
     }
-    assert!(cluster.node_metrics(0).ops > 100, "progress despite parking");
+    assert!(
+        cluster.node_metrics(0).ops > 100,
+        "progress despite parking"
+    );
 }
 
 #[test]
@@ -186,7 +189,10 @@ fn sabre_across_page_boundary_completes() {
     let cq = done.borrow().expect("SABRe completed");
     assert!(cq.success);
     let engines: u64 = (0..4).map(|p| cluster.engine_stats(1, p).page_stalls).sum();
-    assert!(engines > 0, "the crossing must have stalled inside the window");
+    assert!(
+        engines > 0,
+        "the crossing must have stalled inside the window"
+    );
     let image = cluster
         .node_memory(0)
         .read_vec(Addr::new(1 << 20), CleanLayout::object_bytes(480));
