@@ -10,7 +10,12 @@ use std::hint::black_box;
 use sabre_bench::experiments as ex;
 use sabre_bench::RunOpts;
 
-const Q: RunOpts = RunOpts { quick: true };
+// Serial (threads: 1) so the reported time measures simulator throughput,
+// not the host's core count.
+const Q: RunOpts = RunOpts {
+    quick: true,
+    threads: Some(1),
+};
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");

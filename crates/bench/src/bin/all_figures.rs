@@ -1,20 +1,35 @@
-//! Regenerates every table and figure of the paper in one run.
-//! Pass `--quick` for a fast smoke run.
-use sabre_bench::experiments as ex;
+//! Regenerates every table and figure of the paper in one run, printing
+//! per-figure and total host wall-clock to stderr (stdout stays clean for
+//! golden-output diffing). Pass `--quick` for a fast smoke run and
+//! `--threads N` (or `SABRES_THREADS`) to cap sweep parallelism.
+use std::time::Instant;
 
-fn main() {
-    let opts = sabre_bench::RunOpts::from_args();
-    print!("{}", ex::table2::run(opts));
-    print!("{}", ex::table1::run(opts));
-    print!("{}", ex::fig1::run(opts));
-    print!("{}", ex::fig2_race::run(opts));
-    print!("{}", ex::fig7a::run(opts));
-    print!("{}", ex::fig7b::run(opts));
-    print!("{}", ex::fig8::run(opts));
-    print!("{}", ex::fig9a::run(opts));
-    print!("{}", ex::fig9b::run(opts));
-    print!("{}", ex::fig10::run(opts));
-    for t in ex::ablations::run(opts) {
+use sabre_bench::experiments as ex;
+use sabre_bench::{RunOpts, Table};
+
+fn timed(name: &str, f: impl FnOnce() -> Vec<Table>) {
+    let t0 = Instant::now();
+    let tables = f();
+    let wall = t0.elapsed();
+    for t in tables {
         print!("{t}");
     }
+    eprintln!("# {name}: {:.2}s wall", wall.as_secs_f64());
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let total = Instant::now();
+    timed("table2", || vec![ex::table2::run(opts)]);
+    timed("table1", || vec![ex::table1::run(opts)]);
+    timed("fig1", || vec![ex::fig1::run(opts)]);
+    timed("fig2_race", || vec![ex::fig2_race::run(opts)]);
+    timed("fig7a", || vec![ex::fig7a::run(opts)]);
+    timed("fig7b", || vec![ex::fig7b::run(opts)]);
+    timed("fig8", || vec![ex::fig8::run(opts)]);
+    timed("fig9a", || vec![ex::fig9a::run(opts)]);
+    timed("fig9b", || vec![ex::fig9b::run(opts)]);
+    timed("fig10", || vec![ex::fig10::run(opts)]);
+    timed("ablations", || ex::ablations::run(opts));
+    eprintln!("# total: {:.2}s wall", total.elapsed().as_secs_f64());
 }

@@ -13,12 +13,11 @@
 //!    backoff under heavy conflicts.
 
 use sabre_core::CcMode;
-use sabre_farm::StoreLayout;
+use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_rack::workloads::{AsyncReader, SyncReader, Writer, WriterLayout};
-use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::{build_store, raw_targets};
 use crate::table::{fmt_gbps, fmt_ns};
 use crate::{RunOpts, Table};
 
@@ -26,23 +25,21 @@ use crate::{RunOpts, Table};
 /// depth. Returns `(depth, mean latency ns)`.
 pub fn depth_sweep(opts: RunOpts) -> Vec<(u32, f64)> {
     let iters = opts.pick(60, 8);
-    [1u32, 2, 4, 8, 16, 32, 64]
-        .iter()
-        .map(|&depth| {
-            let mut cfg = ClusterConfig::default();
-            cfg.lightsabres.depth = depth;
-            let mut cluster = Cluster::new(cfg);
-            let targets = raw_targets(&mut cluster, 1, 8192);
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(SyncReader::endless(1, targets, 8192, ReadMechanism::Sabre)),
-            );
-            cluster.run_for(Time::from_us(15 * iters));
-            let m = cluster.metrics(0, 0);
-            (depth, m.latency.mean().expect("ops completed"))
-        })
-        .collect()
+    opts.sweep([1u32, 2, 4, 8, 16, 32, 64]).map(|&depth| {
+        let report = ScenarioBuilder::new()
+            .configure(|cfg| cfg.lightsabres.depth = depth)
+            .raw_region(1, 8192)
+            .reader(0, 0, |targets| {
+                Box::new(SyncReader::endless(
+                    1,
+                    targets.to_vec(),
+                    8192,
+                    ReadMechanism::Sabre,
+                ))
+            })
+            .run_for(Time::from_us(15 * iters));
+        (depth, report.mean_latency_ns(0, 0).expect("ops completed"))
+    })
 }
 
 /// Ablation 2: aggregate throughput of 16 async readers of two-block
@@ -50,63 +47,49 @@ pub fn depth_sweep(opts: RunOpts) -> Vec<(u32, f64)> {
 /// SABRes per R2P2). Returns `(buffers, GB/s)`.
 pub fn concurrency_sweep(opts: RunOpts) -> Vec<(usize, f64)> {
     let duration = Time::from_us(opts.pick(150, 25));
-    [1usize, 2, 4, 8, 16]
-        .iter()
-        .map(|&buffers| {
-            let mut cfg = ClusterConfig::default();
-            cfg.lightsabres.stream_buffers = buffers;
-            let mut cluster = Cluster::new(cfg);
-            let targets = raw_targets(&mut cluster, 1, 128);
-            for core in 0..cluster.config().cores_per_node {
-                cluster.add_workload(
-                    0,
-                    core,
-                    Box::new(AsyncReader::new(
-                        1,
-                        targets.clone(),
-                        128,
-                        ReadMechanism::Sabre,
-                        8,
-                    )),
-                );
-            }
-            cluster.run_for(duration);
-            (
-                buffers,
-                cluster.node_metrics(0).bytes as f64 / duration.as_ns(),
-            )
-        })
-        .collect()
+    opts.sweep([1usize, 2, 4, 8, 16]).map(|&buffers| {
+        let scenario = ScenarioBuilder::new()
+            .configure(|cfg| cfg.lightsabres.stream_buffers = buffers)
+            .raw_region(1, 128);
+        let cores = 0..scenario.config().cores_per_node;
+        let report = scenario
+            .readers(0, cores, |_, targets| {
+                Box::new(AsyncReader::new(
+                    1,
+                    targets.to_vec(),
+                    128,
+                    ReadMechanism::Sabre,
+                    8,
+                ))
+            })
+            .run_for(duration);
+        (buffers, report.gbps(0))
+    })
 }
 
 /// Ablation 4: destination locking vs destination OCC, uncontended.
 /// Returns `(size, occ ns, locking ns)`.
 pub fn cc_mode_sweep(opts: RunOpts) -> Vec<(u32, f64, f64)> {
     let iters = opts.pick(80, 10);
-    [128u32, 1024, 8192]
-        .iter()
-        .map(|&size| {
-            let mut out = [0.0f64; 2];
-            for (i, mode) in [CcMode::Occ, CcMode::Locking].into_iter().enumerate() {
-                let mut cfg = ClusterConfig::default();
-                cfg.lightsabres.cc_mode = mode;
-                let mut cluster = Cluster::new(cfg);
-                let store = build_store(&mut cluster, 1, StoreLayout::Clean, size, Some(512));
-                let wire = StoreLayout::Clean.object_bytes(size as usize) as u32;
-                cluster.add_workload(
-                    0,
-                    0,
+    opts.sweep([128u32, 1024, 8192]).map(|&size| {
+        let mut out = [0.0f64; 2];
+        for (i, mode) in [CcMode::Occ, CcMode::Locking].into_iter().enumerate() {
+            let (scenario, _store) = ScenarioBuilder::new()
+                .configure(|cfg| cfg.lightsabres.cc_mode = mode)
+                .store(1, StoreLayout::Clean, size, Some(512));
+            let wire = StoreLayout::Clean.object_bytes(size as usize) as u32;
+            let report = scenario
+                .reader(0, 0, move |objects| {
                     Box::new(
-                        SyncReader::endless(1, store.object_addrs(), size, ReadMechanism::Sabre)
+                        SyncReader::endless(1, objects.to_vec(), size, ReadMechanism::Sabre)
                             .with_wire(wire),
-                    ),
-                );
-                cluster.run_for(Time::from_us(15 * iters));
-                out[i] = cluster.metrics(0, 0).latency.mean().expect("ops");
-            }
-            (size, out[0], out[1])
-        })
-        .collect()
+                    )
+                })
+                .run_for(Time::from_us(15 * iters));
+            out[i] = report.mean_latency_ns(0, 0).expect("ops");
+        }
+        (size, out[0], out[1])
+    })
 }
 
 /// Ablation 5: retry policy under heavy conflict (8 KB objects, 16
@@ -114,47 +97,39 @@ pub fn cc_mode_sweep(opts: RunOpts) -> Vec<(u32, f64, f64)> {
 /// `(label, GB/s, abort rate)`.
 pub fn retry_policy_sweep(opts: RunOpts) -> Vec<(String, f64, f64)> {
     let duration = Time::from_us(opts.pick(150, 25));
-    [
+    opts.sweep([
         ("immediate", Time::ZERO),
         ("backoff 1us", Time::from_us(1)),
         ("backoff 5us", Time::from_us(5)),
-    ]
-    .iter()
-    .map(|(label, backoff)| {
-        let mut cluster = Cluster::new(ClusterConfig::default());
-        let store = build_store(&mut cluster, 1, StoreLayout::Clean, 8192, Some(100));
-        cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
-        let objects = store.object_addrs();
-        for core in 0..cluster.config().cores_per_node {
-            cluster.add_workload(
-                0,
-                core,
-                Box::new(
-                    SyncReader::endless(1, objects.clone(), 8192, ReadMechanism::Sabre)
-                        .with_consume()
-                        .with_backoff(*backoff)
-                        .with_wire(StoreLayout::Clean.object_bytes(8192) as u32),
-                ),
-            );
-        }
+    ])
+    .map(|&(label, backoff)| {
+        let (scenario, store) =
+            ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 8192, Some(100));
+        let cores = 0..scenario.config().cores_per_node;
+        let mut scenario = scenario.readers(0, cores, move |_, objects| {
+            Box::new(
+                SyncReader::endless(1, objects.to_vec(), 8192, ReadMechanism::Sabre)
+                    .with_consume()
+                    .with_backoff(backoff)
+                    .with_wire(StoreLayout::Clean.object_bytes(8192) as u32),
+            )
+        });
         let entries = store.object_entries();
         for w in 0..16 {
             let owned: Vec<_> = entries.iter().copied().skip(w).step_by(16).collect();
-            cluster.add_workload(
+            scenario = scenario.workload(
                 1,
                 w,
                 Box::new(Writer::new(owned, 8192, WriterLayout::Clean, Time::ZERO)),
             );
         }
-        cluster.run_for(duration);
-        let m = cluster.node_metrics(0);
+        let report = scenario.run_for(duration);
         (
             label.to_string(),
-            m.bytes as f64 / duration.as_ns(),
-            m.abort_rate(),
+            report.gbps(0),
+            report.node(0).abort_rate(),
         )
     })
-    .collect()
 }
 
 /// Renders all ablations.

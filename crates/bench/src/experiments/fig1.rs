@@ -6,11 +6,11 @@
 //! check scales linearly — from ≈10% of end-to-end latency at 128 B to
 //! ≈50% at 8 KB.
 
-use sabre_farm::{FarmCosts, FarmReader, KvStore, StoreLayout};
-use sabre_rack::{Cluster, ClusterConfig, Phase};
+use sabre_farm::{FarmCosts, FarmReader, KvStore, ScenarioStoreExt, StoreLayout};
+use sabre_rack::{Phase, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::{build_store, OBJECT_SIZES};
+use super::OBJECT_SIZES;
 use crate::table::fmt_ns;
 use crate::{RunOpts, Table};
 
@@ -39,33 +39,28 @@ impl Point {
 /// Runs the sweep: one FaRM reader, per-CL store, memory-resident objects.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let iters = opts.pick(100, 10);
-    OBJECT_SIZES
-        .iter()
-        .map(|&size| {
-            let mut cluster = Cluster::new(ClusterConfig::default());
-            let store = build_store(&mut cluster, 1, StoreLayout::PerCl, size, None);
-            let kv = KvStore::new(store, 100_000);
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(FarmReader::endless(kv, FarmCosts::default())),
-            );
-            cluster.run_for(Time::from_us(12 * iters));
-            let m = cluster.metrics(0, 0);
-            assert!(m.ops >= iters / 2, "too few lookups: {}", m.ops);
-            let transfer = m.phase_mean_ns(Phase::Transfer).unwrap_or(0.0);
-            let framework = m.phase_mean_ns(Phase::Framework).unwrap_or(0.0)
-                + m.phase_mean_ns(Phase::App).unwrap_or(0.0);
-            let strip = m.phase_mean_ns(Phase::Strip).unwrap_or(0.0);
-            Point {
-                size,
-                transfer_ns: transfer,
-                framework_app_ns: framework,
-                strip_ns: strip,
-                e2e_ns: m.latency.mean().expect("ops completed"),
-            }
-        })
-        .collect()
+    opts.sweep(OBJECT_SIZES).map(|&size| {
+        let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::PerCl, size, None);
+        let report = scenario
+            .reader(0, 0, move |_| {
+                let kv = KvStore::new(store, 100_000);
+                Box::new(FarmReader::endless(kv, FarmCosts::default()))
+            })
+            .run_for(Time::from_us(12 * iters));
+        let m = report.core(0, 0);
+        assert!(m.ops >= iters / 2, "too few lookups: {}", m.ops);
+        let transfer = m.phase_mean_ns(Phase::Transfer).unwrap_or(0.0);
+        let framework = m.phase_mean_ns(Phase::Framework).unwrap_or(0.0)
+            + m.phase_mean_ns(Phase::App).unwrap_or(0.0);
+        let strip = m.phase_mean_ns(Phase::Strip).unwrap_or(0.0);
+        Point {
+            size,
+            transfer_ns: transfer,
+            framework_app_ns: framework,
+            strip_ns: strip,
+            e2e_ns: m.latency.mean().expect("ops completed"),
+        }
+    })
 }
 
 /// Renders the figure as a table.

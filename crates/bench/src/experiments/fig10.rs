@@ -6,11 +6,11 @@
 //! being involved in them*, purely by making the embedded per-line
 //! metadata unnecessary.
 
-use sabre_farm::{FarmCosts, FarmLocalReader, KvStore, StoreLayout};
-use sabre_rack::{Cluster, ClusterConfig};
+use sabre_farm::{FarmCosts, FarmLocalReader, KvStore, ScenarioStoreExt, StoreLayout};
+use sabre_rack::ScenarioBuilder;
 use sabre_sim::Time;
 
-use super::common::{build_store, OBJECT_SIZES};
+use super::OBJECT_SIZES;
 use crate::table::fmt_gbps;
 use crate::{RunOpts, Table};
 
@@ -36,32 +36,25 @@ impl Point {
 pub const READERS: usize = 15;
 
 fn measure(size: u32, layout: StoreLayout, duration: Time) -> f64 {
-    let mut cluster = Cluster::new(ClusterConfig::default());
     // Local store lives on node 0, where the readers run.
-    let store = build_store(&mut cluster, 0, layout, size, None);
-    for core in 0..READERS {
-        let kv = KvStore::new(store.clone(), 100_000);
-        cluster.add_workload(
-            0,
-            core,
-            Box::new(FarmLocalReader::endless(kv, FarmCosts::default()).without_verify()),
-        );
-    }
-    cluster.run_for(duration);
-    cluster.node_metrics(0).bytes as f64 / duration.as_ns()
+    let (scenario, store) = ScenarioBuilder::new().store(0, layout, size, None);
+    scenario
+        .readers(0, 0..READERS, move |_, _| {
+            let kv = KvStore::new(store.clone(), 100_000);
+            Box::new(FarmLocalReader::endless(kv, FarmCosts::default()).without_verify())
+        })
+        .run_for(duration)
+        .gbps(0)
 }
 
 /// Runs the sweep.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let duration = Time::from_us(opts.pick(150, 25));
-    OBJECT_SIZES
-        .iter()
-        .map(|&size| Point {
-            size,
-            percl_gbps: measure(size, StoreLayout::PerCl, duration),
-            clean_gbps: measure(size, StoreLayout::Clean, duration),
-        })
-        .collect()
+    opts.sweep(OBJECT_SIZES).map(|&size| Point {
+        size,
+        percl_gbps: measure(size, StoreLayout::PerCl, duration),
+        clean_gbps: measure(size, StoreLayout::Clean, duration),
+    })
 }
 
 /// Renders the figure as a table.

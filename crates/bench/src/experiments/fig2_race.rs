@@ -9,15 +9,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sabre_farm::StoreLayout;
+use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_mem::Addr;
 use sabre_rack::workloads::{verify_payload, Writer, WriterLayout};
-use sabre_rack::{Cluster, ClusterConfig, CoreApi, ReadMechanism, Workload};
+use sabre_rack::{CoreApi, ReadMechanism, ScenarioBuilder, Workload};
 use sabre_sim::Time;
 use sabre_sonuma::CqEntry;
 use sabre_sw::layout::CleanLayout;
 
-use super::common::build_store;
 use crate::{RunOpts, Table};
 
 /// Outcome of the race demonstration.
@@ -35,8 +34,8 @@ pub struct RaceOutcome {
     pub sabre_torn: u64,
 }
 
-/// Counters shared between the experiment and its reader (the simulation
-/// is single-threaded, so `Rc<RefCell<…>>` is safe and simple).
+/// Counters shared between the experiment and its reader (each simulated
+/// cluster is single-threaded, so `Rc<RefCell<…>>` is safe and simple).
 #[derive(Debug, Default)]
 struct Counters {
     ok: u64,
@@ -114,25 +113,24 @@ impl Workload for VerifyingReader {
 }
 
 fn run_side(mech: ReadMechanism, duration: Time) -> (u64, u64, u64) {
-    let mut cluster = Cluster::new(ClusterConfig::default());
     // One clean-layout object of 112 B payload = 2 cache blocks, matching
     // the figure's two-block example.
-    let store = build_store(&mut cluster, 1, StoreLayout::Clean, 112, Some(1));
-    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let (scenario, store) =
+        ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 112, Some(1));
     let counters = Rc::new(RefCell::new(Counters::default()));
-    let reader = VerifyingReader::new(mech, store.object_addr(0), 0, 112, Rc::clone(&counters));
-    cluster.add_workload(0, 0, Box::new(reader));
-    cluster.add_workload(
-        1,
-        0,
-        Box::new(Writer::new(
-            store.object_entries(),
-            112,
-            WriterLayout::Clean,
-            Time::ZERO,
-        )),
-    );
-    cluster.run_for(duration);
+    let reader_counters = Rc::clone(&counters);
+    let object = store.object_addr(0);
+    let entries = store.object_entries();
+    scenario
+        .reader(0, 0, move |_| {
+            Box::new(VerifyingReader::new(mech, object, 0, 112, reader_counters))
+        })
+        .workload(
+            1,
+            0,
+            Box::new(Writer::new(entries, 112, WriterLayout::Clean, Time::ZERO)),
+        )
+        .run_for(duration);
     let c = counters.borrow();
     (c.ok, c.torn, c.aborts)
 }
@@ -140,8 +138,11 @@ fn run_side(mech: ReadMechanism, duration: Time) -> (u64, u64, u64) {
 /// Runs both sides of the demonstration.
 pub fn data(opts: RunOpts) -> RaceOutcome {
     let duration = Time::from_us(opts.pick(400, 80));
-    let (raw_ok, raw_torn, _) = run_side(ReadMechanism::Raw, duration);
-    let (sabre_ok, sabre_torn, sabre_aborts) = run_side(ReadMechanism::Sabre, duration);
+    let sides = opts
+        .sweep([ReadMechanism::Raw, ReadMechanism::Sabre])
+        .map(|&mech| run_side(mech, duration));
+    let (raw_ok, raw_torn, _) = sides[0];
+    let (sabre_ok, sabre_torn, sabre_aborts) = sides[1];
     RaceOutcome {
         raw_reads: raw_ok + raw_torn,
         raw_torn,

@@ -10,10 +10,10 @@
 
 use sabre_core::SpecMode;
 use sabre_rack::workloads::SyncReader;
-use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::{raw_targets, TRANSFER_SIZES};
+use super::TRANSFER_SIZES;
 use crate::table::fmt_ns;
 use crate::{RunOpts, Table};
 
@@ -30,24 +30,25 @@ pub struct Point {
     pub nospec_ns: f64,
 }
 
-fn measure(size: u32, mech: ReadMechanism, spec: SpecMode, iters: u64) -> f64 {
-    let mut cfg = ClusterConfig::default();
-    cfg.lightsabres.spec_mode = spec;
-    let mut cluster = Cluster::new(cfg);
-    let targets = raw_targets(&mut cluster, 1, size);
-    let reader = SyncReader::endless(1, targets, size, mech);
-    // Cap the reader via time, not iterations, and average the transfer
-    // phase; drop nothing (single reader, no contention, no warmup needed
-    // beyond the LLC fills that memory residency makes rare anyway).
-    let mut reader = reader;
-    reader = match mech {
-        ReadMechanism::Raw | ReadMechanism::Sabre => reader,
-        _ => unreachable!("fig7a compares raw transfers"),
-    };
-    cluster.add_workload(0, 0, Box::new(reader));
-    // Enough simulated time for `iters` back-to-back ops at <10 us each.
-    cluster.run_for(Time::from_us(10 * iters));
-    let m = cluster.metrics(0, 0);
+/// Measures one `(size, mechanism, speculation)` point: one synchronous
+/// reader over memory-resident raw targets, capped by time rather than
+/// iterations; no warmup needed (single reader, no contention, and memory
+/// residency makes LLC fills rare anyway). Public so the scenario
+/// equivalence test certifies *this* construction, not a copy of it.
+pub fn measure(size: u32, mech: ReadMechanism, spec: SpecMode, iters: u64) -> f64 {
+    assert!(
+        matches!(mech, ReadMechanism::Raw | ReadMechanism::Sabre),
+        "fig7a compares raw transfers, not software-validated reads"
+    );
+    let report = ScenarioBuilder::new()
+        .configure(|cfg| cfg.lightsabres.spec_mode = spec)
+        .raw_region(1, size)
+        .reader(0, 0, move |targets| {
+            Box::new(SyncReader::endless(1, targets.to_vec(), size, mech))
+        })
+        // Enough simulated time for `iters` back-to-back ops at <10 us each.
+        .run_for(Time::from_us(10 * iters));
+    let m = report.core(0, 0);
     assert!(m.ops >= iters / 2, "too few ops completed: {}", m.ops);
     m.latency.mean().expect("ops completed")
 }
@@ -55,20 +56,17 @@ fn measure(size: u32, mech: ReadMechanism, spec: SpecMode, iters: u64) -> f64 {
 /// Runs the sweep.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let iters = opts.pick(100, 10);
-    TRANSFER_SIZES
-        .iter()
-        .map(|&size| Point {
+    opts.sweep(TRANSFER_SIZES).map(|&size| Point {
+        size,
+        read_ns: measure(size, ReadMechanism::Raw, SpecMode::Speculative, iters),
+        sabre_ns: measure(size, ReadMechanism::Sabre, SpecMode::Speculative, iters),
+        nospec_ns: measure(
             size,
-            read_ns: measure(size, ReadMechanism::Raw, SpecMode::Speculative, iters),
-            sabre_ns: measure(size, ReadMechanism::Sabre, SpecMode::Speculative, iters),
-            nospec_ns: measure(
-                size,
-                ReadMechanism::Sabre,
-                SpecMode::ReadVersionFirst,
-                iters,
-            ),
-        })
-        .collect()
+            ReadMechanism::Sabre,
+            SpecMode::ReadVersionFirst,
+            iters,
+        ),
+    })
 }
 
 /// Renders the figure as a table.

@@ -7,10 +7,10 @@
 //! grows.
 
 use sabre_rack::workloads::AsyncReader;
-use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::{raw_targets, TRANSFER_SIZES};
+use super::TRANSFER_SIZES;
 use crate::table::fmt_gbps;
 use crate::{RunOpts, Table};
 
@@ -26,31 +26,24 @@ pub struct Point {
 }
 
 fn measure(size: u32, mech: ReadMechanism, duration: Time) -> f64 {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let targets = raw_targets(&mut cluster, 1, size);
-    let threads = cluster.config().cores_per_node;
-    for core in 0..threads {
-        cluster.add_workload(
-            0,
-            core,
-            Box::new(AsyncReader::new(1, targets.clone(), size, mech, 4)),
-        );
-    }
-    cluster.run_for(duration);
-    cluster.node_metrics(0).bytes as f64 / duration.as_ns()
+    let scenario = ScenarioBuilder::new().raw_region(1, size);
+    let threads = 0..scenario.config().cores_per_node;
+    scenario
+        .readers(0, threads, move |_, targets| {
+            Box::new(AsyncReader::new(1, targets.to_vec(), size, mech, 4))
+        })
+        .run_for(duration)
+        .gbps(0)
 }
 
 /// Runs the sweep.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let duration = Time::from_us(opts.pick(200, 30));
-    TRANSFER_SIZES
-        .iter()
-        .map(|&size| Point {
-            size,
-            read_gbps: measure(size, ReadMechanism::Raw, duration),
-            sabre_gbps: measure(size, ReadMechanism::Sabre, duration),
-        })
-        .collect()
+    opts.sweep(TRANSFER_SIZES).map(|&size| Point {
+        size,
+        read_gbps: measure(size, ReadMechanism::Raw, duration),
+        sabre_gbps: measure(size, ReadMechanism::Sabre, duration),
+    })
 }
 
 /// Renders the figure as a table.

@@ -10,12 +10,11 @@
 //! the software check's cost scales with object size while the hardware
 //! failure notification does not.
 
-use sabre_farm::StoreLayout;
+use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_rack::workloads::{SyncReader, Writer, WriterLayout};
-use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::build_store;
 use crate::table::fmt_gbps;
 use crate::{RunOpts, Table};
 
@@ -42,26 +41,24 @@ pub struct Point {
 const N_OBJECTS: u64 = 100;
 
 fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f64, f64) {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let store = build_store(&mut cluster, 1, layout, size, Some(N_OBJECTS));
     // "We limit the number of objects to 100, making all accesses LLC
     // resident."
-    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let (scenario, store) = ScenarioBuilder::new().warmed_store(1, layout, size, Some(N_OBJECTS));
 
     let mech = match layout {
         StoreLayout::Clean => ReadMechanism::Sabre,
         StoreLayout::PerCl => ReadMechanism::PerClValidate { payload: size },
         StoreLayout::Checksum => ReadMechanism::ChecksumValidate { payload: size },
     };
-    let objects = store.object_addrs();
-    let readers = cluster.config().cores_per_node;
+    let readers = scenario.config().cores_per_node;
     let wire = layout.object_bytes(size as usize) as u32;
-    for core in 0..readers {
-        let reader = SyncReader::endless(1, objects.clone(), size, mech)
-            .with_consume()
-            .with_wire(wire);
-        cluster.add_workload(0, core, Box::new(reader));
-    }
+    let mut scenario = scenario.readers(0, 0..readers, move |_, objects| {
+        Box::new(
+            SyncReader::endless(1, objects.to_vec(), size, mech)
+                .with_consume()
+                .with_wire(wire),
+        )
+    });
     if writers > 0 {
         let wl = match layout {
             StoreLayout::Clean => WriterLayout::Clean,
@@ -75,36 +72,35 @@ fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f
         let entries = store.object_entries();
         for w in 0..writers {
             let owned: Vec<_> = entries.iter().copied().skip(w).step_by(writers).collect();
-            cluster.add_workload(1, w, Box::new(Writer::new(owned, size, wl, Time::ZERO)));
+            scenario = scenario.workload(1, w, Box::new(Writer::new(owned, size, wl, Time::ZERO)));
         }
     }
-    cluster.run_for(duration);
-    let m = cluster.node_metrics(0);
-    (m.bytes as f64 / duration.as_ns(), m.abort_rate())
+    let report = scenario.run_for(duration);
+    let m = report.node(0);
+    (report.gbps(0), m.abort_rate())
 }
 
-/// Runs the sweep.
+/// Runs the sweep: the full {size × writer-count} grid, one parallel sweep
+/// point per cell.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let duration = Time::from_us(opts.pick(150, 25));
     let writer_counts: Vec<usize> = opts.pick(vec![0, 2, 4, 8, 12, 16], vec![0, 4, 16]);
-    let mut out = Vec::new();
-    for &size in &SIZES {
-        for &writers in &writer_counts {
-            let (sabre_gbps, sabre_abort_rate) =
-                measure(size, writers, StoreLayout::Clean, duration);
-            let (percl_gbps, percl_abort_rate) =
-                measure(size, writers, StoreLayout::PerCl, duration);
-            out.push(Point {
-                size,
-                writers,
-                sabre_gbps,
-                percl_gbps,
-                sabre_abort_rate,
-                percl_abort_rate,
-            });
+    let grid: Vec<(u32, usize)> = SIZES
+        .iter()
+        .flat_map(|&size| writer_counts.iter().map(move |&w| (size, w)))
+        .collect();
+    opts.sweep(grid).map(|&(size, writers)| {
+        let (sabre_gbps, sabre_abort_rate) = measure(size, writers, StoreLayout::Clean, duration);
+        let (percl_gbps, percl_abort_rate) = measure(size, writers, StoreLayout::PerCl, duration);
+        Point {
+            size,
+            writers,
+            sabre_gbps,
+            percl_gbps,
+            sabre_abort_rate,
+            percl_abort_rate,
         }
-    }
-    out
+    })
 }
 
 /// Renders the figure as a table.

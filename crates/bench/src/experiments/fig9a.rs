@@ -8,11 +8,11 @@
 //! *application* component is slightly larger: the object lands in the LLC
 //! (zero-copy DMA) instead of being pulled into the L1d by the strip.
 
-use sabre_farm::{FarmCosts, FarmReader, KvStore, StoreLayout};
-use sabre_rack::{Cluster, ClusterConfig, Phase};
+use sabre_farm::{FarmCosts, FarmReader, KvStore, ScenarioStoreExt, StoreLayout};
+use sabre_rack::{Phase, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::{build_store, OBJECT_SIZES};
+use super::OBJECT_SIZES;
 use crate::table::fmt_ns;
 use crate::{RunOpts, Table};
 
@@ -50,16 +50,14 @@ impl Point {
 }
 
 fn measure(size: u32, layout: StoreLayout, iters: u64) -> Breakdown {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let store = build_store(&mut cluster, 1, layout, size, None);
-    let kv = KvStore::new(store, 100_000);
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(FarmReader::endless(kv, FarmCosts::default())),
-    );
-    cluster.run_for(Time::from_us(12 * iters));
-    let m = cluster.metrics(0, 0);
+    let (scenario, store) = ScenarioBuilder::new().store(1, layout, size, None);
+    let report = scenario
+        .reader(0, 0, move |_| {
+            let kv = KvStore::new(store, 100_000);
+            Box::new(FarmReader::endless(kv, FarmCosts::default()))
+        })
+        .run_for(Time::from_us(12 * iters));
+    let m = report.core(0, 0);
     assert!(m.ops >= iters / 2, "too few lookups: {}", m.ops);
     Breakdown {
         transfer_ns: m.phase_mean_ns(Phase::Transfer).unwrap_or(0.0),
@@ -73,14 +71,11 @@ fn measure(size: u32, layout: StoreLayout, iters: u64) -> Breakdown {
 /// Runs the sweep.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let iters = opts.pick(100, 10);
-    OBJECT_SIZES
-        .iter()
-        .map(|&size| Point {
-            size,
-            baseline: measure(size, StoreLayout::PerCl, iters),
-            sabre: measure(size, StoreLayout::Clean, iters),
-        })
-        .collect()
+    opts.sweep(OBJECT_SIZES).map(|&size| Point {
+        size,
+        baseline: measure(size, StoreLayout::PerCl, iters),
+        sabre: measure(size, StoreLayout::Clean, iters),
+    })
 }
 
 /// Renders the figure as a table.

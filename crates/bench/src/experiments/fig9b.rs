@@ -3,11 +3,11 @@
 //!
 //! Expected shape (paper): +30–60% depending on object size.
 
-use sabre_farm::{FarmCosts, FarmReader, KvStore, StoreLayout};
-use sabre_rack::{Cluster, ClusterConfig};
+use sabre_farm::{FarmCosts, FarmReader, KvStore, ScenarioStoreExt, StoreLayout};
+use sabre_rack::ScenarioBuilder;
 use sabre_sim::Time;
 
-use super::common::{build_store, OBJECT_SIZES};
+use super::OBJECT_SIZES;
 use crate::table::fmt_gbps;
 use crate::{RunOpts, Table};
 
@@ -33,32 +33,25 @@ impl Point {
 pub const READERS: usize = 15;
 
 fn measure(size: u32, layout: StoreLayout, duration: Time) -> f64 {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let store = build_store(&mut cluster, 1, layout, size, None);
-    for core in 0..READERS {
-        let kv = KvStore::new(store.clone(), 100_000);
-        cluster.add_workload(
-            0,
-            core,
+    let (scenario, store) = ScenarioBuilder::new().store(1, layout, size, None);
+    scenario
+        .readers(0, 0..READERS, move |_, _| {
+            let kv = KvStore::new(store.clone(), 100_000);
             // Verification is host-side-expensive at 15 threads × long runs.
-            Box::new(FarmReader::endless(kv, FarmCosts::default()).without_verify()),
-        );
-    }
-    cluster.run_for(duration);
-    cluster.node_metrics(0).bytes as f64 / duration.as_ns()
+            Box::new(FarmReader::endless(kv, FarmCosts::default()).without_verify())
+        })
+        .run_for(duration)
+        .gbps(0)
 }
 
 /// Runs the sweep.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let duration = Time::from_us(opts.pick(200, 30));
-    OBJECT_SIZES
-        .iter()
-        .map(|&size| Point {
-            size,
-            percl_gbps: measure(size, StoreLayout::PerCl, duration),
-            sabre_gbps: measure(size, StoreLayout::Clean, duration),
-        })
-        .collect()
+    opts.sweep(OBJECT_SIZES).map(|&size| Point {
+        size,
+        percl_gbps: measure(size, StoreLayout::PerCl, duration),
+        sabre_gbps: measure(size, StoreLayout::Clean, duration),
+    })
 }
 
 /// Renders the figure as a table.

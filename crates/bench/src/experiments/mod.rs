@@ -3,9 +3,14 @@
 //! Each module exposes `data(opts) -> Vec<…>` with structured results and
 //! `run(opts) -> Table` (or several) for printing. The DESIGN.md experiment
 //! index maps paper artifacts to these modules.
+//!
+//! Every experiment is declared with [`sabre_rack::ScenarioBuilder`] (plus
+//! [`sabre_farm::ScenarioStoreExt`] for store-backed ones) and its sweep
+//! points run in parallel via [`crate::RunOpts::sweep`]; each point builds
+//! a self-contained cluster, so results are deterministic whatever the
+//! thread count.
 
 pub mod ablations;
-pub mod common;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2_race;
@@ -16,3 +21,9 @@ pub mod fig9a;
 pub mod fig9b;
 pub mod table1;
 pub mod table2;
+
+/// The transfer sizes of the microbenchmark figures (Figs. 7a/7b).
+pub const TRANSFER_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// The object sizes of the object-store figures (Figs. 1, 9, 10).
+pub const OBJECT_SIZES: [u32; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];

@@ -13,12 +13,11 @@
 //!   roundtrip, version-checked in hardware.
 
 use sabre_core::CcMode;
-use sabre_farm::StoreLayout;
+use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_rack::workloads::{SourceLockingReader, SyncReader};
-use sabre_rack::{Cluster, ClusterConfig, ReadMechanism};
+use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
-use super::common::build_store;
 use crate::table::fmt_ns;
 use crate::{RunOpts, Table};
 
@@ -77,64 +76,51 @@ pub struct Point {
 /// The object payload used for the comparison.
 pub const PAYLOAD: u32 = 1024;
 
-fn measure(quadrant: Quadrant, iters: u64) -> f64 {
-    let mut cfg = ClusterConfig::default();
-    if quadrant == Quadrant::DestLocking {
-        cfg.lightsabres.cc_mode = CcMode::Locking;
-    }
-    let mut cluster = Cluster::new(cfg);
+/// Measures one quadrant. Public so the scenario equivalence test
+/// certifies *this* construction, not a copy of it.
+pub fn measure(quadrant: Quadrant, iters: u64) -> f64 {
     let layout = match quadrant {
         Quadrant::SourceOccPerCl => StoreLayout::PerCl,
         Quadrant::SourceOccChecksum => StoreLayout::Checksum,
         _ => StoreLayout::Clean,
     };
-    let store = build_store(&mut cluster, 1, layout, PAYLOAD, Some(512));
-    let objects = store.object_addrs();
-    match quadrant {
-        Quadrant::SourceLocking => {
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(SourceLockingReader::endless(1, objects, PAYLOAD)),
-            );
-        }
-        Quadrant::SourceOccPerCl => {
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(SyncReader::endless(
+    let (scenario, _store) = ScenarioBuilder::new()
+        .configure(|cfg| {
+            if quadrant == Quadrant::DestLocking {
+                cfg.lightsabres.cc_mode = CcMode::Locking;
+            }
+        })
+        .store(1, layout, PAYLOAD, Some(512));
+    let report = scenario
+        .reader(0, 0, move |objects| -> Box<dyn sabre_rack::Workload> {
+            let objects = objects.to_vec();
+            match quadrant {
+                Quadrant::SourceLocking => {
+                    Box::new(SourceLockingReader::endless(1, objects, PAYLOAD))
+                }
+                Quadrant::SourceOccPerCl => Box::new(SyncReader::endless(
                     1,
                     objects,
                     PAYLOAD,
                     ReadMechanism::PerClValidate { payload: PAYLOAD },
                 )),
-            );
-        }
-        Quadrant::SourceOccChecksum => {
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(SyncReader::endless(
+                Quadrant::SourceOccChecksum => Box::new(SyncReader::endless(
                     1,
                     objects,
                     PAYLOAD,
                     ReadMechanism::ChecksumValidate { payload: PAYLOAD },
                 )),
-            );
-        }
-        Quadrant::DestLocking | Quadrant::DestOcc => {
-            let wire = StoreLayout::Clean.object_bytes(PAYLOAD as usize) as u32;
-            cluster.add_workload(
-                0,
-                0,
-                Box::new(
-                    SyncReader::endless(1, objects, PAYLOAD, ReadMechanism::Sabre).with_wire(wire),
-                ),
-            );
-        }
-    }
-    cluster.run_for(Time::from_us(20 * iters));
-    let m = cluster.metrics(0, 0);
+                Quadrant::DestLocking | Quadrant::DestOcc => {
+                    let wire = StoreLayout::Clean.object_bytes(PAYLOAD as usize) as u32;
+                    Box::new(
+                        SyncReader::endless(1, objects, PAYLOAD, ReadMechanism::Sabre)
+                            .with_wire(wire),
+                    )
+                }
+            }
+        })
+        .run_for(Time::from_us(20 * iters));
+    let m = report.core(0, 0);
     assert!(
         m.ops >= iters / 2,
         "too few ops for {quadrant:?}: {}",
@@ -146,13 +132,10 @@ fn measure(quadrant: Quadrant, iters: u64) -> f64 {
 /// Runs all quadrants.
 pub fn data(opts: RunOpts) -> Vec<Point> {
     let iters = opts.pick(100, 10);
-    Quadrant::ALL
-        .iter()
-        .map(|&quadrant| Point {
-            quadrant,
-            latency_ns: measure(quadrant, iters),
-        })
-        .collect()
+    opts.sweep(Quadrant::ALL).map(|&quadrant| Point {
+        quadrant,
+        latency_ns: measure(quadrant, iters),
+    })
 }
 
 /// Renders the design-space comparison as a table.

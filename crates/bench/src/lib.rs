@@ -4,45 +4,79 @@
 //! Each experiment lives in [`experiments`] as a `data()` function returning
 //! structured results (consumed by the integration tests, which assert the
 //! paper's *shape*: who wins, by roughly what factor, where crossovers
-//! fall) and a `run()` function rendering the printable table. One binary
-//! per experiment regenerates it:
+//! fall) and a `run()` function rendering the printable table. Experiments
+//! are built with [`sabre_rack::ScenarioBuilder`] and executed with
+//! [`sabre_rack::Sweep`], so independent sweep points run in parallel
+//! across OS threads. One binary per experiment regenerates it:
 //!
 //! ```text
-//! cargo run --release -p sabre-bench --bin fig7a [-- --quick]
+//! cargo run --release -p sabre-bench --bin fig7a [-- --quick] [-- --threads N]
 //! cargo run --release -p sabre-bench --bin all_figures
 //! ```
 //!
 //! `--quick` shrinks iteration counts and simulated durations (used by the
-//! smoke tests); full runs are the EXPERIMENTS.md numbers.
+//! smoke tests); full runs are the EXPERIMENTS.md numbers. `--threads N`
+//! (or the `SABRES_THREADS` environment variable) caps sweep parallelism;
+//! the default is the machine's available parallelism. Results are
+//! deterministic regardless of the thread count.
 
 pub mod experiments;
 pub mod table;
 
 pub use table::Table;
 
+use sabre_rack::Sweep;
+
 /// Global run options for experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOpts {
     /// Shrink iteration counts / durations for smoke testing.
     pub quick: bool,
+    /// Cap on sweep worker threads (`None`: `SABRES_THREADS`, then the
+    /// machine's available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl RunOpts {
-    /// Parses `--quick` from the process arguments (any position).
+    /// Parses `--quick` and `--threads N` from the process arguments (any
+    /// position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--threads` is present without a valid integer value — an
+    /// explicit parallelism cap must never be silently dropped.
     pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let threads = args.iter().position(|a| a == "--threads").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "--threads needs an integer value, got {:?}",
+                        args.get(i + 1)
+                    )
+                })
+        });
         RunOpts {
-            quick: std::env::args().any(|a| a == "--quick"),
+            quick: args.iter().any(|a| a == "--quick"),
+            threads,
         }
     }
 
     /// Full-fidelity options.
     pub fn full() -> Self {
-        RunOpts { quick: false }
+        RunOpts {
+            quick: false,
+            threads: None,
+        }
     }
 
     /// Quick (smoke-test) options.
     pub fn quick() -> Self {
-        RunOpts { quick: true }
+        RunOpts {
+            quick: true,
+            threads: None,
+        }
     }
 
     /// Picks between a full and a quick value.
@@ -52,5 +86,10 @@ impl RunOpts {
         } else {
             full
         }
+    }
+
+    /// A [`Sweep`] over `points` honoring this run's thread cap.
+    pub fn sweep<P: Send + Sync>(&self, points: impl IntoIterator<Item = P>) -> Sweep<P> {
+        Sweep::over(points).threads_opt(self.threads)
     }
 }

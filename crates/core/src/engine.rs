@@ -177,6 +177,24 @@ pub struct EngineStats {
     pub page_stalls: u64,
 }
 
+impl EngineStats {
+    /// Accumulates another engine's counters into this one (aggregation
+    /// across pipelines).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.registered += other.registered;
+        self.completed_ok += other.completed_ok;
+        self.completed_failed += other.completed_failed;
+        self.aborts_window_conflict += other.aborts_window_conflict;
+        self.aborts_version_locked += other.aborts_version_locked;
+        self.aborts_validate_mismatch += other.aborts_validate_mismatch;
+        self.aborts_lock_failed += other.aborts_lock_failed;
+        self.revalidations += other.revalidations;
+        self.invals_ignored_after_window += other.invals_ignored_after_window;
+        self.depth_stalls += other.depth_stalls;
+        self.page_stalls += other.page_stalls;
+    }
+}
+
 /// The LightSABRes engine state: the ATT, one stream buffer per entry, and
 /// a round-robin transfer selector. See the [crate docs](crate) for the
 /// protocol walk-through and an example.
@@ -222,6 +240,13 @@ impl LightSabres {
     /// Statistics counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Zeroes the statistics counters. In-flight SABRes are untouched —
+    /// this only restarts *measurement*, e.g. at the end of a warmup
+    /// window.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
     }
 
     /// Number of currently occupied ATT entries.

@@ -22,12 +22,15 @@
 //!   key-value lookups against the two store layouts;
 //! * [`write_path`] — writes over RPC (FaRM never writes remote memory
 //!   one-sidedly): the [`RpcWriteServer`] applying updates at the owner and
-//!   the [`RpcWriter`] client.
+//!   the [`RpcWriter`] client;
+//! * [`scenario`] — the [`ScenarioStoreExt`] extension letting
+//!   [`sabre_rack::ScenarioBuilder`] declare object-store regions.
 
 pub mod costs;
 pub mod kv;
 pub mod local;
 pub mod read_path;
+pub mod scenario;
 pub mod store;
 pub mod write_path;
 
@@ -35,5 +38,6 @@ pub use costs::FarmCosts;
 pub use kv::KvStore;
 pub use local::FarmLocalReader;
 pub use read_path::FarmReader;
+pub use scenario::ScenarioStoreExt;
 pub use store::{ObjectStore, StoreLayout};
 pub use write_path::{RpcWriteServer, RpcWriter};

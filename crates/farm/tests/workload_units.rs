@@ -1,20 +1,18 @@
 //! Unit-level tests of the rack's workload programs and cluster plumbing
-//! that the figure experiments do not isolate.
+//! that the figure experiments do not isolate, declared through the
+//! Scenario API.
 
-use sabre_farm::{ObjectStore, StoreLayout};
+use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_mem::Addr;
 use sabre_rack::workloads::{
     pattern_payload, verify_payload, AsyncReader, SyncReader, Writer, WriterLayout,
 };
-use sabre_rack::{Cluster, ClusterConfig, Phase, ReadMechanism};
+use sabre_rack::{Phase, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 use sabre_sw::layout::{CleanLayout, PerClLayout};
 
-fn small_cluster() -> Cluster {
-    Cluster::new(ClusterConfig {
-        memory_bytes: 8 * 1024 * 1024,
-        ..ClusterConfig::default()
-    })
+fn small_scenario() -> ScenarioBuilder {
+    ScenarioBuilder::new().configure(|cfg| cfg.memory_bytes = 8 * 1024 * 1024)
 }
 
 #[test]
@@ -40,25 +38,21 @@ fn pattern_verify_round_trip_and_tear_detection() {
 
 #[test]
 fn writer_updates_publish_consistent_objects() {
-    let mut cluster = small_cluster();
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 4);
-    store.init(cluster.node_memory_mut(1));
-    cluster.add_workload(
-        1,
-        0,
-        Box::new(Writer::new(
-            store.object_entries(),
-            480,
-            WriterLayout::Clean,
-            Time::ZERO,
-        )),
-    );
-    cluster.run_for(Time::from_us(50));
+    let (scenario, store) = small_scenario().store(1, StoreLayout::Clean, 480, Some(4));
+    let entries = store.object_entries();
+    let report = scenario
+        .workload(
+            1,
+            0,
+            Box::new(Writer::new(entries, 480, WriterLayout::Clean, Time::ZERO)),
+        )
+        .run_for(Time::from_us(50));
     // Whatever instant we stop at, at most one object is mid-update; the
     // rest must be consistent published versions.
     let mut locked = 0;
     for i in 0..4 {
-        let image = cluster
+        let image = report
+            .cluster()
             .node_memory(1)
             .read_vec(store.object_addr(i), store.slot_bytes() as usize);
         if CleanLayout::version_of(&image).is_locked() {
@@ -76,23 +70,24 @@ fn writer_updates_publish_consistent_objects() {
 
 #[test]
 fn percl_writer_keeps_store_validatable() {
-    let mut cluster = small_cluster();
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::PerCl, 480, 3);
-    store.init(cluster.node_memory_mut(1));
-    cluster.add_workload(
-        1,
-        0,
-        Box::new(Writer::new(
-            store.object_entries(),
-            480,
-            WriterLayout::PerCl,
-            Time::from_ns(100),
-        )),
-    );
-    cluster.run_for(Time::from_us(60));
+    let (scenario, store) = small_scenario().store(1, StoreLayout::PerCl, 480, Some(3));
+    let entries = store.object_entries();
+    let report = scenario
+        .workload(
+            1,
+            0,
+            Box::new(Writer::new(
+                entries,
+                480,
+                WriterLayout::PerCl,
+                Time::from_ns(100),
+            )),
+        )
+        .run_for(Time::from_us(60));
     let mut validated = 0;
     for i in 0..3 {
-        let image = cluster
+        let image = report
+            .cluster()
             .node_memory(1)
             .read_vec(store.object_addr(i), store.slot_bytes() as usize);
         if let Ok(payload) = PerClLayout::validate_and_strip(&image, 480) {
@@ -105,21 +100,19 @@ fn percl_writer_keeps_store_validatable() {
 
 #[test]
 fn async_reader_keeps_window_full() {
-    let mut cluster = small_cluster();
-    cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(AsyncReader::new(
-            1,
-            vec![Addr::new(0)],
-            128,
-            ReadMechanism::Sabre,
-            4,
-        )),
-    );
-    cluster.run_for(Time::from_us(50));
-    let m = cluster.metrics(0, 0);
+    let report = small_scenario()
+        .raw_region_sized(1, 128, 1)
+        .reader(0, 0, |targets| {
+            Box::new(AsyncReader::new(
+                1,
+                targets.to_vec(),
+                128,
+                ReadMechanism::Sabre,
+                4,
+            ))
+        })
+        .run_for(Time::from_us(50));
+    let m = report.core(0, 0);
     // 4-deep pipelining must clearly beat what a synchronous reader could
     // do in the same time (ops ≈ window × time / latency).
     let sync_bound = 50_000 / 240; // ≈ one op per 240 ns
@@ -132,23 +125,20 @@ fn async_reader_keeps_window_full() {
 
 #[test]
 fn sync_reader_phases_are_recorded() {
-    let mut cluster = small_cluster();
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::PerCl, 480, 8);
-    store.init(cluster.node_memory_mut(1));
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(SyncReader::iterations(
-            1,
-            store.object_addrs(),
-            480,
-            ReadMechanism::PerClValidate { payload: 480 },
-            Addr::new(4 * 1024 * 1024),
-            20,
-        )),
-    );
-    cluster.run_for(Time::from_us(100));
-    let m = cluster.metrics(0, 0);
+    let (scenario, _store) = small_scenario().store(1, StoreLayout::PerCl, 480, Some(8));
+    let report = scenario
+        .reader(0, 0, |objects| {
+            Box::new(SyncReader::iterations(
+                1,
+                objects.to_vec(),
+                480,
+                ReadMechanism::PerClValidate { payload: 480 },
+                Addr::new(4 * 1024 * 1024),
+                20,
+            ))
+        })
+        .run_for(Time::from_us(100));
+    let m = report.core(0, 0);
     assert_eq!(m.ops, 20);
     assert!(m.phase_mean_ns(Phase::Transfer).unwrap() > 100.0);
     let strip = m.phase_mean_ns(Phase::Strip).unwrap();
@@ -158,26 +148,24 @@ fn sync_reader_phases_are_recorded() {
 
 #[test]
 fn checksum_reader_works_end_to_end() {
-    let mut cluster = small_cluster();
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Checksum, 480, 8);
-    store.init(cluster.node_memory_mut(1));
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(
-            SyncReader::iterations(
-                1,
-                store.object_addrs(),
-                480,
-                ReadMechanism::ChecksumValidate { payload: 480 },
-                Addr::new(4 * 1024 * 1024),
-                5,
+    let (scenario, store) = small_scenario().store(1, StoreLayout::Checksum, 480, Some(8));
+    let wire = store.slot_bytes() as u32;
+    let report = scenario
+        .reader(0, 0, move |objects| {
+            Box::new(
+                SyncReader::iterations(
+                    1,
+                    objects.to_vec(),
+                    480,
+                    ReadMechanism::ChecksumValidate { payload: 480 },
+                    Addr::new(4 * 1024 * 1024),
+                    5,
+                )
+                .with_wire(wire),
             )
-            .with_wire(store.slot_bytes() as u32),
-        ),
-    );
-    cluster.run_for(Time::from_us(200));
-    let m = cluster.metrics(0, 0);
+        })
+        .run_for(Time::from_us(200));
+    let m = report.core(0, 0);
     assert_eq!(m.ops, 5);
     assert_eq!(m.retries, 0);
     // CRC dominates: 480 B × 12 cycles/B = 2.88 µs.
@@ -186,24 +174,20 @@ fn checksum_reader_works_end_to_end() {
 
 #[test]
 fn node_metrics_aggregate_cores() {
-    let mut cluster = small_cluster();
-    cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
-    for core in 0..3 {
-        cluster.add_workload(
-            0,
-            core,
+    let report = small_scenario()
+        .raw_region_sized(1, 64, 1)
+        .readers(0, 0..3, |core, targets| {
             Box::new(SyncReader::iterations(
                 1,
-                vec![Addr::new(0)],
+                targets.to_vec(),
                 64,
                 ReadMechanism::Raw,
                 Addr::new((4 + core as u64) * 1024 * 1024),
                 10,
-            )),
-        );
-    }
-    cluster.run_for(Time::from_us(50));
-    let agg = cluster.node_metrics(0);
+            ))
+        })
+        .run_for(Time::from_us(50));
+    let agg = report.node(0);
     assert_eq!(agg.ops, 30);
     assert_eq!(agg.bytes, 30 * 64);
 }
@@ -217,7 +201,7 @@ fn store_local_rejects_straddling_writes() {
             api.store_local(Addr::new(60), &[0u8; 8]); // crosses a block
         }
     }
-    let mut cluster = small_cluster();
-    cluster.add_workload(0, 0, Box::new(Bad));
-    cluster.run_for(Time::from_ns(10));
+    small_scenario()
+        .workload(0, 0, Box::new(Bad))
+        .run_for(Time::from_ns(10));
 }

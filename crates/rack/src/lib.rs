@@ -11,6 +11,11 @@
 //! across the edge, 2 MB LLC, four DDR4-25.6 channels, and a 100 GBps
 //! 35 ns/hop fabric (Table 2).
 //!
+//! Experiments are normally *declared* through the [`scenario`] module
+//! ([`ScenarioBuilder`] + [`Sweep`]) rather than wired by hand; the
+//! low-level [`Cluster`] example below shows what a scenario materializes
+//! into.
+//!
 //! # Example
 //!
 //! ```
@@ -31,10 +36,12 @@
 pub mod cluster;
 pub mod config;
 pub mod metrics;
+pub mod scenario;
 pub mod workload;
 pub mod workloads;
 
 pub use cluster::Cluster;
 pub use config::ClusterConfig;
 pub use metrics::{CoreMetrics, Phase};
+pub use scenario::{RunReport, ScenarioBuilder, Sweep};
 pub use workload::{CoreApi, ReadMechanism, Workload};

@@ -84,6 +84,13 @@ impl CoreMetrics {
         }
     }
 
+    /// Resets every counter, histogram and phase tracker to the
+    /// just-constructed state — the primitive behind warmup windows: run
+    /// the warmup, reset, measure.
+    pub fn reset(&mut self) {
+        *self = CoreMetrics::default();
+    }
+
     /// Merges another core's metrics into this one (aggregation).
     pub fn merge(&mut self, other: &CoreMetrics) {
         self.ops += other.ops;
@@ -129,6 +136,20 @@ mod tests {
         assert_eq!(m.phase_mean_ns(Phase::Transfer), Some(100.0));
         assert_eq!(m.phase_mean_ns(Phase::Strip), Some(100.0));
         assert_eq!(m.phase_mean_ns(Phase::App), None);
+    }
+
+    #[test]
+    fn reset_returns_to_default() {
+        let mut m = CoreMetrics::default();
+        m.record_success(1000, Time::from_ns(100));
+        m.record_retry();
+        m.record_phase(Phase::Strip, Time::from_ns(50));
+        m.reset();
+        assert_eq!(m.ops, 0);
+        assert_eq!(m.bytes, 0);
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.latency.mean(), None);
+        assert_eq!(m.phase_mean_ns(Phase::Strip), None);
     }
 
     #[test]

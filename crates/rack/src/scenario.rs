@@ -1,0 +1,564 @@
+//! Declarative experiment construction and parallel sweep execution.
+//!
+//! Every experiment on the simulated rack follows the same ritual: build a
+//! [`Cluster`] from a (possibly tweaked) [`ClusterConfig`], lay out data
+//! regions in functional memory, install workload programs on cores, run
+//! for some simulated time, and scrape metrics. [`ScenarioBuilder`] makes
+//! that ritual declarative — the scenario is *described* up front and
+//! materialized only when [`ScenarioBuilder::run`] fires — and
+//! [`RunReport`] bundles everything an experiment reads back: per-core
+//! [`CoreMetrics`], per-pipe [`R2p2Stats`] and [`EngineStats`], simulated
+//! and host wall-clock time, plus the finished [`Cluster`] for ad-hoc
+//! inspection (functional memory, configuration).
+//!
+//! Because each simulated cluster is a self-contained single-threaded
+//! world, *independent* scenarios are embarrassingly parallel: [`Sweep`]
+//! runs one scenario per sweep point across OS threads and returns the
+//! results in input order, bit-identical to a serial run.
+//!
+//! ```
+//! use sabre_rack::scenario::{ScenarioBuilder, Sweep};
+//! use sabre_rack::{workloads::SyncReader, ReadMechanism};
+//! use sabre_sim::Time;
+//!
+//! let latencies: Vec<f64> = Sweep::over([64u32, 256, 1024])
+//!     .map(|&size| {
+//!         ScenarioBuilder::new()
+//!             .raw_region(1, size)
+//!             .reader(0, 0, move |targets| {
+//!                 Box::new(SyncReader::endless(1, targets.to_vec(), size, ReadMechanism::Sabre))
+//!             })
+//!             .run_for(Time::from_us(30))
+//!             .mean_latency_ns(0, 0)
+//!             .expect("ops completed")
+//!     });
+//! assert_eq!(latencies.len(), 3);
+//! assert!(latencies[0] < latencies[2], "larger transfers take longer");
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sabre_core::EngineStats;
+use sabre_mem::Addr;
+use sabre_sim::Time;
+use sabre_sonuma::r2p2::R2p2Stats;
+
+use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
+use crate::metrics::CoreMetrics;
+use crate::workload::Workload;
+
+type PrepareFn = Box<dyn FnOnce(&mut Cluster) -> Vec<Addr>>;
+type FactoryFn = Box<dyn FnOnce(&[Addr]) -> Box<dyn Workload>>;
+
+/// A declarative description of one experiment on the simulated rack.
+///
+/// Construction order is preserved exactly: region preparations run in
+/// declaration order against the fresh cluster, then workloads are
+/// installed in declaration order, then the simulation runs — so a
+/// scenario with the same seed replays bit-identically to hand-wired
+/// [`Cluster`] construction performing the same steps.
+pub struct ScenarioBuilder {
+    cfg: ClusterConfig,
+    prepares: Vec<PrepareFn>,
+    workloads: Vec<(usize, usize, FactoryFn)>,
+    warmup: Time,
+    measure: Time,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A scenario on the default Table-2 rack.
+    pub fn new() -> Self {
+        Self::with_config(ClusterConfig::default())
+    }
+
+    /// A scenario on an explicit configuration.
+    pub fn with_config(cfg: ClusterConfig) -> Self {
+        ScenarioBuilder {
+            cfg,
+            prepares: Vec::new(),
+            workloads: Vec::new(),
+            warmup: Time::ZERO,
+            measure: Time::ZERO,
+        }
+    }
+
+    /// Tweaks the cluster configuration in place.
+    pub fn configure(mut self, f: impl FnOnce(&mut ClusterConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// The configuration the scenario will build its cluster from (e.g. to
+    /// derive core counts when placing workloads).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Sets the RNG seed for all workloads.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Registers a region-preparation step: it receives the fresh cluster
+    /// before any workload starts and returns the target addresses it laid
+    /// out (possibly none). Targets of every preparation, in declaration
+    /// order, are concatenated and handed to the workload factories.
+    pub fn prepare(mut self, f: impl FnOnce(&mut Cluster) -> Vec<Addr> + 'static) -> Self {
+        self.prepares.push(Box::new(f));
+        self
+    }
+
+    /// Declares a memory-resident region of raw transfer targets of `size`
+    /// bytes each on `node`: enough slots (≈16 MB) that uniform random
+    /// access misses the 2 MB LLC, as in the paper's "remote data is memory
+    /// resident" setups. Each target starts with an even (unlocked) version
+    /// word.
+    pub fn raw_region(self, node: usize, size: u32) -> Self {
+        let slot = (size as u64).div_ceil(64) * 64;
+        let count = (16 * 1024 * 1024 / slot).clamp(1, 16_384);
+        self.raw_region_sized(node, size, count)
+    }
+
+    /// [`ScenarioBuilder::raw_region`] with an explicit target count.
+    pub fn raw_region_sized(self, node: usize, size: u32, count: u64) -> Self {
+        let slot = (size as u64).div_ceil(64) * 64;
+        self.prepare(move |cluster| {
+            let mem = cluster.node_memory_mut(node);
+            let mut addrs = Vec::with_capacity(count as usize);
+            for i in 0..count {
+                let base = Addr::new(i * slot);
+                mem.write_u64(base, 0);
+                addrs.push(base);
+            }
+            addrs
+        })
+    }
+
+    /// Pre-warms node `node`'s LLC over every block of `[base, base+bytes)`
+    /// before the workloads start (LLC-resident working sets).
+    pub fn warm_llc(self, node: usize, base: Addr, bytes: u64) -> Self {
+        self.prepare(move |cluster| {
+            cluster.warm_llc(node, base, bytes);
+            Vec::new()
+        })
+    }
+
+    /// Places a workload built by `factory` on `core` of `node`. The
+    /// factory receives the concatenated target addresses of every declared
+    /// region.
+    pub fn reader(
+        mut self,
+        node: usize,
+        core: usize,
+        factory: impl FnOnce(&[Addr]) -> Box<dyn Workload> + 'static,
+    ) -> Self {
+        self.workloads.push((node, core, Box::new(factory)));
+        self
+    }
+
+    /// Places one workload per core in `cores`, each built by `factory`
+    /// from `(core, targets)`.
+    pub fn readers(
+        mut self,
+        node: usize,
+        cores: impl IntoIterator<Item = usize>,
+        factory: impl Fn(usize, &[Addr]) -> Box<dyn Workload> + 'static,
+    ) -> Self {
+        let factory = std::rc::Rc::new(factory);
+        for core in cores {
+            let f = std::rc::Rc::clone(&factory);
+            self.workloads.push((
+                node,
+                core,
+                Box::new(move |targets: &[Addr]| f(core, targets)),
+            ));
+        }
+        self
+    }
+
+    /// Places an already-built workload on `core` of `node`.
+    pub fn workload(self, node: usize, core: usize, w: Box<dyn Workload>) -> Self {
+        self.reader(node, core, move |_| w)
+    }
+
+    /// Declares a warmup window: the simulation runs for `t` before the
+    /// measurement window, then every metric and statistic is reset
+    /// ([`Cluster::reset_metrics`]), so cold-start effects (LLC fills,
+    /// empty pipelines) are excluded from the report.
+    pub fn warmup(mut self, t: Time) -> Self {
+        self.warmup = t;
+        self
+    }
+
+    /// Declares the measurement window: the simulated duration the report's
+    /// metrics cover.
+    pub fn measure(mut self, t: Time) -> Self {
+        self.measure = t;
+        self
+    }
+
+    /// Materializes and runs the scenario: builds the cluster, runs every
+    /// preparation, installs every workload, simulates the warmup window
+    /// (if any, resetting metrics after it), then the measurement window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement window was declared (a zero-length window
+    /// would silently measure nothing — call [`ScenarioBuilder::measure`]
+    /// or use [`ScenarioBuilder::run_for`]), if the configuration is
+    /// invalid, or if a workload placement is out of range — programming
+    /// errors, exactly as with hand-wired construction.
+    pub fn run(self) -> RunReport {
+        assert!(
+            self.measure > Time::ZERO,
+            "no measurement window declared: call .measure(t) (or .run_for(t)) before .run()"
+        );
+        let wall = Instant::now();
+        let mut cluster = Cluster::new(self.cfg);
+        let mut targets = Vec::new();
+        for prep in self.prepares {
+            targets.extend(prep(&mut cluster));
+        }
+        for (node, core, factory) in self.workloads {
+            cluster.add_workload(node, core, factory(&targets));
+        }
+        if self.warmup > Time::ZERO {
+            cluster.run_for(self.warmup);
+            cluster.reset_metrics();
+        }
+        let start = cluster.now();
+        cluster.run_for(self.measure);
+        let measured = cluster.now() - start;
+        RunReport {
+            cluster,
+            measured,
+            wall: wall.elapsed(),
+        }
+    }
+
+    /// Shorthand: sets the measurement window to `t` and runs.
+    pub fn run_for(self, t: Time) -> RunReport {
+        self.measure(t).run()
+    }
+}
+
+/// Everything an experiment reads back from one scenario run.
+pub struct RunReport {
+    cluster: Cluster,
+    measured: Time,
+    wall: Duration,
+}
+
+impl RunReport {
+    /// The finished cluster, for ad-hoc inspection (functional memory,
+    /// configuration, anything the structured accessors don't cover).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Simulated time at the end of the run.
+    pub fn sim_time(&self) -> Time {
+        self.cluster.now()
+    }
+
+    /// Length of the measurement window the metrics cover (excludes
+    /// warmup).
+    pub fn measured(&self) -> Time {
+        self.measured
+    }
+
+    /// Host wall-clock time the run took.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Metrics of one core.
+    pub fn core(&self, node: usize, core: usize) -> &CoreMetrics {
+        self.cluster.metrics(node, core)
+    }
+
+    /// Aggregated (summed) metrics over all cores of `node`.
+    pub fn node(&self, node: usize) -> CoreMetrics {
+        self.cluster.node_metrics(node)
+    }
+
+    /// Mean end-to-end latency of one core's successful operations, in ns.
+    pub fn mean_latency_ns(&self, node: usize, core: usize) -> Option<f64> {
+        self.cluster.metrics(node, core).latency.mean()
+    }
+
+    /// Aggregate goodput of `node` over the measurement window, in GB/s.
+    pub fn gbps(&self, node: usize) -> f64 {
+        self.node(node).gbps(self.measured)
+    }
+
+    /// R2P2 statistics of one destination pipeline.
+    pub fn r2p2(&self, node: usize, pipe: usize) -> R2p2Stats {
+        self.cluster.r2p2_stats(node, pipe)
+    }
+
+    /// LightSABRes engine statistics of one destination pipeline.
+    pub fn engine(&self, node: usize, pipe: usize) -> EngineStats {
+        self.cluster.engine_stats(node, pipe)
+    }
+
+    /// R2P2 statistics summed over every pipeline of `node`.
+    pub fn r2p2_totals(&self, node: usize) -> R2p2Stats {
+        let mut total = R2p2Stats::default();
+        for pipe in 0..self.cluster.config().rmc_backends {
+            total.merge(&self.cluster.r2p2_stats(node, pipe));
+        }
+        total
+    }
+
+    /// Engine statistics summed over every pipeline of `node`.
+    pub fn engine_totals(&self, node: usize) -> EngineStats {
+        let mut total = EngineStats::default();
+        for pipe in 0..self.cluster.config().rmc_backends {
+            total.merge(&self.cluster.engine_stats(node, pipe));
+        }
+        total
+    }
+}
+
+/// A grid of independent sweep points, executed in parallel across OS
+/// threads (each point builds its own self-contained [`Cluster`], so
+/// points never share state) with results collected in input order.
+///
+/// The thread count resolves, in priority order: an explicit
+/// [`Sweep::threads`] call, the `SABRES_THREADS` environment variable,
+/// then the machine's available parallelism — always clamped to the number
+/// of points.
+pub struct Sweep<P> {
+    points: Vec<P>,
+    threads: Option<usize>,
+}
+
+impl<P: Send + Sync> Sweep<P> {
+    /// Declares the sweep points.
+    pub fn over(points: impl IntoIterator<Item = P>) -> Self {
+        Sweep {
+            points: points.into_iter().collect(),
+            threads: None,
+        }
+    }
+
+    /// Caps the worker thread count (1 forces a serial run).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// [`Sweep::threads`] from an optional cap (`None` keeps the default
+    /// resolution).
+    pub fn threads_opt(mut self, n: Option<usize>) -> Self {
+        if let Some(n) = n {
+            self = self.threads(n);
+        }
+        self
+    }
+
+    /// Number of declared points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn resolve_threads(&self, points: usize) -> usize {
+        let from_env = || {
+            let v = std::env::var("SABRES_THREADS").ok()?;
+            match v.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    // An unparseable cap must not silently become "use every
+                    // core" — that is the opposite of what the user asked.
+                    eprintln!(
+                        "warning: ignoring unparseable SABRES_THREADS={v:?} (want an integer)"
+                    );
+                    None
+                }
+            }
+        };
+        let n = self.threads.or_else(from_env).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        n.clamp(1, points.max(1))
+    }
+
+    /// Runs `f` on every point and returns the results in input order.
+    ///
+    /// With more than one worker thread, points are pulled from a shared
+    /// cursor, so long points overlap short ones; `f` must therefore be
+    /// independent per point (true for any function that builds its own
+    /// scenario). A panic in any point propagates.
+    pub fn map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        let n = self.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.resolve_threads(n);
+        if threads <= 1 {
+            return self.points.iter().map(f).collect();
+        }
+        let points = &self.points;
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&points[i]);
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every point produced a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ReadMechanism;
+    use crate::workloads::SyncReader;
+
+    fn small() -> ClusterConfig {
+        ClusterConfig {
+            memory_bytes: 4 * 1024 * 1024,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn one_reader(size: u32) -> ScenarioBuilder {
+        ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, size, 64)
+            .reader(0, 0, move |targets| {
+                Box::new(SyncReader::endless(
+                    1,
+                    targets.to_vec(),
+                    size,
+                    ReadMechanism::Raw,
+                ))
+            })
+    }
+
+    #[test]
+    fn factories_receive_declared_targets() {
+        let report = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 128, 8)
+            .reader(0, 0, |targets| {
+                assert_eq!(targets.len(), 8);
+                assert_eq!(targets[1], Addr::new(128));
+                Box::new(SyncReader::iterations(
+                    1,
+                    targets.to_vec(),
+                    128,
+                    ReadMechanism::Raw,
+                    Addr::new(1 << 20),
+                    3,
+                ))
+            })
+            .run_for(Time::from_us(20));
+        assert_eq!(report.core(0, 0).ops, 3);
+        assert!(report.measured() == Time::from_us(20));
+    }
+
+    #[test]
+    fn scenario_replays_identically_to_hand_wiring() {
+        let scenario = one_reader(256).run_for(Time::from_us(40));
+
+        let mut cluster = Cluster::new(small());
+        let mem = cluster.node_memory_mut(1);
+        let mut targets = Vec::new();
+        for i in 0..64u64 {
+            mem.write_u64(Addr::new(i * 256), 0);
+            targets.push(Addr::new(i * 256));
+        }
+        cluster.add_workload(
+            0,
+            0,
+            Box::new(SyncReader::endless(1, targets, 256, ReadMechanism::Raw)),
+        );
+        cluster.run_for(Time::from_us(40));
+
+        assert_eq!(scenario.core(0, 0).ops, cluster.metrics(0, 0).ops);
+        assert_eq!(
+            scenario.mean_latency_ns(0, 0),
+            cluster.metrics(0, 0).latency.mean()
+        );
+        assert_eq!(scenario.r2p2_totals(1).plain_reads, {
+            let mut t = R2p2Stats::default();
+            for p in 0..4 {
+                t.merge(&cluster.r2p2_stats(1, p));
+            }
+            t.plain_reads
+        });
+    }
+
+    #[test]
+    fn warmup_window_excludes_cold_start() {
+        let full = one_reader(512).run_for(Time::from_us(60));
+        let windowed = one_reader(512)
+            .warmup(Time::from_us(30))
+            .measure(Time::from_us(30))
+            .run();
+        assert_eq!(windowed.sim_time(), Time::from_us(60));
+        assert_eq!(windowed.measured(), Time::from_us(30));
+        assert!(windowed.core(0, 0).ops > 0);
+        assert!(
+            windowed.core(0, 0).ops < full.core(0, 0).ops,
+            "measurement window must cover fewer ops than the full run"
+        );
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_in_order() {
+        let run = |size: u32| {
+            let r = one_reader(size).run_for(Time::from_us(30));
+            (size, r.core(0, 0).ops, r.mean_latency_ns(0, 0))
+        };
+        let serial = Sweep::over([64u32, 512, 2048]).threads(1).map(|&s| run(s));
+        let parallel = Sweep::over([64u32, 512, 2048]).threads(3).map(|&s| run(s));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0].0, 64, "results must come back in input order");
+        assert_eq!(serial[2].0, 2048);
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_oversubscribed() {
+        let empty: Vec<u32> = Sweep::over(std::iter::empty::<u32>()).map(|&x| x);
+        assert!(empty.is_empty());
+        let out = Sweep::over(0u32..5).threads(64).map(|&x| x * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -157,6 +157,17 @@ pub struct R2p2Stats {
     pub sabres_parked: u64,
 }
 
+impl R2p2Stats {
+    /// Accumulates another pipeline's counters into this one (aggregation
+    /// across pipelines).
+    pub fn merge(&mut self, other: &R2p2Stats) {
+        self.plain_reads += other.plain_reads;
+        self.writes += other.writes;
+        self.sabres_registered += other.sabres_registered;
+        self.sabres_parked += other.sabres_parked;
+    }
+}
+
 /// One Remote Request Processing Pipeline.
 #[derive(Debug)]
 pub struct R2p2 {
@@ -198,6 +209,14 @@ impl R2p2 {
     /// R2P2-level statistics.
     pub fn stats(&self) -> R2p2Stats {
         self.stats
+    }
+
+    /// Zeroes this pipeline's counters and its engine's. In-flight work is
+    /// untouched — this only restarts *measurement*, e.g. at the end of a
+    /// warmup window.
+    pub fn reset_stats(&mut self) {
+        self.stats = R2p2Stats::default();
+        self.engine.reset_stats();
     }
 
     /// Whether any work is waiting for an issue slot.

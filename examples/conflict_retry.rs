@@ -11,31 +11,23 @@
 
 use sabres::prelude::*;
 
-fn run_policy(label: &str, backoff: Time) {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-
+fn run_policy(backoff: Time) -> (f64, f64, u64, u64) {
     // A small, hot store: 32 × 2 KB objects, all LLC-resident, with four
     // aggressive writers (CREW) — a conflict-heavy regime.
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 2048, 32);
-    store.init(cluster.node_memory_mut(1));
-    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let (scenario, store) =
+        ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 2048, Some(32));
     let wire = StoreLayout::Clean.object_bytes(2048) as u32;
 
-    for core in 0..8 {
-        cluster.add_workload(
-            0,
-            core,
-            Box::new(
-                SyncReader::endless(1, store.object_addrs(), 2048, ReadMechanism::Sabre)
-                    .with_wire(wire)
-                    .with_consume()
-                    .with_backoff(backoff),
-            ),
-        );
-    }
-    let entries = store.object_entries();
-    for (w, chunk) in entries.chunks(8).enumerate() {
-        cluster.add_workload(
+    let mut scenario = scenario.readers(0, 0..8, move |_, objects| {
+        Box::new(
+            SyncReader::endless(1, objects.to_vec(), 2048, ReadMechanism::Sabre)
+                .with_wire(wire)
+                .with_consume()
+                .with_backoff(backoff),
+        )
+    });
+    for (w, chunk) in store.object_entries().chunks(8).enumerate() {
+        scenario = scenario.workload(
             1,
             w,
             Box::new(Writer::new(
@@ -47,22 +39,26 @@ fn run_policy(label: &str, backoff: Time) {
         );
     }
 
-    cluster.run_for(Time::from_us(300));
-    let m = cluster.node_metrics(0);
-    println!(
-        "{label:<18} {:>7.2} GB/s   abort rate {:>5.1}%   {} reads / {} retries",
-        m.gbps(cluster.now()),
-        m.abort_rate() * 100.0,
-        m.ops,
-        m.retries
-    );
+    let report = scenario.run_for(Time::from_us(300));
+    let m = report.node(0);
+    (report.gbps(0), m.abort_rate(), m.ops, m.retries)
 }
 
 fn main() {
     println!("8 readers vs 4 continuous writers on 32 hot objects:\n");
-    run_policy("immediate retry", Time::ZERO);
-    run_policy("backoff 500 ns", Time::from_ns(500));
-    run_policy("backoff 2 us", Time::from_us(2));
+    let policies = [
+        ("immediate retry", Time::ZERO),
+        ("backoff 500 ns", Time::from_ns(500)),
+        ("backoff 2 us", Time::from_us(2)),
+    ];
+    // Independent scenarios: sweep them in parallel, results in order.
+    let results = Sweep::over(policies).map(|&(_, backoff)| run_policy(backoff));
+    for ((label, _), (gbps, abort_rate, ops, retries)) in policies.iter().zip(results) {
+        println!(
+            "{label:<18} {gbps:>7.2} GB/s   abort rate {:>5.1}%   {ops} reads / {retries} retries",
+            abort_rate * 100.0,
+        );
+    }
     println!(
         "\nImmediate retry keeps goodput highest here (aborted SABRes waste\n\
          fabric bandwidth but the reader loses no time); longer backoffs cut\n\

@@ -13,47 +13,42 @@
 use sabres::prelude::*;
 
 fn deploy(layout: StoreLayout) -> (f64, f64, u64) {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-
     // Node 1 owns a 4 KB-object store; node 0 runs the client threads.
-    let store = ObjectStore::new(1, Addr::new(0), layout, 4096, 2048);
-    store.init(cluster.node_memory_mut(1));
+    let (scenario, store) = ScenarioBuilder::new().store(1, layout, 4096, Some(2048));
 
-    // 8 reader threads doing random key lookups over one-sided operations.
-    for core in 0..8 {
-        let kv = KvStore::new(store.clone(), 1_000_000);
-        cluster.add_workload(
-            0,
-            core,
-            Box::new(FarmReader::endless(kv, FarmCosts::default())),
-        );
-    }
+    let reader_store = store.clone();
+    let server_store = store.clone();
+    let report = scenario
+        // 8 reader threads doing random key lookups over one-sided
+        // operations.
+        .readers(0, 0..8, move |_, _| {
+            let kv = KvStore::new(reader_store.clone(), 1_000_000);
+            Box::new(FarmReader::endless(kv, FarmCosts::default()))
+        })
+        // One client thread sends write RPCs; core 15 of node 1 applies
+        // them at the owner (FaRM never writes remote memory one-sidedly).
+        .reader(1, 15, move |_| {
+            Box::new(RpcWriteServer::new(KvStore::new(server_store, 1_000_000)))
+        })
+        .reader(0, 15, move |_| {
+            let kv = KvStore::new(store, 1_000_000);
+            Box::new(RpcWriter::endless(kv, 15, Time::from_us(2)))
+        })
+        .run_for(Time::from_us(500));
 
-    // One client thread sends write RPCs; core 15 of node 1 applies them
-    // at the owner (FaRM never writes remote memory one-sidedly).
-    let kv = KvStore::new(store.clone(), 1_000_000);
-    cluster.add_workload(1, 15, Box::new(RpcWriteServer::new(kv)));
-    let kv = KvStore::new(store, 1_000_000);
-    cluster.add_workload(
-        0,
-        15,
-        Box::new(RpcWriter::endless(kv, 15, Time::from_us(2))),
-    );
-
-    cluster.run_for(Time::from_us(500));
-    let readers = cluster.node_metrics(0);
-    let horizon = cluster.now();
+    let readers = report.node(0);
     (
-        readers.gbps(horizon),
+        readers.gbps(report.sim_time()),
         readers.abort_rate(),
-        cluster.metrics(0, 15).ops, // RPC writes acknowledged
+        report.core(0, 15).ops, // RPC writes acknowledged
     )
 }
 
 fn main() {
     println!("deploying the same KV workload on both store layouts…\n");
-    let (base_gbps, base_aborts, base_writes) = deploy(StoreLayout::PerCl);
-    let (sabre_gbps, sabre_aborts, sabre_writes) = deploy(StoreLayout::Clean);
+    let results = Sweep::over([StoreLayout::PerCl, StoreLayout::Clean]).map(|&l| deploy(l));
+    let (base_gbps, base_aborts, base_writes) = results[0];
+    let (sabre_gbps, sabre_aborts, sabre_writes) = results[1];
 
     println!("baseline (per-CL versions): {base_gbps:.2} GB/s lookups, {:.2}% retried, {base_writes} writes applied", base_aborts * 100.0);
     println!("SABRe    (clean layout)   : {sabre_gbps:.2} GB/s lookups, {:.2}% retried, {sabre_writes} writes applied", sabre_aborts * 100.0);

@@ -1,6 +1,7 @@
 //! Latency anatomy of one atomic remote object read, across object sizes
 //! and mechanisms — a miniature of the paper's Figs. 7a/9a for interactive
-//! exploration.
+//! exploration. The sweep points are independent scenarios, so they run in
+//! parallel across OS threads (cap with `SABRES_THREADS`).
 //!
 //! ```text
 //! cargo run --release --example latency_sweep
@@ -9,23 +10,21 @@
 use sabres::prelude::*;
 
 fn one_reader(size: u32, mech: ReadMechanism, spec: SpecMode) -> f64 {
-    let mut cfg = ClusterConfig::default();
-    cfg.lightsabres.spec_mode = spec;
-    let mut cluster = Cluster::new(cfg);
-
-    // Memory-resident targets: enough objects that the LLC misses dominate.
+    // Memory-resident targets: enough objects that LLC misses dominate
+    // (this example has always capped the count at 8192, below
+    // `raw_region`'s default clamp, so its printed numbers stay stable
+    // across the Scenario-API migration).
     let slot = (size as u64).div_ceil(64) * 64;
-    let n = (16 * 1024 * 1024 / slot).min(8192);
-    let mem = cluster.node_memory_mut(1);
-    let mut objects = Vec::new();
-    for i in 0..n {
-        mem.write_u64(Addr::new(i * slot), 0);
-        objects.push(Addr::new(i * slot));
-    }
-
-    cluster.add_workload(0, 0, Box::new(SyncReader::endless(1, objects, size, mech)));
-    cluster.run_for(Time::from_us(400));
-    cluster.metrics(0, 0).latency.mean().expect("ops completed")
+    let count = (16 * 1024 * 1024 / slot).min(8192);
+    ScenarioBuilder::new()
+        .configure(|cfg| cfg.lightsabres.spec_mode = spec)
+        .raw_region_sized(1, size, count)
+        .reader(0, 0, move |targets| {
+            Box::new(SyncReader::endless(1, targets.to_vec(), size, mech))
+        })
+        .run_for(Time::from_us(400))
+        .mean_latency_ns(0, 0)
+        .expect("ops completed")
 }
 
 fn main() {
@@ -34,7 +33,7 @@ fn main() {
         "{:>8}  {:>12} {:>12} {:>12} {:>14}",
         "size(B)", "remote read", "SABRe", "SABRe nospec", "perCL(sw OCC)"
     );
-    for size in [64u32, 256, 1024, 4096, 8192] {
+    let rows = Sweep::over([64u32, 256, 1024, 4096, 8192]).map(|&size| {
         let read = one_reader(size, ReadMechanism::Raw, SpecMode::Speculative);
         let sabre = one_reader(size, ReadMechanism::Sabre, SpecMode::Speculative);
         let nospec = one_reader(size, ReadMechanism::Sabre, SpecMode::ReadVersionFirst);
@@ -43,6 +42,9 @@ fn main() {
             ReadMechanism::PerClValidate { payload: size },
             SpecMode::Speculative,
         );
+        (size, read, sabre, nospec, percl)
+    });
+    for (size, read, sabre, nospec, percl) in rows {
         println!("{size:>8}  {read:>12.0} {sabre:>12.0} {nospec:>12.0} {percl:>14.0}");
     }
     println!(

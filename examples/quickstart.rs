@@ -9,47 +9,40 @@ use sabres::prelude::*;
 
 fn main() {
     // Build the paper's Table-2 system: two 16-core chips, four R2P2s each
-    // (every R2P2 carrying a LightSABRes engine), 100 GBps fabric.
-    let mut cluster = Cluster::new(ClusterConfig::default());
-
-    // Node 1 hosts a store of 1 KB objects in the clean layout (16 B header
-    // with the odd/even version word, then contiguous payload).
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 1024, 256);
-    store.init(cluster.node_memory_mut(1));
+    // (every R2P2 carrying a LightSABRes engine), 100 GBps fabric. Node 1
+    // hosts a store of 1 KB objects in the clean layout (16 B header with
+    // the odd/even version word, then contiguous payload).
+    let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 1024, Some(256));
     let wire = StoreLayout::Clean.object_bytes(1024) as u32;
 
-    // Four cores on node 0 read random objects atomically, in a tight loop.
-    for core in 0..4 {
-        cluster.add_workload(
-            0,
-            core,
+    let report = scenario
+        // Four cores on node 0 read random objects atomically, in a tight
+        // loop.
+        .readers(0, 0..4, move |_, objects| {
             Box::new(
-                SyncReader::endless(1, store.object_addrs(), 1024, ReadMechanism::Sabre)
+                SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
                     .with_wire(wire),
-            ),
-        );
-    }
+            )
+        })
+        // One writer thread on node 1 keeps updating a few of the objects,
+        // so some SABRes will observe conflicts and abort (and retry).
+        .workload(
+            1,
+            0,
+            Box::new(Writer::new(
+                store.object_entries().into_iter().take(8).collect(),
+                1024,
+                WriterLayout::Clean,
+                Time::from_ns(500),
+            )),
+        )
+        // Run one millisecond of simulated time.
+        .run_for(Time::from_us(1000));
 
-    // One writer thread on node 1 keeps updating a few of the objects, so
-    // some SABRes will observe conflicts and abort (and retry).
-    cluster.add_workload(
-        1,
-        0,
-        Box::new(Writer::new(
-            store.object_entries().into_iter().take(8).collect(),
-            1024,
-            WriterLayout::Clean,
-            Time::from_ns(500),
-        )),
-    );
-
-    // Run one millisecond of simulated time.
-    cluster.run_for(Time::from_us(1000));
-
-    println!("simulated time: {}", cluster.now());
+    println!("simulated time: {}", report.sim_time());
     let mut total_ok = 0;
     for core in 0..4 {
-        let m = cluster.metrics(0, core);
+        let m = report.core(0, core);
         println!(
             "reader {core}: {} atomic reads, {} retries, mean latency {:.0} ns",
             m.ops,
@@ -58,21 +51,17 @@ fn main() {
         );
         total_ok += m.ops;
     }
-    let agg = cluster.node_metrics(0);
     println!(
         "aggregate: {} reads, {:.2} GB/s of clean payload",
         total_ok,
-        agg.gbps(cluster.now())
+        report.gbps(0)
     );
 
     // Engine-level visibility: how the destination's LightSABRes engines saw it.
-    let mut ok = 0;
-    let mut failed = 0;
-    for pipe in 0..4 {
-        let e = cluster.engine_stats(1, pipe);
-        ok += e.completed_ok;
-        failed += e.completed_failed;
-    }
-    println!("destination engines: {ok} atomic, {failed} aborted (exposed to software)");
+    let engines = report.engine_totals(1);
+    println!(
+        "destination engines: {} atomic, {} aborted (exposed to software)",
+        engines.completed_ok, engines.completed_failed
+    );
     assert!(total_ok > 0, "expected successful SABRes");
 }

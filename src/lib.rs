@@ -25,22 +25,43 @@
 //!
 //! ## Quickstart
 //!
+//! Experiments are *declared* with [`ScenarioBuilder`](rack::scenario):
+//! configure the rack, declare data regions, place workloads, run, read
+//! the [`RunReport`](rack::scenario::RunReport):
+//!
 //! ```
 //! use sabres::prelude::*;
 //!
-//! // A two-node Table-2 rack with a 100-object clean-layout store on node 1.
-//! let mut cluster = Cluster::new(ClusterConfig::default());
-//! let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 128, 100);
-//! store.init(cluster.node_memory_mut(1));
+//! // A two-node Table-2 rack with a 100-object clean-layout store on
+//! // node 1, and one core on node 0 reading objects atomically (SABRes).
+//! let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 128, Some(100));
+//! let wire = store.slot_bytes() as u32;
+//! let report = scenario
+//!     .reader(0, 0, move |objects| {
+//!         Box::new(SyncReader::endless(1, objects.to_vec(), 128, ReadMechanism::Sabre)
+//!             .with_wire(wire))
+//!     })
+//!     .run_for(Time::from_us(20));
+//! assert!(report.core(0, 0).ops > 0);
+//! ```
 //!
-//! // One core on node 0 reads objects atomically with SABRes.
-//! cluster.add_workload(
-//!     0, 0,
-//!     Box::new(SyncReader::endless(1, store.object_addrs(), 128, ReadMechanism::Sabre)
-//!         .with_wire(StoreLayout::Clean.object_bytes(128) as u32)),
-//! );
-//! cluster.run_for(Time::from_us(20));
-//! assert!(cluster.metrics(0, 0).ops > 0);
+//! Independent sweep points run in parallel (each cluster is its own
+//! world), with results in input order, bit-identical to a serial run:
+//!
+//! ```
+//! use sabres::prelude::*;
+//!
+//! let latencies = Sweep::over([64u32, 1024]).map(|&size| {
+//!     ScenarioBuilder::new()
+//!         .raw_region(1, size)
+//!         .reader(0, 0, move |targets| {
+//!             Box::new(SyncReader::endless(1, targets.to_vec(), size, ReadMechanism::Sabre))
+//!         })
+//!         .run_for(Time::from_us(30))
+//!         .mean_latency_ns(0, 0)
+//!         .expect("ops completed")
+//! });
+//! assert!(latencies[0] < latencies[1]);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
@@ -60,14 +81,17 @@ pub mod prelude {
     pub use sabre_core::{CcMode, LightSabres, LightSabresConfig, SpecMode};
     pub use sabre_farm::{
         FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore, RpcWriteServer, RpcWriter,
-        StoreLayout,
+        ScenarioStoreExt, StoreLayout,
     };
     pub use sabre_mem::{Addr, BlockAddr, NodeMemory, BLOCK_BYTES};
     pub use sabre_rack::workloads::{
         pattern_payload, verify_payload, AsyncReader, SourceLockingReader, SyncReader, Writer,
         WriterLayout,
     };
-    pub use sabre_rack::{Cluster, ClusterConfig, CoreApi, Phase, ReadMechanism, Workload};
+    pub use sabre_rack::{
+        Cluster, ClusterConfig, CoreApi, Phase, ReadMechanism, RunReport, ScenarioBuilder, Sweep,
+        Workload,
+    };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};
     pub use sabre_sw::{CleanLayout, CpuCostModel, PerClLayout, VersionWord};

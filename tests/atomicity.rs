@@ -117,22 +117,21 @@ fn race(
     payload: u32,
     seed: u64,
 ) -> Outcome {
-    let mut cfg = ClusterConfig::default();
-    cfg.lightsabres.cc_mode = cc_mode;
-    cfg.lightsabres.spec_mode = spec_mode;
-    cfg.seed = seed;
-    let mut cluster = Cluster::new(cfg);
-    let store = ObjectStore::new(1, Addr::new(0), layout, payload, 24);
-    store.init(cluster.node_memory_mut(1));
-    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let (scenario, store) = ScenarioBuilder::new()
+        .configure(|cfg| {
+            cfg.lightsabres.cc_mode = cc_mode;
+            cfg.lightsabres.spec_mode = spec_mode;
+        })
+        .seed(seed)
+        .warmed_store(1, layout, payload, Some(24));
 
     let outcome = Rc::new(RefCell::new(Outcome::default()));
+    let mut scenario = scenario;
     for core in 0..4 {
-        cluster.add_workload(
-            0,
-            core,
-            Box::new(CheckedReader::new(mech, store.clone(), Rc::clone(&outcome))),
-        );
+        let (store, outcome) = (store.clone(), Rc::clone(&outcome));
+        scenario = scenario.reader(0, core, move |_| {
+            Box::new(CheckedReader::new(mech, store, outcome))
+        });
     }
     // Aggressive writers over small CREW subsets maximize conflicts.
     let entries = store.object_entries();
@@ -141,9 +140,9 @@ fn race(
         if cc_mode == CcMode::Locking {
             writer = writer.respecting_reader_locks();
         }
-        cluster.add_workload(1, w, Box::new(writer));
+        scenario = scenario.workload(1, w, Box::new(writer));
     }
-    cluster.run_for(Time::from_us(120));
+    scenario.run_for(Time::from_us(120));
     let o = outcome.borrow();
     Outcome {
         verified: o.verified,
@@ -245,14 +244,10 @@ fn raw_reads_do_tear_under_conflict() {
     // The control experiment: with no atomicity mechanism, the same racing
     // harness must produce torn reads — otherwise the other tests prove
     // nothing.
-    let cfg = ClusterConfig {
-        seed: 99,
-        ..ClusterConfig::default()
-    };
-    let mut cluster = Cluster::new(cfg);
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 8);
-    store.init(cluster.node_memory_mut(1));
-    cluster.warm_llc(1, store.object_addr(0), store.region_bytes());
+    let (scenario, store) =
+        ScenarioBuilder::new()
+            .seed(99)
+            .warmed_store(1, StoreLayout::Clean, 480, Some(8));
     let outcome = Rc::new(RefCell::new(Outcome::default()));
 
     /// Raw variant of the checked reader: counts torn images instead of
@@ -276,19 +271,19 @@ fn raw_reads_do_tear_under_conflict() {
         }
     }
 
+    let mut scenario = scenario;
     for core in 0..4 {
-        cluster.add_workload(
-            0,
-            core,
+        let (store, outcome) = (store.clone(), Rc::clone(&outcome));
+        scenario = scenario.reader(0, core, move |_| {
             Box::new(RawReader(CheckedReader::new(
                 ReadMechanism::Raw,
-                store.clone(),
-                Rc::clone(&outcome),
-            ))),
-        );
+                store,
+                outcome,
+            )))
+        });
     }
     for (w, chunk) in store.object_entries().chunks(2).enumerate() {
-        cluster.add_workload(
+        scenario = scenario.workload(
             1,
             w,
             Box::new(Writer::new(
@@ -299,7 +294,7 @@ fn raw_reads_do_tear_under_conflict() {
             )),
         );
     }
-    cluster.run_for(Time::from_us(120));
+    scenario.run_for(Time::from_us(120));
     let o = outcome.borrow();
     assert!(
         o.torn > 0,

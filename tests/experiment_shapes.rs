@@ -10,7 +10,10 @@
 use sabre_bench::experiments as ex;
 use sabre_bench::RunOpts;
 
-const Q: RunOpts = RunOpts { quick: true };
+const Q: RunOpts = RunOpts {
+    quick: true,
+    threads: None,
+};
 
 #[test]
 fn fig7a_sabres_track_remote_reads_and_nospec_pays() {

@@ -1,6 +1,7 @@
 //! Protocol-level integration tests across the full stack: flow control,
 //! parking, one-sided writes, RPC writes, remote CAS locking, and the
-//! page-boundary stall path.
+//! page-boundary stall path — all declared through the Scenario API, with
+//! post-run state inspected via [`RunReport::cluster`].
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -32,88 +33,102 @@ impl Workload for OneShot {
 
 #[test]
 fn one_sided_write_lands_with_invalidations() {
-    let mut cluster = Cluster::new(ClusterConfig::default());
     let payload: Vec<u8> = (0..200u8).collect();
     let local = Addr::new(1 << 20);
-    cluster.node_memory_mut(0).write(local, &payload);
     let done = Rc::new(RefCell::new(None));
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(OneShot {
-            op: OpKind::Write,
-            dst: 1,
-            remote: Addr::new(4096),
-            local,
-            size: 200,
-            done: Rc::clone(&done),
-        }),
-    );
-    cluster.run_for(Time::from_us(5));
-    let cq = done.borrow().expect("write completed");
+    let seen = Rc::clone(&done);
+    let init = payload.clone();
+    let report = ScenarioBuilder::new()
+        .prepare(move |cluster| {
+            cluster.node_memory_mut(0).write(local, &init);
+            Vec::new()
+        })
+        .workload(
+            0,
+            0,
+            Box::new(OneShot {
+                op: OpKind::Write,
+                dst: 1,
+                remote: Addr::new(4096),
+                local,
+                size: 200,
+                done,
+            }),
+        )
+        .run_for(Time::from_us(5));
+    let cq = seen.borrow().expect("write completed");
     assert!(cq.success);
     assert_eq!(cq.op, OpKind::Write);
     assert_eq!(
-        cluster.node_memory(1).read_vec(Addr::new(4096), 200),
+        report
+            .cluster()
+            .node_memory(1)
+            .read_vec(Addr::new(4096), 200),
         payload,
         "payload must land at the destination"
     );
     // The write epochs advanced at the destination (4 blocks touched).
-    assert!(cluster.node_memory(1).epoch(Addr::new(4096).block()) > 0);
+    assert!(
+        report
+            .cluster()
+            .node_memory(1)
+            .epoch(Addr::new(4096).block())
+            > 0
+    );
 }
 
 #[test]
 fn remote_cas_lock_contention_is_exposed() {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    // Version word pre-locked (odd): the CAS must fail and the CQ must say so.
-    cluster.node_memory_mut(1).write_u64(Addr::new(0), 3);
     let done = Rc::new(RefCell::new(None));
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(OneShot {
-            op: OpKind::LockCas,
-            dst: 1,
-            remote: Addr::new(0),
-            local: Addr::new(1 << 20),
-            size: 8,
-            done: Rc::clone(&done),
-        }),
-    );
-    cluster.run_for(Time::from_us(5));
-    let cq = done.borrow().expect("CAS completed");
+    let seen = Rc::clone(&done);
+    let report = ScenarioBuilder::new()
+        // Version word pre-locked (odd): the CAS must fail and the CQ must
+        // say so.
+        .prepare(|cluster| {
+            cluster.node_memory_mut(1).write_u64(Addr::new(0), 3);
+            Vec::new()
+        })
+        .workload(
+            0,
+            0,
+            Box::new(OneShot {
+                op: OpKind::LockCas,
+                dst: 1,
+                remote: Addr::new(0),
+                local: Addr::new(1 << 20),
+                size: 8,
+                done,
+            }),
+        )
+        .run_for(Time::from_us(5));
+    let cq = seen.borrow().expect("CAS completed");
     assert!(!cq.success, "CAS on a held lock must report contention");
     // The word is untouched.
-    assert_eq!(cluster.node_memory(1).read_u64(Addr::new(0)), 3);
+    assert_eq!(report.cluster().node_memory(1).read_u64(Addr::new(0)), 3);
 }
 
 #[test]
 fn att_overflow_parks_and_everything_still_completes() {
-    let mut cfg = ClusterConfig::default();
-    cfg.lightsabres.stream_buffers = 2; // tiny ATT forces parking
-    let mut cluster = Cluster::new(cfg);
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 112, 64);
-    store.init(cluster.node_memory_mut(1));
-    for core in 0..8 {
-        cluster.add_workload(
-            0,
-            core,
+    let (scenario, store) = ScenarioBuilder::new()
+        .configure(|cfg| cfg.lightsabres.stream_buffers = 2) // tiny ATT forces parking
+        .store(1, StoreLayout::Clean, 112, Some(64));
+    let report = scenario
+        .readers(0, 0..8, move |_, _| {
             Box::new(AsyncReader::new(
                 1,
                 store.object_addrs(),
                 128,
                 ReadMechanism::Sabre,
                 8,
-            )),
-        );
-    }
-    cluster.run_for(Time::from_us(100));
-    let parked: u64 = (0..4).map(|p| cluster.r2p2_stats(1, p).sabres_parked).sum();
+            ))
+        })
+        .run_for(Time::from_us(100));
+    let parked = report.r2p2_totals(1).sabres_parked;
     assert!(parked > 0, "2-entry ATTs under 64 outstanding must park");
     // Flow control: every registered SABRe completed (none stuck).
     for p in 0..4 {
-        let e = cluster.engine_stats(1, p);
-        let registered_started = cluster.r2p2_stats(1, p).sabres_registered;
+        let e = report.engine(1, p);
+        let registered_started = report.r2p2(1, p).sabres_registered;
         assert!(
             e.completed_ok + e.completed_failed + 16 >= registered_started,
             "pipe {p}: {} registered vs {} completed",
@@ -121,29 +136,30 @@ fn att_overflow_parks_and_everything_still_completes() {
             e.completed_ok + e.completed_failed
         );
     }
-    assert!(
-        cluster.node_metrics(0).ops > 100,
-        "progress despite parking"
-    );
+    assert!(report.node(0).ops > 100, "progress despite parking");
 }
 
 #[test]
 fn rpc_write_path_applies_updates_at_the_owner() {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 16);
-    store.init(cluster.node_memory_mut(1));
-    let kv = KvStore::new(store.clone(), 1000);
-    cluster.add_workload(1, 0, Box::new(RpcWriteServer::new(kv)));
-    let kv = KvStore::new(store.clone(), 1000);
-    cluster.add_workload(0, 0, Box::new(RpcWriter::iterations(kv, 0, Time::ZERO, 20)));
-    cluster.run_for(Time::from_us(100));
-    let m = cluster.metrics(0, 0);
-    assert_eq!(m.ops, 20, "all RPC writes acknowledged");
+    let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 480, Some(16));
+    let server_store = store.clone();
+    let writer_store = store.clone();
+    let report = scenario
+        .reader(1, 0, move |_| {
+            Box::new(RpcWriteServer::new(KvStore::new(server_store, 1000)))
+        })
+        .reader(0, 0, move |_| {
+            let kv = KvStore::new(writer_store, 1000);
+            Box::new(RpcWriter::iterations(kv, 0, Time::ZERO, 20))
+        })
+        .run_for(Time::from_us(100));
+    assert_eq!(report.core(0, 0).ops, 20, "all RPC writes acknowledged");
     // Every object in the store must still validate (odd/even protocol held),
     // and at least one must have advanced past its initial version.
     let mut advanced = 0;
     for i in 0..16 {
-        let image = cluster
+        let image = report
+            .cluster()
             .node_memory(1)
             .read_vec(store.object_addr(i), store.slot_bytes() as usize);
         let v = CleanLayout::version_of(&image);
@@ -162,38 +178,40 @@ fn rpc_write_path_applies_updates_at_the_owner() {
 
 #[test]
 fn sabre_across_page_boundary_completes() {
-    let mut cluster = Cluster::new(ClusterConfig::default());
     // An object straddling the 2 MB superpage boundary: the engine stalls
     // issue at the crossing inside the window, then finishes normally.
     let page = sabres::mem::PAGE_BYTES as u64;
     let base = Addr::new(page - 128);
     let payload = vec![7u8; 480];
-    {
-        let mem = cluster.node_memory_mut(1);
-        CleanLayout::init(mem, base, &payload);
-    }
+    let init = payload.clone();
     let done = Rc::new(RefCell::new(None));
-    cluster.add_workload(
-        0,
-        0,
-        Box::new(OneShot {
-            op: OpKind::Sabre,
-            dst: 1,
-            remote: base,
-            local: Addr::new(1 << 20),
-            size: CleanLayout::object_bytes(480) as u32,
-            done: Rc::clone(&done),
-        }),
-    );
-    cluster.run_for(Time::from_us(10));
-    let cq = done.borrow().expect("SABRe completed");
+    let seen = Rc::clone(&done);
+    let report = ScenarioBuilder::new()
+        .prepare(move |cluster| {
+            CleanLayout::init(cluster.node_memory_mut(1), base, &init);
+            Vec::new()
+        })
+        .workload(
+            0,
+            0,
+            Box::new(OneShot {
+                op: OpKind::Sabre,
+                dst: 1,
+                remote: base,
+                local: Addr::new(1 << 20),
+                size: CleanLayout::object_bytes(480) as u32,
+                done,
+            }),
+        )
+        .run_for(Time::from_us(10));
+    let cq = seen.borrow().expect("SABRe completed");
     assert!(cq.success);
-    let engines: u64 = (0..4).map(|p| cluster.engine_stats(1, p).page_stalls).sum();
     assert!(
-        engines > 0,
+        report.engine_totals(1).page_stalls > 0,
         "the crossing must have stalled inside the window"
     );
-    let image = cluster
+    let image = report
+        .cluster()
         .node_memory(0)
         .read_vec(Addr::new(1 << 20), CleanLayout::object_bytes(480));
     assert_eq!(CleanLayout::payload_of(&image, 480), &payload[..]);
@@ -201,31 +219,31 @@ fn sabre_across_page_boundary_completes() {
 
 #[test]
 fn source_locking_readers_contend_but_progress() {
-    let mut cluster = Cluster::new(ClusterConfig::default());
-    let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 2);
-    store.init(cluster.node_memory_mut(1));
+    let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 480, Some(2));
     // Two DrTM-style readers hammering the same two objects: CAS contention
     // must appear as retries, yet both make progress and no lock is leaked.
-    for core in 0..2 {
-        cluster.add_workload(
-            0,
-            core,
+    let report = scenario
+        .readers(0, 0..2, |_, objects| {
             Box::new(SourceLockingReader::iterations(
                 1,
-                store.object_addrs(),
+                objects.to_vec(),
                 480,
                 150,
-            )),
-        );
-    }
-    cluster.run_for(Time::from_us(500));
-    let m = cluster.node_metrics(0);
+            ))
+        })
+        .run_for(Time::from_us(500));
+    let m = report.node(0);
     assert_eq!(m.ops, 300, "both readers must finish their 150 reads");
     assert!(m.retries > 0, "no CAS contention observed");
     // Both objects end unlocked (even versions): no leaked locks once the
     // final asynchronous unlocks drain.
     for i in 0..2 {
-        let v = VersionWord::new(cluster.node_memory(1).read_u64(store.object_addr(i)));
+        let v = VersionWord::new(
+            report
+                .cluster()
+                .node_memory(1)
+                .read_u64(store.object_addr(i)),
+        );
         assert!(!v.is_locked(), "object {i} left locked");
     }
 }
@@ -234,32 +252,24 @@ fn source_locking_readers_contend_but_progress() {
 fn deterministic_replay_bitwise_identical() {
     // Same seed, same history — the foundation every experiment rests on.
     let run = || {
-        let mut cluster = Cluster::new(ClusterConfig::default());
-        let store = ObjectStore::new(1, Addr::new(0), StoreLayout::Clean, 480, 16);
-        store.init(cluster.node_memory_mut(1));
-        for core in 0..4 {
-            cluster.add_workload(
-                0,
-                core,
+        let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 480, Some(16));
+        let wire = store.slot_bytes() as u32;
+        let entries = store.object_entries();
+        let report = scenario
+            .readers(0, 0..4, move |_, objects| {
                 Box::new(
-                    SyncReader::endless(1, store.object_addrs(), 480, ReadMechanism::Sabre)
-                        .with_wire(store.slot_bytes() as u32),
-                ),
-            );
-        }
-        cluster.add_workload(
-            1,
-            0,
-            Box::new(Writer::new(
-                store.object_entries(),
-                480,
-                WriterLayout::Clean,
-                Time::ZERO,
-            )),
-        );
-        cluster.run_for(Time::from_us(50));
-        let m = cluster.node_metrics(0);
-        (m.ops, m.retries, m.bytes, cluster.engine_stats(1, 0))
+                    SyncReader::endless(1, objects.to_vec(), 480, ReadMechanism::Sabre)
+                        .with_wire(wire),
+                )
+            })
+            .workload(
+                1,
+                0,
+                Box::new(Writer::new(entries, 480, WriterLayout::Clean, Time::ZERO)),
+            )
+            .run_for(Time::from_us(50));
+        let m = report.node(0);
+        (m.ops, m.retries, m.bytes, report.engine(1, 0))
     };
     assert_eq!(run(), run(), "identical seeds must replay identically");
 }
