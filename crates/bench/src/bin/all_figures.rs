@@ -1,35 +1,19 @@
-//! Regenerates every table and figure of the paper in one run, printing
-//! per-figure and total host wall-clock to stderr (stdout stays clean for
-//! golden-output diffing). Pass `--quick` for a fast smoke run and
-//! `--threads N` (or `SABRES_THREADS`) to cap sweep parallelism.
+//! Regenerates every table and figure of the paper (plus the beyond-paper
+//! fig_scale sweep) in one run, printing per-figure and total host
+//! wall-clock to stderr (stdout stays clean for golden-output diffing —
+//! `tests/golden/figures.txt` at the repo root pins the `--quick` output).
+//! Pass `--quick` for a fast smoke run and `--threads N` (or
+//! `SABRES_THREADS`) to cap sweep parallelism.
 use std::time::Instant;
 
-use sabre_bench::experiments as ex;
-use sabre_bench::{RunOpts, Table};
-
-fn timed(name: &str, f: impl FnOnce() -> Vec<Table>) {
-    let t0 = Instant::now();
-    let tables = f();
-    let wall = t0.elapsed();
-    for t in tables {
-        print!("{t}");
-    }
-    eprintln!("# {name}: {:.2}s wall", wall.as_secs_f64());
-}
+use sabre_bench::{render_all_figures, RunOpts};
 
 fn main() {
     let opts = RunOpts::from_args();
     let total = Instant::now();
-    timed("table2", || vec![ex::table2::run(opts)]);
-    timed("table1", || vec![ex::table1::run(opts)]);
-    timed("fig1", || vec![ex::fig1::run(opts)]);
-    timed("fig2_race", || vec![ex::fig2_race::run(opts)]);
-    timed("fig7a", || vec![ex::fig7a::run(opts)]);
-    timed("fig7b", || vec![ex::fig7b::run(opts)]);
-    timed("fig8", || vec![ex::fig8::run(opts)]);
-    timed("fig9a", || vec![ex::fig9a::run(opts)]);
-    timed("fig9b", || vec![ex::fig9b::run(opts)]);
-    timed("fig10", || vec![ex::fig10::run(opts)]);
-    timed("ablations", || ex::ablations::run(opts));
+    let out = render_all_figures(opts, |name, wall| {
+        eprintln!("# {name}: {:.2}s wall", wall.as_secs_f64());
+    });
+    print!("{out}");
     eprintln!("# total: {:.2}s wall", total.elapsed().as_secs_f64());
 }

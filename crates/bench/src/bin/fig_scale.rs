@@ -1,0 +1,6 @@
+//! Regenerates fig_scale (rack scaling: node count × read mechanism).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_scale::run(RunOpts::from_args()));
+}

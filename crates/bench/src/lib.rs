@@ -27,6 +27,47 @@ pub use table::Table;
 
 use sabre_rack::Sweep;
 
+/// A figure runner: options in, printable tables out.
+pub type FigureFn = fn(RunOpts) -> Vec<Table>;
+
+/// Every shipped figure/table, in presentation order: `(name, runner)`.
+/// The `all_figures` binary, the golden-output regression test and the CI
+/// smoke job all iterate this one list, so a new experiment registered
+/// here is automatically printed, golden-diffed and smoke-tested.
+pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
+    ("table2", |o| vec![experiments::table2::run(o)]),
+    ("table1", |o| vec![experiments::table1::run(o)]),
+    ("fig1", |o| vec![experiments::fig1::run(o)]),
+    ("fig2_race", |o| vec![experiments::fig2_race::run(o)]),
+    ("fig7a", |o| vec![experiments::fig7a::run(o)]),
+    ("fig7b", |o| vec![experiments::fig7b::run(o)]),
+    ("fig8", |o| vec![experiments::fig8::run(o)]),
+    ("fig9a", |o| vec![experiments::fig9a::run(o)]),
+    ("fig9b", |o| vec![experiments::fig9b::run(o)]),
+    ("fig10", |o| vec![experiments::fig10::run(o)]),
+    ("ablations", experiments::ablations::run),
+    ("fig_scale", |o| vec![experiments::fig_scale::run(o)]),
+];
+
+/// Renders every table and figure into one string (the golden-diffable
+/// stdout of `all_figures`), reporting each figure's host wall-clock to
+/// `timing` so callers can route timing noise away from the diffed output.
+pub fn render_all_figures(
+    opts: RunOpts,
+    mut timing: impl FnMut(&str, std::time::Duration),
+) -> String {
+    let mut out = String::new();
+    for (name, run) in ALL_FIGURES {
+        let t0 = std::time::Instant::now();
+        let tables = run(opts);
+        timing(name, t0.elapsed());
+        for t in tables {
+            out.push_str(&t.to_string());
+        }
+    }
+    out
+}
+
 /// Global run options for experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOpts {

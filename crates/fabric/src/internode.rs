@@ -1,13 +1,24 @@
 //! The lossless inter-node rack fabric.
 //!
-//! Table 2: fixed 35 ns latency per hop, 100 GBps links. The evaluated
-//! topology is two directly connected nodes, i.e. one hop in each
-//! direction. Each direction of each link is an independent queued
+//! Table 2: fixed 35 ns latency per hop, 100 GBps links. The paper's
+//! evaluated topology is two directly connected nodes, i.e. one hop in
+//! each direction; the N-node generalization routes over a
+//! [`RackTopology`] (crossbar or 2D mesh), paying one hop latency per
+//! mesh hop. Each direction of each node pair is an independent queued
 //! bandwidth server, so request and reply streams do not contend with each
 //! other but *do* contend with same-direction traffic — this is what caps
 //! aggregate application throughput near 80–100 GBps in Figs. 7b and 8.
+//!
+//! [`ShardRouter`] is the deterministic cross-shard mailbox a partitioned
+//! event loop exchanges fabric traffic through: per-source outboxes,
+//! drained at synchronization barriers in a total order that depends only
+//! on `(arrival time, source, per-source sequence)` — never on how nodes
+//! are grouped into shards — so sharded simulation stays bit-identical to
+//! single-shard simulation.
 
 use sabre_sim::{BandwidthServer, Time};
+
+use crate::mesh::RackTopology;
 
 /// Fabric parameters.
 #[derive(Debug, Clone)]
@@ -21,6 +32,9 @@ pub struct FabricConfig {
     /// Per-packet wire overhead in bytes (header + CRC), added to every
     /// packet's serialization cost.
     pub header_bytes: u64,
+    /// How the nodes are wired ([`RackTopology::Direct`] reproduces the
+    /// paper's directly-connected pair).
+    pub topology: RackTopology,
 }
 
 impl Default for FabricConfig {
@@ -30,11 +44,36 @@ impl Default for FabricConfig {
             hop_latency: Time::from_ns(35),
             link_gbps: 100.0,
             header_bytes: 16,
+            topology: RackTopology::Direct,
         }
     }
 }
 
-/// The rack fabric: a full mesh of directed links between node pairs.
+impl FabricConfig {
+    /// The default fabric resized to `nodes` nodes: the paper pair stays
+    /// directly connected, larger racks route over a near-square 2D mesh.
+    pub fn for_nodes(nodes: usize) -> Self {
+        FabricConfig {
+            nodes,
+            topology: if nodes <= 2 {
+                RackTopology::Direct
+            } else {
+                RackTopology::mesh_for(nodes)
+            },
+            ..FabricConfig::default()
+        }
+    }
+
+    /// The smallest possible send-to-arrival delay of any internode packet
+    /// — the conservative lookahead window a sharded event loop may
+    /// advance a node without observing its peers.
+    pub fn min_latency(&self) -> Time {
+        self.hop_latency * self.topology.min_hops()
+    }
+}
+
+/// The rack fabric: a full mesh of directed links between node pairs, with
+/// per-packet propagation latency derived from the routed hop count.
 ///
 /// # Example
 ///
@@ -53,6 +92,9 @@ pub struct Fabric {
     cfg: FabricConfig,
     /// `links[src * nodes + dst]`, unused for `src == dst`.
     links: Vec<BandwidthServer>,
+    /// Packets pushed onto each directed link so far (conservation
+    /// accounting: every send is delivered exactly once).
+    sent: Vec<u64>,
 }
 
 impl Fabric {
@@ -60,13 +102,27 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.nodes < 2`.
+    /// Panics if `cfg.nodes < 2` or the topology grid cannot place every
+    /// node.
     pub fn new(cfg: FabricConfig) -> Self {
         assert!(cfg.nodes >= 2, "a fabric needs at least two nodes");
+        if let RackTopology::Mesh { cols } = cfg.topology {
+            assert!(cols >= 1, "mesh must be at least one column wide");
+            // Every node's grid coordinate must fit the u8 MeshCoord, or
+            // hop counts would silently truncate.
+            let rows = cfg.nodes.div_ceil(cols as usize);
+            assert!(
+                rows <= u8::MAX as usize + 1,
+                "topology grid cannot place every node: {} nodes on {} columns",
+                cfg.nodes,
+                cols
+            );
+        }
         let links = (0..cfg.nodes * cfg.nodes)
-            .map(|_| BandwidthServer::new(cfg.link_gbps, cfg.hop_latency))
+            .map(|_| BandwidthServer::new(cfg.link_gbps, Time::ZERO))
             .collect();
-        Fabric { cfg, links }
+        let sent = vec![0; cfg.nodes * cfg.nodes];
+        Fabric { cfg, links, sent }
     }
 
     /// The configuration.
@@ -74,8 +130,20 @@ impl Fabric {
         &self.cfg
     }
 
+    /// Hops a packet from `src` to `dst` traverses under the configured
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn hops(&self, src: usize, dst: usize) -> u64 {
+        self.cfg.topology.hops(src, dst)
+    }
+
     /// Sends a packet with `payload_bytes` of payload from `src` to `dst`
-    /// no earlier than `now`; returns its arrival time at `dst`.
+    /// no earlier than `now`; returns its arrival time at `dst`:
+    /// serialization onto the (queued) directed link plus one
+    /// [`FabricConfig::hop_latency`] per routed hop.
     ///
     /// # Panics
     ///
@@ -87,7 +155,9 @@ impl Fabric {
             "node index out of range: {src} -> {dst}"
         );
         let idx = src * self.cfg.nodes + dst;
-        self.links[idx].transmit(now, payload_bytes + self.cfg.header_bytes)
+        self.sent[idx] += 1;
+        let propagation = self.cfg.hop_latency * self.hops(src, dst);
+        self.links[idx].transmit(now, payload_bytes + self.cfg.header_bytes) + propagation
     }
 
     /// Total bytes (incl. headers) pushed from `src` to `dst` so far.
@@ -95,9 +165,106 @@ impl Fabric {
         self.links[src * self.cfg.nodes + dst].bytes_total()
     }
 
+    /// Packets pushed from `src` to `dst` so far.
+    pub fn link_packets(&self, src: usize, dst: usize) -> u64 {
+        self.sent[src * self.cfg.nodes + dst]
+    }
+
+    /// Packets pushed onto any link so far.
+    pub fn packets_total(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
     /// Utilization of the `src → dst` link over `[0, horizon]`.
     pub fn link_utilization(&self, src: usize, dst: usize, horizon: Time) -> f64 {
         self.links[src * self.cfg.nodes + dst].utilization(horizon)
+    }
+}
+
+/// A message waiting in a [`ShardRouter`] outbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending<M> {
+    at: Time,
+    dst: usize,
+    msg: M,
+}
+
+/// Deterministic cross-shard message exchange for a partitioned event
+/// loop.
+///
+/// Each source node pushes timestamped messages into its own outbox while
+/// its shard advances; at every synchronization barrier the loop drains
+/// all outboxes with [`ShardRouter::drain_sorted`], which yields messages
+/// in a total order determined *only* by `(arrival time, source node,
+/// per-source push order)`. Because neither the order shards were advanced
+/// in nor the grouping of nodes into shards appears in the key, delivering
+/// the drained messages in yielded order makes the simulation bit-identical
+/// for every shard count — the property the rack's torture tests pin down.
+///
+/// Conservation: every pushed message is yielded by exactly one subsequent
+/// drain ([`ShardRouter::pushed_total`] = [`ShardRouter::drained_total`] +
+/// [`ShardRouter::in_flight`]).
+#[derive(Debug)]
+pub struct ShardRouter<M> {
+    outboxes: Vec<Vec<Pending<M>>>,
+    pushed: u64,
+    drained: u64,
+}
+
+impl<M> ShardRouter<M> {
+    /// A router for `nodes` source nodes.
+    pub fn new(nodes: usize) -> Self {
+        ShardRouter {
+            outboxes: (0..nodes).map(|_| Vec::new()).collect(),
+            pushed: 0,
+            drained: 0,
+        }
+    }
+
+    /// Queues `msg` from `src` for delivery to `dst` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or `src == dst` (fabric messages
+    /// never self-deliver; local work belongs on the node's own queue).
+    pub fn push(&mut self, src: usize, dst: usize, at: Time, msg: M) {
+        assert!(src != dst, "no self-delivery: {src} -> {dst}");
+        self.outboxes[src].push(Pending { at, dst, msg });
+        self.pushed += 1;
+    }
+
+    /// Messages pushed but not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.outboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Total messages ever pushed.
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total messages ever drained.
+    pub fn drained_total(&self) -> u64 {
+        self.drained
+    }
+
+    /// Drains every outbox, yielding `(at, dst, msg)` in the deterministic
+    /// merge order: ascending arrival time, ties broken by source node
+    /// index, then by per-source push order. The caller inserts each
+    /// message into `dst`'s event queue in yielded order.
+    pub fn drain_sorted(&mut self) -> Vec<(Time, usize, M)> {
+        let mut tagged: Vec<(Time, usize, usize, usize, M)> = Vec::new();
+        for (src, outbox) in self.outboxes.iter_mut().enumerate() {
+            for (idx, p) in outbox.drain(..).enumerate() {
+                tagged.push((p.at, src, idx, p.dst, p.msg));
+            }
+        }
+        tagged.sort_by_key(|t| (t.0, t.1, t.2));
+        self.drained += tagged.len() as u64;
+        tagged
+            .into_iter()
+            .map(|(at, _, _, dst, m)| (at, dst, m))
+            .collect()
     }
 }
 
@@ -128,6 +295,8 @@ mod tests {
         let b = f.send(Time::ZERO, 0, 1, 8192);
         assert!(b > a);
         assert_eq!(f.link_bytes(0, 1), 2 * (8192 + 16));
+        assert_eq!(f.link_packets(0, 1), 2);
+        assert_eq!(f.packets_total(), 2);
     }
 
     #[test]
@@ -148,5 +317,71 @@ mod tests {
     fn self_send_rejected() {
         let mut f = Fabric::new(FabricConfig::default());
         let _ = f.send(Time::ZERO, 1, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place every node")]
+    fn overtall_mesh_rejected() {
+        // 300 nodes on one column: row indices would overflow the u8
+        // MeshCoord and silently shrink hop counts.
+        let _ = Fabric::new(FabricConfig {
+            nodes: 300,
+            topology: RackTopology::Mesh { cols: 1 },
+            ..FabricConfig::default()
+        });
+    }
+
+    #[test]
+    fn mesh_pairs_pay_per_hop_latency() {
+        // 8 nodes on a 3-wide mesh: 0 -> 7 is 3 hops.
+        let mut f = Fabric::new(FabricConfig::for_nodes(8));
+        assert_eq!(f.hops(0, 7), 3);
+        let one_hop = f.send(Time::ZERO, 0, 1, 0);
+        let three_hops = f.send(Time::ZERO, 0, 7, 0);
+        assert_eq!(
+            three_hops - one_hop,
+            Time::from_ns(70),
+            "two extra hops at 35 ns each"
+        );
+    }
+
+    #[test]
+    fn two_node_mesh_matches_direct_fabric() {
+        let mut direct = Fabric::new(FabricConfig::default());
+        let mut mesh = Fabric::new(FabricConfig {
+            topology: RackTopology::mesh_for(2),
+            ..FabricConfig::default()
+        });
+        for payload in [0u64, 64, 4096] {
+            assert_eq!(
+                direct.send(Time::ZERO, 0, 1, payload),
+                mesh.send(Time::ZERO, 0, 1, payload)
+            );
+        }
+    }
+
+    #[test]
+    fn router_merge_order_is_src_then_push_order_on_ties() {
+        let mut r: ShardRouter<&str> = ShardRouter::new(3);
+        let t = Time::from_ns(100);
+        // Pushed in an order scrambled across sources.
+        r.push(2, 0, t, "c0");
+        r.push(0, 1, t, "a0");
+        r.push(2, 1, t, "c1");
+        r.push(1, 0, Time::from_ns(50), "b-early");
+        r.push(0, 2, t, "a1");
+        assert_eq!(r.in_flight(), 5);
+        let order: Vec<&str> = r.drain_sorted().into_iter().map(|(_, _, m)| m).collect();
+        assert_eq!(order, vec!["b-early", "a0", "a1", "c0", "c1"]);
+        assert_eq!(r.in_flight(), 0);
+        assert_eq!(r.pushed_total(), 5);
+        assert_eq!(r.drained_total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-delivery")]
+    fn router_self_delivery_rejected() {
+        let mut r: ShardRouter<()> = ShardRouter::new(2);
+        r.push(1, 1, Time::ZERO, ());
     }
 }

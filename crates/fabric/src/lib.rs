@@ -7,13 +7,18 @@
 //! * inter-node: lossless fabric, fixed 35 ns per hop (following the Anton 2
 //!   unified-switching design the paper cites), 100 GBps links.
 //!
-//! The evaluation connects two nodes directly, so the inter-node path is a
-//! single hop each way. Both directions are modeled as independent
-//! [`BandwidthServer`](sabre_sim::BandwidthServer)s so that request and
+//! The paper's evaluation connects two nodes directly, so the inter-node
+//! path is a single hop each way; N-node racks route over a
+//! [`RackTopology`] (crossbar or rack-level 2D mesh), paying one hop
+//! latency per routed hop. Every directed node pair is an independent
+//! [`BandwidthServer`](sabre_sim::BandwidthServer) so that request and
 //! reply traffic do not contend.
+//!
+//! [`ShardRouter`] provides the deterministic cross-shard message merge a
+//! partitioned event loop synchronizes internode traffic through.
 
 pub mod internode;
 pub mod mesh;
 
-pub use internode::{Fabric, FabricConfig};
-pub use mesh::{MeshConfig, MeshCoord};
+pub use internode::{Fabric, FabricConfig, ShardRouter};
+pub use mesh::{MeshConfig, MeshCoord, RackTopology};

@@ -1,13 +1,19 @@
-//! The on-chip 2D mesh (analytic model).
+//! 2D meshes: the on-chip tile mesh (analytic model) and the rack-level
+//! node mesh the N-node fabric routes over.
 //!
-//! The mesh carries traffic between cores, LLC banks, memory controllers and
-//! the edge-placed RMC backends. We model it analytically: a message's
-//! latency is `hops × hop_latency + serialization`, with hop counts from
-//! Manhattan distance on the 4×4 tile grid. Contention on mesh links is
-//! second-order for the paper's experiments (the bottlenecks are DRAM
-//! channels, R2P2 issue bandwidth and the inter-node fabric) and is
+//! The on-chip mesh carries traffic between cores, LLC banks, memory
+//! controllers and the edge-placed RMC backends. We model it analytically:
+//! a message's latency is `hops × hop_latency + serialization`, with hop
+//! counts from Manhattan distance on the 4×4 tile grid. Contention on mesh
+//! links is second-order for the paper's experiments (the bottlenecks are
+//! DRAM channels, R2P2 issue bandwidth and the inter-node fabric) and is
 //! deliberately not modeled; the calibrated end-to-end latencies in
 //! `sabre-mem::timing` already include average mesh traversal.
+//!
+//! [`RackTopology`] reuses the same Manhattan-distance geometry one level
+//! up: beyond the paper's directly-connected pair, rack nodes sit on a 2D
+//! mesh and internode packets pay one [`FabricConfig::hop_latency`]
+//! (see [`crate::FabricConfig`]) per hop of dimension-ordered (XY) routing.
 
 use sabre_sim::{Freq, Time};
 
@@ -97,6 +103,79 @@ impl MeshConfig {
     }
 }
 
+/// How the rack's nodes are wired together — the shape internode routes
+/// (and therefore per-packet propagation latency) derive from.
+///
+/// The paper evaluates two directly connected nodes; [`RackTopology::Mesh`]
+/// opens the beyond-paper N-node rack: nodes are placed row-major on a
+/// `cols`-wide 2D grid and packets take the dimension-ordered (XY) route,
+/// so the hop count between two nodes is their Manhattan distance.
+///
+/// `Mesh { cols }` with two nodes is exactly one hop each way, so the
+/// degenerate mesh reproduces the paper's pair bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackTopology {
+    /// Every node pair directly connected: always one hop (the evaluated
+    /// two-node rack, generalized as a full crossbar).
+    Direct,
+    /// Nodes row-major on a 2D grid `cols` wide; hops = Manhattan distance.
+    Mesh {
+        /// Grid width in nodes (≥ 1).
+        cols: u8,
+    },
+}
+
+impl RackTopology {
+    /// A near-square mesh for `nodes` nodes (`cols = ceil(sqrt(nodes))`),
+    /// the default shape for beyond-paper racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn mesh_for(nodes: usize) -> Self {
+        assert!(nodes > 0, "a rack needs at least one node");
+        let mut cols = 1usize;
+        while cols * cols < nodes {
+            cols += 1;
+        }
+        RackTopology::Mesh { cols: cols as u8 }
+    }
+
+    /// Grid coordinate of `node` (row-major placement; meaningless for
+    /// [`RackTopology::Direct`], where every pair is one hop).
+    pub fn coord(self, node: usize) -> MeshCoord {
+        let cols = match self {
+            RackTopology::Direct => 1,
+            RackTopology::Mesh { cols } => cols.max(1) as usize,
+        };
+        MeshCoord {
+            x: (node % cols) as u8,
+            y: (node / cols) as u8,
+        }
+    }
+
+    /// Hops an internode packet from `src` to `dst` traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — the fabric never self-delivers.
+    pub fn hops(self, src: usize, dst: usize) -> u64 {
+        assert!(src != dst, "no self-delivery: {src} -> {dst}");
+        match self {
+            RackTopology::Direct => 1,
+            RackTopology::Mesh { .. } => self.coord(src).hops_to(self.coord(dst)),
+        }
+    }
+
+    /// The smallest hop count between any two distinct nodes — the
+    /// conservative lookahead a sharded event loop may advance without
+    /// cross-node synchronization (always 1: neighbors exist in both
+    /// shapes).
+    pub fn min_hops(self) -> u64 {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +219,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn coord_bounds_checked() {
         let _ = MeshConfig::default().coord(16);
+    }
+
+    #[test]
+    fn rack_mesh_degenerates_to_the_paper_pair() {
+        // Two nodes on any mesh: one hop each way, exactly like Direct.
+        for topo in [RackTopology::Direct, RackTopology::mesh_for(2)] {
+            assert_eq!(topo.hops(0, 1), 1);
+            assert_eq!(topo.hops(1, 0), 1);
+        }
+    }
+
+    #[test]
+    fn rack_mesh_shapes() {
+        assert_eq!(RackTopology::mesh_for(2), RackTopology::Mesh { cols: 2 });
+        assert_eq!(RackTopology::mesh_for(4), RackTopology::Mesh { cols: 2 });
+        assert_eq!(RackTopology::mesh_for(8), RackTopology::Mesh { cols: 3 });
+        // 8 nodes on a 3-wide grid: node 0 at (0,0), node 7 at (1,2).
+        let topo = RackTopology::mesh_for(8);
+        assert_eq!(topo.coord(7), MeshCoord { x: 1, y: 2 });
+        assert_eq!(topo.hops(0, 7), 3);
+        assert_eq!(topo.hops(7, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-delivery")]
+    fn rack_self_route_rejected() {
+        let _ = RackTopology::mesh_for(4).hops(2, 2);
     }
 }

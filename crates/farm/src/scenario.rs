@@ -69,6 +69,21 @@ pub trait ScenarioStoreExt: Sized {
         payload: u32,
         n_objects: Option<u64>,
     ) -> (Self, ObjectStore);
+
+    /// Declares one store shard per node in `nodes` (each at address 0 of
+    /// its node, `objects_per_shard` objects of `payload` bytes in
+    /// `layout`), returning the shard handles in the same order — the
+    /// N-node rack's data placement, normally driven by the topology's
+    /// [`store_nodes`](sabre_rack::Topology::store_nodes). The scenario's
+    /// concatenated target list holds each shard's objects contiguously,
+    /// in declaration order.
+    fn sharded_store(
+        self,
+        nodes: impl IntoIterator<Item = usize>,
+        layout: StoreLayout,
+        payload: u32,
+        objects_per_shard: u64,
+    ) -> (Self, Vec<ObjectStore>);
 }
 
 /// Memory-resident object count for a layout/payload: ≈16 MB of slots,
@@ -118,6 +133,28 @@ impl ScenarioStoreExt for ScenarioBuilder {
         let scenario = scenario.warm_llc(node as usize, store.object_addr(0), store.region_bytes());
         (scenario, store)
     }
+
+    fn sharded_store(
+        self,
+        nodes: impl IntoIterator<Item = usize>,
+        layout: StoreLayout,
+        payload: u32,
+        objects_per_shard: u64,
+    ) -> (Self, Vec<ObjectStore>) {
+        let mut scenario = self;
+        let mut shards = Vec::new();
+        for node in nodes {
+            let (next, shard) =
+                scenario.store_at(node as u8, Addr::new(0), layout, payload, objects_per_shard);
+            scenario = next;
+            shards.push(shard);
+        }
+        assert!(
+            !shards.is_empty(),
+            "a sharded store needs at least one node"
+        );
+        (scenario, shards)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +191,40 @@ mod tests {
             .run_for(Time::from_us(30));
         assert!(report.core(0, 0).ops > 0);
         assert_eq!(report.core(0, 0).retries, 0, "no writers, no conflicts");
+    }
+
+    #[test]
+    fn sharded_store_places_one_shard_per_node() {
+        let builder = ScenarioBuilder::new().nodes(6);
+        let stores = builder.config().topology.store_nodes();
+        assert_eq!(stores, vec![3, 4, 5]);
+        let (scenario, shards) = builder.sharded_store(stores.clone(), StoreLayout::Clean, 128, 8);
+        assert_eq!(shards.len(), 3);
+        for (shard, &node) in shards.iter().zip(&stores) {
+            assert_eq!(shard.node() as usize, node);
+            assert_eq!(shard.n_objects(), 8);
+        }
+        // Every shard is initialized and remotely readable.
+        let shard = shards[1].clone();
+        let wire = shard.slot_bytes() as u32;
+        let report = scenario
+            .reader(0, 0, move |targets| {
+                assert_eq!(targets.len(), 3 * 8, "all shards' objects reach factories");
+                Box::new(
+                    SyncReader::endless(
+                        shard.node(),
+                        shard.object_addrs(),
+                        128,
+                        ReadMechanism::Sabre,
+                    )
+                    .with_wire(wire),
+                )
+            })
+            .run_for(Time::from_us(30));
+        assert!(report.core(0, 0).ops > 0);
+        let per_node = report.node_reports();
+        assert!(per_node[4].r2p2.sabres_registered > 0, "shard node served");
+        assert_eq!(per_node[3].r2p2.sabres_registered, 0, "unread shard idle");
     }
 
     #[test]

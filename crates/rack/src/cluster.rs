@@ -16,8 +16,25 @@
 //! Functional state (bytes) changes at the simulated instant each access is
 //! serviced, so racing readers and writers interleave at cache-block
 //! granularity exactly as the paper's atomicity argument requires.
+//!
+//! # The sharded event loop
+//!
+//! Every node owns its own event queue; nodes interact *only* through
+//! fabric packets, whose earliest possible delivery lags their send by the
+//! fabric lookahead ([`sabre_fabric::FabricConfig::min_latency`], one hop
+//! = 35 ns). The loop therefore advances in lookahead-sized windows: each
+//! shard (a contiguous partition of the nodes, [`ClusterConfig::shards`])
+//! drains its nodes' queues up to the window end while outbound packets
+//! accumulate in a per-source [`ShardRouter`] outbox, and at the window
+//! barrier the router merges all cross-node messages into the destination
+//! queues in an order determined only by `(arrival time, source, send
+//! order)`. Because neither the shard grouping nor the intra-window
+//! advance order can influence any node's observable inputs, the
+//! simulation is **bit-identical for every shard count** — the property
+//! the torture tests pin down, and what lets future work drive shards from
+//! worker threads without touching the model.
 
-use sabre_fabric::Fabric;
+use sabre_fabric::{Fabric, ShardRouter};
 use sabre_mem::{Addr, BlockAddr, Llc, MemSystem, NodeMemory, ServiceLevel, BLOCK_BYTES};
 use sabre_sim::{EventQueue, FifoServer, SimRng, Time};
 use sabre_sonuma::r2p2::{R2p2Action, R2p2Stats};
@@ -107,19 +124,24 @@ struct NodeState {
     pump_on: Vec<bool>,
     pipelines: Vec<SourcePipeline>,
     rgp_unroll: Vec<FifoServer>,
+    /// This node's own event queue — the unit the sharded loop advances.
+    queue: EventQueue<Event>,
+    /// Monotonicity watermark of the node's local event time.
+    now: Time,
 }
 
 /// The simulated rack. See the [crate docs](crate) for an example.
 pub struct Cluster {
     cfg: ClusterConfig,
     now: Time,
-    queue: EventQueue<Event>,
     fabric: Fabric,
+    router: ShardRouter<Event>,
     nodes: Vec<NodeState>,
     workloads: Vec<Vec<Option<Box<dyn Workload>>>>,
     metrics: Vec<Vec<CoreMetrics>>,
     rngs: Vec<Vec<SimRng>>,
     wq_seq: Vec<Vec<u64>>,
+    delivered_packets: u64,
     started: bool,
 }
 
@@ -148,6 +170,8 @@ impl Cluster {
                     .map(|p| SourcePipeline::new(n as u8, p as u8, cfg.rmc_backends as u8))
                     .collect(),
                 rgp_unroll: vec![FifoServer::new(); cfg.rmc_backends],
+                queue: EventQueue::new(),
+                now: Time::ZERO,
             })
             .collect();
         let rngs = (0..cfg.nodes)
@@ -159,6 +183,7 @@ impl Cluster {
             .collect();
         Cluster {
             fabric: Fabric::new(cfg.fabric.clone()),
+            router: ShardRouter::new(cfg.nodes),
             nodes,
             workloads: (0..cfg.nodes)
                 .map(|_| (0..cfg.cores_per_node).map(|_| None).collect())
@@ -166,8 +191,8 @@ impl Cluster {
             metrics: vec![vec![CoreMetrics::default(); cfg.cores_per_node]; cfg.nodes],
             rngs,
             wq_seq: vec![vec![0; cfg.cores_per_node]; cfg.nodes],
-            queue: EventQueue::new(),
             now: Time::ZERO,
+            delivered_packets: 0,
             started: false,
             cfg,
         }
@@ -258,6 +283,13 @@ impl Cluster {
     }
 
     /// Runs until `deadline` (events at exactly `deadline` still fire).
+    ///
+    /// The loop advances in fabric-lookahead windows (see the
+    /// [crate docs](crate) on sharding): each window, every shard drains
+    /// its nodes' queues up to the window end, then the cross-node packets
+    /// generated meanwhile are merged into destination queues in
+    /// deterministic order. The result is bit-identical for every
+    /// [`ClusterConfig::shards`] value.
     pub fn run_until(&mut self, deadline: Time) {
         if !self.started {
             self.started = true;
@@ -267,16 +299,54 @@ impl Cluster {
                 }
             }
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
+        let lookahead = self.cfg.fabric.min_latency();
+        let shards = self.cfg.shards.clamp(1, self.cfg.nodes);
+        let per_shard = self.cfg.nodes.div_ceil(shards);
+        // The earliest pending event anywhere decides each window; quiet
+        // stretches are skipped in one step.
+        while let Some(next) = self.nodes.iter().filter_map(|n| n.queue.peek_time()).min() {
+            if next > deadline {
                 break;
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.handle(ev);
+            let window_end = deadline.min(next + lookahead);
+            for shard_start in (0..self.cfg.nodes).step_by(per_shard.max(1)) {
+                let shard_end = (shard_start + per_shard).min(self.cfg.nodes);
+                self.advance_shard(shard_start..shard_end, window_end);
+            }
+            // Window barrier: deliver cross-node traffic in deterministic
+            // merge order (arrival time, then source, then send order).
+            for (at, dst, ev) in self.router.drain_sorted() {
+                debug_assert!(
+                    at >= window_end,
+                    "fabric message outran the lookahead window"
+                );
+                self.nodes[dst].queue.schedule(at, ev);
+            }
         }
         self.now = deadline;
+        for node in &mut self.nodes {
+            node.now = deadline;
+        }
+    }
+
+    /// Advances every node of one shard through the current window. Only
+    /// this shard's node states (plus its nodes' source-owned fabric links
+    /// and router outboxes) are touched, which is what makes shards
+    /// independently advanceable.
+    fn advance_shard(&mut self, nodes: std::ops::Range<usize>, window_end: Time) {
+        for node in nodes {
+            while let Some(t) = self.nodes[node].queue.peek_time() {
+                if t > window_end {
+                    break;
+                }
+                let (t, ev) = self.nodes[node].queue.pop().expect("peeked");
+                debug_assert!(t >= self.nodes[node].now, "node time went backwards");
+                self.nodes[node].now = t;
+                self.now = t;
+                self.handle(ev);
+            }
+            self.nodes[node].now = window_end;
+        }
     }
 
     /// Runs for `duration` more simulated time.
@@ -284,20 +354,41 @@ impl Cluster {
         self.run_until(self.now + duration);
     }
 
+    /// The inter-node fabric (topology, per-link byte/packet accounting).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Packets delivered to destination pipelines so far. Together with
+    /// [`Fabric::packets_total`] this exposes the conservation invariant:
+    /// every sent packet is delivered exactly once (the difference is the
+    /// packets still queued for a future delivery instant).
+    pub fn packets_delivered(&self) -> u64 {
+        self.delivered_packets
+    }
+
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
+    /// Schedules an event on `node`'s own queue (node-local work only;
+    /// cross-node traffic goes through the fabric and the shard router).
+    fn schedule_at(&mut self, node: usize, at: Time, ev: Event) {
+        self.nodes[node].queue.schedule(at, ev);
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::FabricSend(pkt) => {
-                let arrival = self.fabric.send(
-                    self.now,
-                    pkt.src_node as usize,
-                    pkt.dst_node as usize,
-                    pkt.kind.payload_bytes(),
-                );
-                self.queue.schedule(arrival, Event::PacketArrive(pkt));
+                // Processed at the source node: the directed link servers
+                // of node `src` are owned by its shard. Delivery crosses
+                // the shard boundary through the router's outbox.
+                let (src, dst) = (pkt.src_node as usize, pkt.dst_node as usize);
+                let arrival = self
+                    .fabric
+                    .send(self.now, src, dst, pkt.kind.payload_bytes());
+                self.router
+                    .push(src, dst, arrival, Event::PacketArrive(pkt));
             }
             Event::PacketArrive(pkt) => self.on_packet_arrive(pkt),
             Event::Pump { node, pipe } => self.on_pump(node, pipe),
@@ -419,6 +510,7 @@ impl Cluster {
 
     fn on_packet_arrive(&mut self, pkt: Packet) {
         let node = pkt.dst_node as usize;
+        self.delivered_packets += 1;
         match pkt.kind {
             PacketKind::ReadReq { .. }
             | PacketKind::WriteReq { .. }
@@ -446,7 +538,8 @@ impl Cluster {
                 }
                 if let Some(done) = done {
                     let core = (done.wq_id >> 32) as u8;
-                    self.queue.schedule(
+                    self.schedule_at(
+                        node,
                         self.now + self.cfg.completion_latency,
                         Event::Complete {
                             node: pkt.dst_node,
@@ -457,7 +550,8 @@ impl Cluster {
                 }
             }
             PacketKind::RpcReq { tag, bytes } => {
-                self.queue.schedule(
+                self.schedule_at(
+                    node,
                     self.now,
                     Event::RpcDeliver {
                         node: pkt.dst_node,
@@ -470,7 +564,8 @@ impl Cluster {
                 );
             }
             PacketKind::RpcReply { tag, bytes } => {
-                self.queue.schedule(
+                self.schedule_at(
+                    node,
                     self.now,
                     Event::RpcReplyDeliver {
                         node: pkt.dst_node,
@@ -496,7 +591,8 @@ impl Cluster {
             R2p2Action::MemRead { token, block, .. } => {
                 let level = self.llc_touch(n, block);
                 let done = self.nodes[n].mem_sys.access(self.now, block, level);
-                self.queue.schedule(
+                self.schedule_at(
+                    n,
                     done,
                     Event::ReadDone {
                         node,
@@ -509,7 +605,8 @@ impl Cluster {
             R2p2Action::MemWrite { token, block, data } => {
                 let level = self.llc_touch(n, block);
                 let done = self.nodes[n].mem_sys.access(self.now, block, level);
-                self.queue.schedule(
+                self.schedule_at(
+                    n,
                     done,
                     Event::WriteDone {
                         node,
@@ -528,7 +625,8 @@ impl Cluster {
                 let done = self.nodes[n]
                     .mem_sys
                     .access(self.now, version_addr.block(), level);
-                self.queue.schedule(
+                self.schedule_at(
+                    n,
                     done,
                     Event::LockDone {
                         node,
@@ -546,7 +644,8 @@ impl Cluster {
                 let done = self.nodes[n]
                     .mem_sys
                     .access(self.now, version_addr.block(), level);
-                self.queue.schedule(
+                self.schedule_at(
+                    n,
                     done,
                     Event::CasDone {
                         node,
@@ -564,7 +663,8 @@ impl Cluster {
                 let done = self.nodes[n]
                     .mem_sys
                     .access(self.now, version_addr.block(), level);
-                self.queue.schedule(
+                self.schedule_at(
+                    n,
                     done,
                     Event::UnlockDone {
                         node,
@@ -579,11 +679,10 @@ impl Cluster {
                 let done = self.nodes[n]
                     .mem_sys
                     .access(self.now, version_addr.block(), level);
-                self.queue
-                    .schedule(done, Event::ReleaseDone { node, version_addr });
+                self.schedule_at(n, done, Event::ReleaseDone { node, version_addr });
             }
             R2p2Action::Send(pkt) => {
-                self.queue.schedule(self.now, Event::FabricSend(pkt));
+                self.schedule_at(n, self.now, Event::FabricSend(pkt));
             }
         }
         if self.nodes[n].r2p2s[p].has_issuable() {
@@ -595,7 +694,7 @@ impl Cluster {
         for action in actions {
             match action {
                 R2p2Action::Send(pkt) => {
-                    self.queue.schedule(self.now, Event::FabricSend(pkt));
+                    self.schedule_at(node as usize, self.now, Event::FabricSend(pkt));
                 }
                 other => {
                     // Memory work emitted from a completion path would break
@@ -645,7 +744,7 @@ impl Cluster {
         }
         self.nodes[n].pump_on[p] = true;
         let at = self.now.max(self.nodes[n].r2p2_issue[p].next_free());
-        self.queue.schedule(at, Event::Pump { node, pipe });
+        self.schedule_at(n, at, Event::Pump { node, pipe });
     }
 
     fn dispatch<F>(&mut self, node: usize, core: usize, f: F)
@@ -789,9 +888,9 @@ impl CoreApi<'_> {
         let unroll = self.cluster.cfg.rgp_unroll_interval();
         for pkt in pkts {
             let start = self.cluster.nodes[self.node].rgp_unroll[pipe].admit(t0, unroll);
+            let node = self.node;
             self.cluster
-                .queue
-                .schedule(start + unroll, Event::FabricSend(pkt));
+                .schedule_at(node, start + unroll, Event::FabricSend(pkt));
         }
         wq_id
     }
@@ -808,7 +907,8 @@ impl CoreApi<'_> {
             kind: PacketKind::RpcReq { tag, bytes },
         };
         let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
-        self.cluster.queue.schedule(t0, Event::FabricSend(pkt));
+        let node = self.node;
+        self.cluster.schedule_at(node, t0, Event::FabricSend(pkt));
     }
 
     /// Replies to an RPC previously delivered to this core.
@@ -821,14 +921,17 @@ impl CoreApi<'_> {
             kind: PacketKind::RpcReply { tag, bytes },
         };
         let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
-        self.cluster.queue.schedule(t0, Event::FabricSend(pkt));
+        let node = self.node;
+        self.cluster.schedule_at(node, t0, Event::FabricSend(pkt));
     }
 
     /// Sleeps for `d`; [`Workload::on_wake`] fires afterwards. Used to
     /// charge CPU work (strip kernels, application reads, think time).
     pub fn sleep(&mut self, d: Time) {
-        self.cluster.queue.schedule(
-            self.cluster.now + d,
+        let (node, at) = (self.node, self.cluster.now + d);
+        self.cluster.schedule_at(
+            node,
+            at,
             Event::Wake {
                 node: self.node as u8,
                 core: self.core as u8,
@@ -987,6 +1090,80 @@ mod tests {
         cluster.run_for(Time::from_us(20));
         assert!(cluster.now() > t);
         assert!(cluster.metrics(0, 0).ops > 0, "reader still progressing");
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        // The acceptance bar of the sharded loop: the same 4-node rack,
+        // advanced as 1, 2 or 4 shards, replays bit-identically.
+        let run = |shards: usize| {
+            let mut cfg = ClusterConfig::with_nodes(4);
+            cfg.memory_bytes = 4 * 1024 * 1024;
+            cfg.shards = shards;
+            let mut cluster = Cluster::new(cfg);
+            for (reader, target) in [(0usize, 2u8), (1, 3)] {
+                cluster
+                    .node_memory_mut(target as usize)
+                    .write_u64(Addr::new(0), 0);
+                cluster.add_workload(
+                    reader,
+                    0,
+                    Box::new(SyncReader::endless(
+                        target,
+                        vec![Addr::new(0)],
+                        512,
+                        ReadMechanism::Sabre,
+                    )),
+                );
+            }
+            cluster.run_for(Time::from_us(30));
+            let metrics: Vec<(u64, Option<f64>)> = (0..2)
+                .map(|n| {
+                    (
+                        cluster.metrics(n, 0).ops,
+                        cluster.metrics(n, 0).latency.mean(),
+                    )
+                })
+                .collect();
+            (
+                metrics,
+                cluster.packets_delivered(),
+                cluster.fabric().packets_total(),
+            )
+        };
+        let single = run(1);
+        assert!(single.0[0].0 > 0, "readers must make progress");
+        assert_eq!(single, run(2), "2 shards must replay the 1-shard run");
+        assert_eq!(single, run(4), "4 shards must replay the 1-shard run");
+    }
+
+    #[test]
+    fn packets_are_conserved() {
+        // Every packet the fabric accepted is delivered exactly once; a
+        // finite workload drains to sent == delivered.
+        let mut cluster = Cluster::new(small_cfg());
+        cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
+        cluster.add_workload(
+            0,
+            0,
+            Box::new(SyncReader::iterations(
+                1,
+                vec![Addr::new(0)],
+                256,
+                ReadMechanism::Sabre,
+                Addr::new(1 << 20),
+                5,
+            )),
+        );
+        cluster.run_for(Time::from_us(50));
+        assert_eq!(cluster.metrics(0, 0).ops, 5);
+        let sent = cluster.fabric().packets_total();
+        assert!(sent > 0);
+        assert_eq!(
+            sent,
+            cluster.packets_delivered(),
+            "in-flight packets must drain to zero at quiescence"
+        );
     }
 
     #[test]

@@ -1,11 +1,116 @@
 //! Cluster configuration: Table 2 of the paper plus the handful of
-//! calibration constants the table implies but does not state outright.
+//! calibration constants the table implies but does not state outright,
+//! plus the rack topology (node count and per-node roles) that opens the
+//! beyond-paper N-node scenario family.
 
 use sabre_core::LightSabresConfig;
 use sabre_fabric::FabricConfig;
 use sabre_mem::MemTimingConfig;
 use sabre_sim::{Freq, Time};
 use sabre_sw::CpuCostModel;
+
+/// What a node contributes to a scenario — the role split experiments
+/// declare placements against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Runs reader cores issuing one-sided operations at remote stores.
+    Reader,
+    /// Hosts a store shard (data + local writer threads).
+    Store,
+}
+
+/// The rack's role topology: which nodes host store shards and which host
+/// readers. The paper's evaluated pair is `[Reader, Store]`; N-node racks
+/// split half/half by default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    roles: Vec<NodeRole>,
+}
+
+impl Topology {
+    /// An explicit role assignment, node by node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are declared.
+    pub fn new(roles: Vec<NodeRole>) -> Self {
+        assert!(roles.len() >= 2, "the rack needs at least two nodes");
+        Topology { roles }
+    }
+
+    /// The paper's evaluated pair: node 0 reads, node 1 stores.
+    pub fn paper_pair() -> Self {
+        Topology::new(vec![NodeRole::Reader, NodeRole::Store])
+    }
+
+    /// The default N-node split: the first `ceil(nodes / 2)` nodes read,
+    /// the rest host store shards (for `nodes == 2` this is exactly
+    /// [`Topology::paper_pair`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn half_split(nodes: usize) -> Self {
+        assert!(nodes >= 2, "the rack needs at least two nodes");
+        let readers = nodes.div_ceil(2);
+        Topology::new(
+            (0..nodes)
+                .map(|n| {
+                    if n < readers {
+                        NodeRole::Reader
+                    } else {
+                        NodeRole::Store
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of nodes.
+    #[allow(clippy::len_without_is_empty)] // a topology is never empty
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Role of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn role(&self, node: usize) -> NodeRole {
+        self.roles[node]
+    }
+
+    /// Nodes with a given role, in index order.
+    pub fn nodes_with(&self, role: NodeRole) -> Vec<usize> {
+        (0..self.roles.len())
+            .filter(|&n| self.roles[n] == role)
+            .collect()
+    }
+
+    /// Reader nodes, in index order.
+    pub fn reader_nodes(&self) -> Vec<usize> {
+        self.nodes_with(NodeRole::Reader)
+    }
+
+    /// Store nodes, in index order.
+    pub fn store_nodes(&self) -> Vec<usize> {
+        self.nodes_with(NodeRole::Store)
+    }
+
+    /// The store node the `i`-th reader node is paired with (round-robin
+    /// over the store nodes) — the default reader→shard assignment of the
+    /// scaling experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no store nodes.
+    pub fn store_for_reader(&self, reader_index: usize) -> usize {
+        let stores = self.store_nodes();
+        assert!(!stores.is_empty(), "topology has no store nodes");
+        stores[reader_index % stores.len()]
+    }
+}
 
 /// Configuration of the whole simulated rack.
 #[derive(Debug, Clone)]
@@ -45,6 +150,14 @@ pub struct ClusterConfig {
     pub writer_store_interval: Time,
     /// RNG seed for all workloads.
     pub seed: u64,
+    /// Per-node roles (which nodes host store shards, which read).
+    pub topology: Topology,
+    /// Event-loop shards the nodes are partitioned into (contiguous
+    /// ranges). Purely an execution knob: results are bit-identical for
+    /// every value — the loop synchronizes shards at fabric-lookahead
+    /// windows with a deterministic cross-shard merge. Values above the
+    /// node count are clamped.
+    pub shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -66,11 +179,50 @@ impl Default for ClusterConfig {
             completion_latency: Time::from_ns(40),
             writer_store_interval: Time::from_ns(8),
             seed: 0x5AB2E5,
+            topology: Topology::paper_pair(),
+            shards: 1,
         }
     }
 }
 
 impl ClusterConfig {
+    /// The default Table-2 rack resized to `nodes` nodes: the fabric
+    /// becomes a rack-level 2D mesh beyond two nodes
+    /// ([`sabre_fabric::FabricConfig::for_nodes`]), roles split half
+    /// readers / half stores ([`Topology::half_split`]), and per-node
+    /// memory shrinks to 16 MB so an 8-node rack stays cheap to
+    /// materialize (sweeps build many clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn with_nodes(nodes: usize) -> Self {
+        let mut cfg = ClusterConfig::default();
+        cfg.resize_to(nodes);
+        cfg
+    }
+
+    /// Resizes this configuration to `nodes` nodes in place, keeping every
+    /// other tweak: the fabric is re-pointed at the node count (2D mesh
+    /// beyond two nodes, direct below), the role topology becomes
+    /// [`Topology::half_split`], and per-node memory shrinks to 16 MB when
+    /// growing beyond two nodes *if* it still has its default value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn resize_to(&mut self, nodes: usize) {
+        assert!(nodes >= 2, "the rack needs at least two nodes");
+        self.nodes = nodes;
+        self.fabric.nodes = nodes;
+        // One source of truth for the default rack shape at each size.
+        self.fabric.topology = FabricConfig::for_nodes(nodes).topology;
+        self.topology = Topology::half_split(nodes);
+        if nodes > 2 && self.memory_bytes == ClusterConfig::default().memory_bytes {
+            self.memory_bytes = 16 * 1024 * 1024;
+        }
+    }
+
     /// The R2P2's per-block issue interval derived from its bandwidth
     /// target: 64 B / 20 GBps = 3.2 ns with the defaults.
     pub fn r2p2_issue_interval(&self) -> Time {
@@ -103,6 +255,19 @@ impl ClusterConfig {
         if self.rmc_backends > 256 || self.cores_per_node > 256 {
             return Err("pipe and core ids are 8-bit".into());
         }
+        if self.nodes > 256 {
+            return Err("node ids are 8-bit".into());
+        }
+        if self.topology.len() != self.nodes {
+            return Err(format!(
+                "topology declares {} roles but the rack has {} nodes",
+                self.topology.len(),
+                self.nodes
+            ));
+        }
+        if self.shards == 0 {
+            return Err("the event loop needs at least one shard".into());
+        }
         self.lightsabres.validate()
     }
 }
@@ -126,11 +291,43 @@ mod tests {
     #[test]
     fn validation_catches_mismatches() {
         let mut cfg = ClusterConfig {
-            nodes: 3, // fabric still says 2
+            nodes: 3, // fabric and topology still say 2
             ..ClusterConfig::default()
         };
         assert!(cfg.validate().is_err());
         cfg.nodes = 1;
         assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::with_nodes(4);
+        assert!(cfg.validate().is_ok());
+        cfg.shards = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn with_nodes_resizes_every_layer() {
+        let cfg = ClusterConfig::with_nodes(8);
+        assert_eq!(cfg.nodes, 8);
+        assert_eq!(cfg.fabric.nodes, 8);
+        assert_eq!(cfg.topology.len(), 8);
+        assert_eq!(cfg.topology.reader_nodes(), vec![0, 1, 2, 3]);
+        assert_eq!(cfg.topology.store_nodes(), vec![4, 5, 6, 7]);
+        assert!(cfg.validate().is_ok());
+        // The two-node resize is the paper pair on the paper fabric.
+        let pair = ClusterConfig::with_nodes(2);
+        assert_eq!(pair.topology, Topology::paper_pair());
+        assert_eq!(pair.memory_bytes, ClusterConfig::default().memory_bytes);
+    }
+
+    #[test]
+    fn topology_roles_and_pairing() {
+        let t = Topology::half_split(5);
+        assert_eq!(t.reader_nodes(), vec![0, 1, 2]);
+        assert_eq!(t.store_nodes(), vec![3, 4]);
+        assert_eq!(t.role(0), NodeRole::Reader);
+        assert_eq!(t.role(4), NodeRole::Store);
+        // Round-robin pairing of readers onto store shards.
+        assert_eq!(t.store_for_reader(0), 3);
+        assert_eq!(t.store_for_reader(1), 4);
+        assert_eq!(t.store_for_reader(2), 3);
     }
 }

@@ -6,10 +6,14 @@
 //! discrete-event simulation, and runs *workload programs* on the simulated
 //! cores.
 //!
-//! The evaluated topology matches the paper: two directly connected 16-core
+//! The default topology matches the paper: two directly connected 16-core
 //! chips (Fig. 6), each with four RGP/RCP backend pairs and four R2P2s
 //! across the edge, 2 MB LLC, four DDR4-25.6 channels, and a 100 GBps
-//! 35 ns/hop fabric (Table 2).
+//! 35 ns/hop fabric (Table 2). [`ClusterConfig::with_nodes`] (or
+//! [`ScenarioBuilder::nodes`](scenario::ScenarioBuilder::nodes)) grows the
+//! rack to N nodes with per-node roles ([`Topology`]) on a rack-level 2D
+//! mesh, driven by a sharded event loop whose results are bit-identical at
+//! every [`ClusterConfig::shards`] value (see [`cluster`]).
 //!
 //! Experiments are normally *declared* through the [`scenario`] module
 //! ([`ScenarioBuilder`] + [`Sweep`]) rather than wired by hand; the
@@ -41,7 +45,7 @@ pub mod workload;
 pub mod workloads;
 
 pub use cluster::Cluster;
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, NodeRole, Topology};
 pub use metrics::{CoreMetrics, Phase};
-pub use scenario::{RunReport, ScenarioBuilder, Sweep};
+pub use scenario::{NodeReport, RunReport, ScenarioBuilder, Sweep};
 pub use workload::{CoreApi, ReadMechanism, Workload};

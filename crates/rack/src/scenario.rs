@@ -46,7 +46,7 @@ use sabre_sim::Time;
 use sabre_sonuma::r2p2::R2p2Stats;
 
 use crate::cluster::Cluster;
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, NodeRole, Topology};
 use crate::metrics::CoreMetrics;
 use crate::workload::Workload;
 
@@ -106,6 +106,32 @@ impl ScenarioBuilder {
     /// Sets the RNG seed for all workloads.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Resizes the rack to `n` nodes
+    /// ([`ClusterConfig::resize_to`]): rack-level 2D-mesh fabric beyond
+    /// two nodes, half reader / half store roles, 16 MB per-node memory
+    /// (when untweaked). Call before placement helpers that consult the
+    /// topology.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.resize_to(n);
+        self
+    }
+
+    /// Declares an explicit per-node role [`Topology`]; the node count and
+    /// fabric follow it.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        let n = topology.len();
+        self.cfg.resize_to(n);
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Event-loop shard count (purely an execution knob — results are
+    /// bit-identical for every value; see [`ClusterConfig::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards.max(1);
         self
     }
 
@@ -189,6 +215,28 @@ impl ScenarioBuilder {
     /// Places an already-built workload on `core` of `node`.
     pub fn workload(self, node: usize, core: usize, w: Box<dyn Workload>) -> Self {
         self.reader(node, core, move |_| w)
+    }
+
+    /// Places one workload per `(node, core)` placement, each built by
+    /// `factory` from `(node, core, targets)` — the N-node generalization
+    /// of [`ScenarioBuilder::readers`], used with the topology's
+    /// [`Topology::reader_nodes`] to spread a workload across every reader
+    /// node of the rack.
+    pub fn readers_grid(
+        mut self,
+        placements: impl IntoIterator<Item = (usize, usize)>,
+        factory: impl Fn(usize, usize, &[Addr]) -> Box<dyn Workload> + 'static,
+    ) -> Self {
+        let factory = std::rc::Rc::new(factory);
+        for (node, core) in placements {
+            let f = std::rc::Rc::clone(&factory);
+            self.workloads.push((
+                node,
+                core,
+                Box::new(move |targets: &[Addr]| f(node, core, targets)),
+            ));
+        }
+        self
     }
 
     /// Declares a warmup window: the simulation runs for `t` before the
@@ -329,6 +377,46 @@ impl RunReport {
         }
         total
     }
+
+    /// Per-node breakdown of the whole rack, in node order: role, summed
+    /// core metrics, pipeline/engine totals and goodput — the structured
+    /// view N-node experiments report from.
+    pub fn node_reports(&self) -> Vec<NodeReport> {
+        (0..self.cluster.config().nodes)
+            .map(|node| NodeReport {
+                node,
+                role: self.cluster.config().topology.role(node),
+                metrics: self.node(node),
+                r2p2: self.r2p2_totals(node),
+                engine: self.engine_totals(node),
+                gbps: self.gbps(node),
+            })
+            .collect()
+    }
+
+    /// Aggregate goodput of the whole rack (every node's successful reader
+    /// bytes over the measurement window), in GB/s.
+    pub fn total_gbps(&self) -> f64 {
+        (0..self.cluster.config().nodes).map(|n| self.gbps(n)).sum()
+    }
+}
+
+/// One node's slice of a [`RunReport`]: everything the rack-scale
+/// experiments break down per node.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The node index.
+    pub node: usize,
+    /// The node's declared role.
+    pub role: NodeRole,
+    /// Core metrics summed over the node's cores.
+    pub metrics: CoreMetrics,
+    /// R2P2 statistics summed over the node's pipelines.
+    pub r2p2: R2p2Stats,
+    /// LightSABRes engine statistics summed over the node's pipelines.
+    pub engine: EngineStats,
+    /// The node's goodput over the measurement window, in GB/s.
+    pub gbps: f64,
 }
 
 /// A grid of independent sweep points, executed in parallel across OS
@@ -552,6 +640,68 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(serial[0].0, 64, "results must come back in input order");
         assert_eq!(serial[2].0, 2048);
+    }
+
+    #[test]
+    fn multi_node_scenario_reports_per_node() {
+        // 4-node rack: readers on the topology's reader nodes, each
+        // reading raw targets from its paired store node.
+        let mut builder = ScenarioBuilder::new().nodes(4);
+        let topo = builder.config().topology.clone();
+        assert_eq!(topo.reader_nodes(), vec![0, 1]);
+        for &store in &topo.store_nodes() {
+            builder = builder.raw_region_sized(store, 256, 32);
+        }
+        let placements: Vec<(usize, usize)> = topo
+            .reader_nodes()
+            .into_iter()
+            .map(|node| (node, 0))
+            .collect();
+        let topo_for_factory = topo.clone();
+        let report = builder
+            .readers_grid(placements, move |node, _core, targets| {
+                // Targets are concatenated store-node order: 32 per shard.
+                // store_for_reader takes the reader *index*, not the node id.
+                let reader_index = topo_for_factory
+                    .reader_nodes()
+                    .iter()
+                    .position(|&r| r == node)
+                    .expect("placement is a reader node");
+                let store = topo_for_factory.store_for_reader(reader_index);
+                let slice = if store == 2 {
+                    &targets[..32]
+                } else {
+                    &targets[32..]
+                };
+                Box::new(SyncReader::endless(
+                    store as u8,
+                    slice.to_vec(),
+                    256,
+                    ReadMechanism::Raw,
+                ))
+            })
+            .run_for(Time::from_us(30));
+        let nodes = report.node_reports();
+        assert_eq!(nodes.len(), 4);
+        for n in &nodes {
+            match n.role {
+                crate::config::NodeRole::Reader => {
+                    assert!(n.metrics.ops > 0, "reader node {} made no progress", n.node);
+                    assert!(n.gbps > 0.0);
+                }
+                crate::config::NodeRole::Store => {
+                    assert!(
+                        n.r2p2.plain_reads > 0,
+                        "store node {} served no reads",
+                        n.node
+                    );
+                    assert_eq!(n.metrics.ops, 0);
+                }
+            }
+        }
+        assert!(report.total_gbps() > 0.0);
+        let summed: f64 = nodes.iter().map(|n| n.gbps).sum();
+        assert!((report.total_gbps() - summed).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! mechanisms it replaces (FaRM per-cache-line versions, Pilaf checksums,
 //! DrTM remote locking), and a FaRM-like key-value store — all runnable
 //! inside a deterministic discrete-event simulation of the paper's two-node
-//! rack.
+//! rack, or of N-node racks on a rack-level 2D-mesh fabric driven by a
+//! sharded event loop (bit-identical at every shard count).
 //!
 //! ## Crate map
 //!
@@ -89,8 +90,8 @@ pub mod prelude {
         WriterLayout,
     };
     pub use sabre_rack::{
-        Cluster, ClusterConfig, CoreApi, Phase, ReadMechanism, RunReport, ScenarioBuilder, Sweep,
-        Workload,
+        Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase, ReadMechanism, RunReport,
+        ScenarioBuilder, Sweep, Topology, Workload,
     };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};

@@ -10,6 +10,16 @@
 //! consistent snapshot iff [`verify_payload`] accepts it. The verifying
 //! reader asserts this on *every* successful completion, so any torn read
 //! that slips past an atomicity mechanism fails the test immediately.
+//!
+//! Two layers of adversity:
+//!
+//! * the paper-shaped two-node races ([`race`]), one per mechanism/mode;
+//! * the multi-node **torture sweep**: 64 seeded schedules across 2–8-node
+//!   racks (fully sharded event loop, one shard per node), rotating
+//!   through every SABRes mechanism — OCC, no-speculation, destination
+//!   locking, per-CL versions — with seed-derived payloads, writer
+//!   partitions and placements, plus a raw-read control proving the same
+//!   schedules do tear without a mechanism.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -103,6 +113,28 @@ impl Workload for CheckedReader {
         }
         drop(o);
         self.issue(api);
+    }
+}
+
+/// Raw variant of the checked reader: counts torn images instead of
+/// asserting (the control proving the harness generates real races).
+struct RawReader(CheckedReader);
+
+impl Workload for RawReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.0.issue(api);
+    }
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, _cq: CqEntry) {
+        let image = api.read_local(self.0.buf(api), self.0.wire() as usize);
+        let payload = CleanLayout::payload_of(&image, self.0.store.payload() as usize);
+        let mut o = self.0.outcome.borrow_mut();
+        if verify_payload(self.0.cur_obj, payload).is_some() {
+            o.verified += 1;
+        } else {
+            o.torn += 1;
+        }
+        drop(o);
+        self.0.issue(api);
     }
 }
 
@@ -250,27 +282,6 @@ fn raw_reads_do_tear_under_conflict() {
             .warmed_store(1, StoreLayout::Clean, 480, Some(8));
     let outcome = Rc::new(RefCell::new(Outcome::default()));
 
-    /// Raw variant of the checked reader: counts torn images instead of
-    /// asserting.
-    struct RawReader(CheckedReader);
-    impl Workload for RawReader {
-        fn on_start(&mut self, api: &mut CoreApi<'_>) {
-            self.0.issue(api);
-        }
-        fn on_completion(&mut self, api: &mut CoreApi<'_>, _cq: CqEntry) {
-            let image = api.read_local(self.0.buf(api), self.0.wire() as usize);
-            let payload = CleanLayout::payload_of(&image, 480);
-            let mut o = self.0.outcome.borrow_mut();
-            if verify_payload(self.0.cur_obj, payload).is_some() {
-                o.verified += 1;
-            } else {
-                o.torn += 1;
-            }
-            drop(o);
-            self.0.issue(api);
-        }
-    }
-
     let mut scenario = scenario;
     for core in 0..4 {
         let (store, outcome) = (store.clone(), Rc::clone(&outcome));
@@ -300,4 +311,196 @@ fn raw_reads_do_tear_under_conflict() {
         o.torn > 0,
         "raw reads never tore — the harness is not generating real races"
     );
+}
+
+// ---------------------------------------------------------------------
+// The multi-node torture sweep
+// ---------------------------------------------------------------------
+
+/// The SABRes-family mechanisms the sweep rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TortureMech {
+    /// Destination OCC, speculative (the paper's configuration).
+    Occ,
+    /// Destination OCC, serialized version read first.
+    NoSpec,
+    /// Destination locking (shared reader locks).
+    Locking,
+    /// FaRM per-cache-line versions validated on the reader CPU.
+    PerCl,
+}
+
+impl TortureMech {
+    const ALL: [TortureMech; 4] = [
+        TortureMech::Occ,
+        TortureMech::NoSpec,
+        TortureMech::Locking,
+        TortureMech::PerCl,
+    ];
+}
+
+/// One seed-derived adversarial schedule on an N-node rack: every store
+/// node hosts a shard with hot writers partitioned over its cores, every
+/// reader node runs two checked readers against its round-robin shard,
+/// and the event loop runs fully sharded (one shard per node). Payload
+/// size and writer partitioning vary with the seed so the sweep explores
+/// genuinely different schedules, not one schedule with different RNG.
+fn torture_race(tm: TortureMech, nodes: usize, seed: u64) -> Outcome {
+    let payload = [208u32, 480, 1008][(seed % 3) as usize];
+    let (mech, layout, writer_layout, cc_mode, spec_mode) = match tm {
+        TortureMech::Occ => (
+            ReadMechanism::Sabre,
+            StoreLayout::Clean,
+            WriterLayout::Clean,
+            CcMode::Occ,
+            SpecMode::Speculative,
+        ),
+        TortureMech::NoSpec => (
+            ReadMechanism::Sabre,
+            StoreLayout::Clean,
+            WriterLayout::Clean,
+            CcMode::Occ,
+            SpecMode::ReadVersionFirst,
+        ),
+        TortureMech::Locking => (
+            ReadMechanism::Sabre,
+            StoreLayout::Clean,
+            WriterLayout::Clean,
+            CcMode::Locking,
+            SpecMode::Speculative,
+        ),
+        TortureMech::PerCl => (
+            ReadMechanism::PerClValidate { payload },
+            StoreLayout::PerCl,
+            WriterLayout::PerCl,
+            CcMode::Occ,
+            SpecMode::Speculative,
+        ),
+    };
+    let builder = ScenarioBuilder::new()
+        .configure(move |cfg| {
+            cfg.lightsabres.cc_mode = cc_mode;
+            cfg.lightsabres.spec_mode = spec_mode;
+        })
+        .seed(seed)
+        .nodes(nodes)
+        .shards(nodes);
+    let topo = builder.config().topology.clone();
+    let (mut scenario, shards) = builder.sharded_store(topo.store_nodes(), layout, payload, 12);
+    let outcome = Rc::new(RefCell::new(Outcome::default()));
+    for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+        for core in 0..2 {
+            let (store, outcome) = (shards[i % shards.len()].clone(), Rc::clone(&outcome));
+            scenario = scenario.reader(rnode, core, move |_| {
+                Box::new(CheckedReader::new(mech, store, outcome))
+            });
+        }
+    }
+    // Seed-derived writer partitioning: smaller chunks = more writers =
+    // more simultaneous in-flight updates per shard.
+    let chunk = [3usize, 4, 6][((seed / 3) % 3) as usize];
+    for shard in &shards {
+        for (w, entries) in shard.object_entries().chunks(chunk).enumerate() {
+            let mut writer = Writer::new(entries.to_vec(), payload, writer_layout, Time::ZERO);
+            if cc_mode == CcMode::Locking {
+                writer = writer.respecting_reader_locks();
+            }
+            scenario = scenario.workload(shard.node() as usize, w, Box::new(writer));
+        }
+    }
+    scenario.run_for(Time::from_us(30));
+    let o = outcome.borrow();
+    Outcome {
+        verified: o.verified,
+        torn: o.torn,
+        aborts: o.aborts,
+    }
+}
+
+#[test]
+fn torture_no_sabre_mechanism_ever_tears_across_rack_sizes() {
+    // 64 seeded schedules, node counts cycling 2..=8, mechanisms rotating
+    // so each of the four gets 16 genuinely different schedules.
+    let results = Sweep::over(0u64..64).map(|&seed| {
+        let nodes = 2 + (seed as usize % 7);
+        let tm = TortureMech::ALL[(seed % 4) as usize];
+        (tm, nodes, seed, torture_race(tm, nodes, seed))
+    });
+    let mut per_mech: std::collections::HashMap<TortureMech, Outcome> =
+        std::collections::HashMap::new();
+    for (tm, nodes, seed, o) in &results {
+        assert_eq!(
+            o.torn, 0,
+            "{tm:?} on {nodes} nodes (seed {seed}): {} torn objects delivered as atomic \
+             (of {} verified, {} aborts)",
+            o.torn, o.verified, o.aborts
+        );
+        assert!(
+            o.verified > 20,
+            "{tm:?} on {nodes} nodes (seed {seed}): too few successes: {o:?}"
+        );
+        let e = per_mech.entry(*tm).or_default();
+        e.verified += o.verified;
+        e.torn += o.torn;
+        e.aborts += o.aborts;
+    }
+    for tm in TortureMech::ALL {
+        let o = &per_mech[&tm];
+        assert!(
+            o.aborts > 0,
+            "{tm:?}: no conflicts in any of its 16 schedules — the torture \
+             harness is not racing: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn torture_raw_reads_still_tear_on_every_rack_size() {
+    // The control: the same seed-derived schedules, mechanism stripped
+    // out. Aggregated per node count so torn reads must show up at every
+    // rack size, not just the paper pair.
+    for nodes in [2usize, 5, 8] {
+        let mut torn = 0u64;
+        for seed in 0..4u64 {
+            let payload = [208u32, 480, 1008][(seed % 3) as usize];
+            let builder = ScenarioBuilder::new().seed(seed).nodes(nodes).shards(nodes);
+            let topo = builder.config().topology.clone();
+            let (mut scenario, shards) =
+                builder.sharded_store(topo.store_nodes(), StoreLayout::Clean, payload, 8);
+            let outcome = Rc::new(RefCell::new(Outcome::default()));
+            for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+                for core in 0..2 {
+                    let (store, outcome) = (shards[i % shards.len()].clone(), Rc::clone(&outcome));
+                    scenario = scenario.reader(rnode, core, move |_| {
+                        Box::new(RawReader(CheckedReader::new(
+                            ReadMechanism::Raw,
+                            store,
+                            outcome,
+                        )))
+                    });
+                }
+            }
+            for shard in &shards {
+                for (w, entries) in shard.object_entries().chunks(2).enumerate() {
+                    scenario = scenario.workload(
+                        shard.node() as usize,
+                        w,
+                        Box::new(Writer::new(
+                            entries.to_vec(),
+                            payload,
+                            WriterLayout::Clean,
+                            Time::ZERO,
+                        )),
+                    );
+                }
+            }
+            scenario.run_for(Time::from_us(30));
+            torn += outcome.borrow().torn;
+        }
+        assert!(
+            torn > 0,
+            "raw reads never tore on a {nodes}-node rack — the torture \
+             schedules are not generating real races there"
+        );
+    }
 }

@@ -204,3 +204,46 @@ fn ablation_concurrency_scales_until_saturation() {
     assert!(tput(2) > tput(1) * 1.5, "2 buffers ≈ 2x of 1");
     assert!(tput(16) > tput(4) * 1.5, "16 buffers must keep scaling");
 }
+
+#[test]
+fn fig_scale_goodput_grows_and_atomicity_stays_cheap() {
+    let points = ex::fig_scale::data(Q);
+    let get = |nodes: usize, mech: ex::fig_scale::Mechanism| {
+        *points
+            .iter()
+            .find(|p| p.nodes == nodes && p.mech == mech)
+            .expect("swept point")
+    };
+    use ex::fig_scale::Mechanism::*;
+    for &nodes in &ex::fig_scale::NODE_COUNTS {
+        let raw = get(nodes, Raw);
+        let sabre = get(nodes, Sabre);
+        // The paper's headline survives scale-out: hardware SABRes track
+        // plain reads at every rack size, while the software checks pay
+        // their CPU validation on top.
+        assert!(
+            (sabre.latency_ns - raw.latency_ns) / raw.latency_ns < 0.35,
+            "{nodes} nodes: sabre {:.0}ns vs raw {:.0}ns",
+            sabre.latency_ns,
+            raw.latency_ns
+        );
+        assert!(get(nodes, PerCl).latency_ns > sabre.latency_ns);
+        assert!(get(nodes, Checksum).latency_ns > get(nodes, PerCl).latency_ns);
+        // Every reader node makes progress (no placement starves).
+        assert!(sabre.min_reader_gbps > 0.0);
+    }
+    // Aggregate goodput scales with the reader count while reader↔shard
+    // pairs stay one mesh hop apart (2 → 6 nodes ≈ 3 independent pairs).
+    for mech in [Raw, Sabre] {
+        let g2 = get(2, mech).total_gbps;
+        let g6 = get(6, mech).total_gbps;
+        assert!(
+            g6 > g2 * 2.5,
+            "{mech:?}: 6-node rack must ≈3x the pair ({g6:.1} vs {g2:.1})"
+        );
+        // The 8-node mesh adds multi-hop pairs: aggregate stays above the
+        // 4-node rack even though per-op latency rises.
+        assert!(get(8, mech).total_gbps > get(4, mech).total_gbps);
+        assert!(get(8, mech).latency_ns > get(6, mech).latency_ns);
+    }
+}

@@ -1,0 +1,43 @@
+//! Golden-output regression of the whole figure harness.
+//!
+//! `tests/golden/figures.txt` is the committed stdout of
+//! `all_figures --quick`. This test regenerates every figure in-process
+//! through the same [`sabre_bench::render_all_figures`] entry point the
+//! binary uses and diffs the result line by line, so *any* change to any
+//! experiment's numbers — an event-ordering drift in the cluster, a
+//! calibration tweak, a formatting change — surfaces as a figure diff
+//! rather than slipping through shape assertions. The output is
+//! deterministic across thread counts, optimization levels and shard
+//! counts, which is exactly what the scenario/sweep determinism tests pin
+//! down; when an intentional change shifts numbers, regenerate with:
+//!
+//! ```text
+//! cargo run --release --bin all_figures -- --quick > tests/golden/figures.txt
+//! ```
+
+use sabre_bench::{render_all_figures, RunOpts};
+
+#[test]
+fn all_figures_quick_matches_golden_output() {
+    let golden = include_str!("golden/figures.txt");
+    let live = render_all_figures(RunOpts::quick(), |_, _| {});
+    if live != golden {
+        // Render a readable first-divergence report instead of dumping
+        // two 150-line blobs.
+        for (i, (g, l)) in golden.lines().zip(live.lines()).enumerate() {
+            assert_eq!(
+                g,
+                l,
+                "first figure divergence at golden line {} — if intentional, \
+                 regenerate tests/golden/figures.txt (see test docs)",
+                i + 1
+            );
+        }
+        panic!(
+            "figure output length changed: golden {} lines, live {} lines — \
+             if intentional, regenerate tests/golden/figures.txt",
+            golden.lines().count(),
+            live.lines().count()
+        );
+    }
+}

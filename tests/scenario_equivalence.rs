@@ -179,3 +179,109 @@ fn warmup_window_changes_measurement_not_simulation() {
         "windowed core ops and windowed engine completions must agree"
     );
 }
+
+// ---------------------------------------------------------------------
+// N-node determinism: the beyond-paper rack obeys the same contracts
+// ---------------------------------------------------------------------
+
+/// A full fingerprint of one multi-node run: per-core ops/retries/mean
+/// latency plus per-node engine and pipeline counters — if any bit of
+/// observable behavior changes, this changes.
+fn rack_fingerprint(nodes: usize, shards: usize, seed: u64) -> Vec<String> {
+    let builder = ScenarioBuilder::new()
+        .seed(seed)
+        .nodes(nodes)
+        .shards(shards);
+    let topo = builder.config().topology.clone();
+    let (mut scenario, store_shards) =
+        builder.sharded_store(topo.store_nodes(), StoreLayout::Clean, 1024, 32);
+    for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+        let shard = store_shards[i % store_shards.len()].clone();
+        let wire = shard.slot_bytes() as u32;
+        scenario = scenario.reader(rnode, 0, move |_| {
+            Box::new(
+                SyncReader::endless(
+                    shard.node(),
+                    shard.object_addrs(),
+                    1024,
+                    ReadMechanism::Sabre,
+                )
+                .with_wire(wire),
+            )
+        });
+    }
+    let report = scenario.run_for(Time::from_us(60));
+    report
+        .node_reports()
+        .iter()
+        .map(|n| {
+            format!(
+                "{}:{:?}:{}:{}:{:?}:{}:{}:{}",
+                n.node,
+                n.role,
+                n.metrics.ops,
+                n.metrics.retries,
+                report.core(n.node, 0).latency.mean(),
+                n.r2p2.sabres_registered,
+                n.engine.completed_ok,
+                n.engine.completed_failed,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_multi_node_scenario_replays_bit_identically() {
+    let a = rack_fingerprint(6, 1, 42);
+    let b = rack_fingerprint(6, 1, 42);
+    assert!(
+        a.iter()
+            .any(|s| s.contains(":Reader:") && !s.contains(":Reader:0:")),
+        "at least one reader node must complete ops: {a:?}"
+    );
+    assert_eq!(a, b, "same seed, same rack — every bit must replay");
+}
+
+#[test]
+fn sharded_event_loop_is_bit_identical_to_single_shard() {
+    // The tentpole acceptance bar, on the biggest rack: 8 nodes advanced
+    // as one shard, two shards, or one shard per node.
+    let single = rack_fingerprint(8, 1, 7);
+    assert_eq!(single, rack_fingerprint(8, 2, 7));
+    assert_eq!(single, rack_fingerprint(8, 8, 7));
+}
+
+#[test]
+fn eight_node_table1_workload_reports_per_node_metrics() {
+    // The Table-1 workload (1 KB clean-store SABRes), distributed over the
+    // 8-node rack through the Scenario API, with the shipped fig_scale
+    // construction — and the shipped experiment is itself shard-invariant.
+    let sharded = sabre_bench::experiments::fig_scale::measure_sharded(
+        8,
+        sabre_bench::experiments::fig_scale::Mechanism::Sabre,
+        3,
+        8,
+    );
+    let unsharded = sabre_bench::experiments::fig_scale::measure_sharded(
+        8,
+        sabre_bench::experiments::fig_scale::Mechanism::Sabre,
+        3,
+        1,
+    );
+    assert_eq!(sharded.latency_ns, unsharded.latency_ns);
+    assert_eq!(sharded.total_gbps, unsharded.total_gbps);
+    assert!(sharded.total_gbps > 0.0);
+    assert!(sharded.min_reader_gbps > 0.0, "every reader node reports");
+}
+
+#[test]
+fn node_count_sweep_is_parallel_invariant() {
+    let point = |&nodes: &usize| rack_fingerprint(nodes, nodes, 3);
+    let counts = [2usize, 4, 6, 8];
+    let serial = Sweep::over(counts).threads(1).map(point);
+    let parallel = Sweep::over(counts).threads(4).map(point);
+    assert_eq!(
+        serial, parallel,
+        "a sweep over rack sizes must not depend on worker threads"
+    );
+}
