@@ -8,9 +8,9 @@ use std::hint::black_box;
 
 use sabre_core::{LightSabres, LightSabresConfig, SabreId, StreamBuffer};
 use sabre_mem::{Addr, BlockAddr, Llc, NodeMemory, BLOCK_BYTES};
-use sabre_sim::{EventQueue, Time};
+use sabre_sim::{CalendarQueue, EventQueue, Time};
 use sabre_sw::layout::PerClLayout;
-use sabre_sw::{crc64_ecma, VersionWord};
+use sabre_sw::{crc64_ecma, crc64_ecma_scalar, VersionWord};
 
 fn bench_stream_buffer(c: &mut Criterion) {
     let mut g = c.benchmark_group("stream_buffer");
@@ -80,8 +80,23 @@ fn bench_software_kernels(c: &mut Criterion) {
     g.bench_function("percl_validate_strip_8k", |b| {
         b.iter(|| PerClLayout::validate_and_strip(black_box(&image), 8192).expect("clean"))
     });
+    // Both CRC64 kernels over the same 8 KB buffer: the slice-by-8 hot
+    // path against the byte-at-a-time reference it must outrun (the
+    // committed BENCH_baseline.json pins both).
     g.throughput(Throughput::Bytes(8192));
-    g.bench_function("crc64_8k", |b| b.iter(|| crc64_ecma(black_box(&payload))));
+    g.bench_function("crc64_slice8_8k", |b| {
+        b.iter(|| crc64_ecma(black_box(&payload)))
+    });
+    g.bench_function("crc64_scalar_8k", |b| {
+        b.iter(|| crc64_ecma_scalar(black_box(&payload)))
+    });
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("crc64_slice8_256", |b| {
+        b.iter(|| crc64_ecma(black_box(&payload[..256])))
+    });
+    g.bench_function("crc64_scalar_256", |b| {
+        b.iter(|| crc64_ecma_scalar(black_box(&payload[..256])))
+    });
     g.finish();
 }
 
@@ -96,6 +111,59 @@ fn bench_sim_primitives(c: &mut Criterion) {
                 }
                 while let Some(e) = q.pop() {
                     black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The calendar variant over the same schedule — the structure the
+    // windowed loop actually runs on (35 ns buckets = fabric lookahead).
+    g.bench_function("calendar_queue_schedule_pop_1k", |b| {
+        b.iter_batched(
+            || CalendarQueue::<u64>::new(Time::from_ns(35)),
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.schedule(Time::from_ns(i * 7 % 501), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The windowed interleave both queues see in the sharded loop: pop an
+    // event, schedule a short-horizon follow-up — the steady state of a
+    // busy node queue.
+    g.bench_function("event_queue_windowed_churn_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                q.schedule(Time::ZERO, 0u64);
+                q
+            },
+            |mut q| {
+                for i in 1..4096u64 {
+                    let (t, e) = q.pop().expect("seeded");
+                    black_box(e);
+                    q.schedule(t + Time::from_ns(i * 13 % 97), i);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("calendar_queue_windowed_churn_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = CalendarQueue::new(Time::from_ns(35));
+                q.schedule(Time::ZERO, 0u64);
+                q
+            },
+            |mut q| {
+                for i in 1..4096u64 {
+                    let (t, e) = q.pop().expect("seeded");
+                    black_box(e);
+                    q.schedule(t + Time::from_ns(i * 13 % 97), i);
                 }
             },
             BatchSize::SmallInput,

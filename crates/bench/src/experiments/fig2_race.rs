@@ -6,8 +6,7 @@
 //! undetected violation of Fig. 2. With SABRes, every read the hardware
 //! reports atomic verifies clean, and the races surface as aborts instead.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_mem::Addr;
@@ -34,8 +33,9 @@ pub struct RaceOutcome {
     pub sabre_torn: u64,
 }
 
-/// Counters shared between the experiment and its reader (each simulated
-/// cluster is single-threaded, so `Rc<RefCell<…>>` is safe and simple).
+/// Counters shared between the experiment and its reader (workloads are
+/// `Send` — shards may run on worker threads — so shared state is
+/// `Arc<Mutex<…>>`; the mutex is uncontended within one cluster run).
 #[derive(Debug, Default)]
 struct Counters {
     ok: u64,
@@ -49,7 +49,7 @@ struct VerifyingReader {
     object: Addr,
     obj_id: u64,
     payload: u32,
-    counters: Rc<RefCell<Counters>>,
+    counters: Arc<Mutex<Counters>>,
     t0: Time,
 }
 
@@ -59,7 +59,7 @@ impl VerifyingReader {
         object: Addr,
         obj_id: u64,
         payload: u32,
-        counters: Rc<RefCell<Counters>>,
+        counters: Arc<Mutex<Counters>>,
     ) -> Self {
         VerifyingReader {
             mech,
@@ -93,7 +93,7 @@ impl Workload for VerifyingReader {
     }
 
     fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
-        let mut c = self.counters.borrow_mut();
+        let mut c = self.counters.lock().expect("counters poisoned");
         if cq.success {
             let image = api.read_local(self.buf(api), self.wire() as usize);
             let payload = CleanLayout::payload_of(&image, self.payload as usize);
@@ -117,8 +117,8 @@ fn run_side(mech: ReadMechanism, duration: Time) -> (u64, u64, u64) {
     // the figure's two-block example.
     let (scenario, store) =
         ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 112, Some(1));
-    let counters = Rc::new(RefCell::new(Counters::default()));
-    let reader_counters = Rc::clone(&counters);
+    let counters = Arc::new(Mutex::new(Counters::default()));
+    let reader_counters = Arc::clone(&counters);
     let object = store.object_addr(0);
     let entries = store.object_entries();
     scenario
@@ -131,7 +131,7 @@ fn run_side(mech: ReadMechanism, duration: Time) -> (u64, u64, u64) {
             Box::new(Writer::new(entries, 112, WriterLayout::Clean, Time::ZERO)),
         )
         .run_for(duration);
-    let c = counters.borrow();
+    let c = counters.lock().expect("counters poisoned");
     (c.ok, c.torn, c.aborts)
 }
 

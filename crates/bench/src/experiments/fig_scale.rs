@@ -109,7 +109,24 @@ pub struct Point {
 /// certify that *this* construction — not a copy of it — is bit-identical
 /// at every shard count.
 pub fn measure_sharded(nodes: usize, mech: Mechanism, iters: u64, shards: usize) -> Point {
-    let builder = ScenarioBuilder::new().nodes(nodes).shards(shards);
+    measure_threaded(nodes, mech, iters, shards, None)
+}
+
+/// [`measure_sharded`] with an explicit worker-thread count driving the
+/// shards (`None`: the cluster's default resolution) — the knob the
+/// equivalence tests sweep to certify the shipped experiment is
+/// bit-identical at every thread count too.
+pub fn measure_threaded(
+    nodes: usize,
+    mech: Mechanism,
+    iters: u64,
+    shards: usize,
+    threads: Option<usize>,
+) -> Point {
+    let builder = ScenarioBuilder::new()
+        .nodes(nodes)
+        .shards(shards)
+        .configure(|cfg| cfg.threads = threads);
     let topo = builder.config().topology.clone();
     let (builder, store_shards) = builder.sharded_store(
         topo.store_nodes(),
@@ -179,8 +196,11 @@ pub fn data(opts: RunOpts) -> Vec<Point> {
         .iter()
         .flat_map(|&n| Mechanism::ALL.iter().map(move |&m| (n, m)))
         .collect();
+    // `--threads` (or `SABRES_THREADS`) caps the in-cluster shard workers
+    // the same way it caps the sweep pool; results are identical either
+    // way, which the golden/equivalence tests pin down.
     opts.sweep(points)
-        .map(|&(nodes, mech)| measure(nodes, mech, iters))
+        .map(|&(nodes, mech)| measure_threaded(nodes, mech, iters, nodes, opts.threads))
 }
 
 /// Renders the scaling sweep as a table.

@@ -72,6 +72,51 @@ impl FabricConfig {
     }
 }
 
+/// One source node's outgoing side of the fabric: the directed link
+/// servers (and packet counters) for every destination.
+///
+/// Ports are the unit a partitioned event loop hands to its shards: every
+/// packet is *sent* through its source node's port, so a shard that owns a
+/// contiguous range of nodes can own exactly those nodes' ports and never
+/// touch another shard's link state. [`Fabric::split`] lends out the port
+/// array alongside the shared (read-only) configuration.
+#[derive(Debug)]
+pub struct FabricPort {
+    src: usize,
+    /// `links[dst]`, unused for `dst == src`.
+    links: Vec<BandwidthServer>,
+    /// Packets pushed onto each directed link so far (conservation
+    /// accounting: every send is delivered exactly once).
+    sent: Vec<u64>,
+}
+
+impl FabricPort {
+    /// The source node this port belongs to.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Sends a packet with `payload_bytes` of payload from this port's
+    /// source to `dst` no earlier than `now`; returns its arrival time at
+    /// `dst`: serialization onto the (queued) directed link plus one
+    /// [`FabricConfig::hop_latency`] per routed hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this port's own node or out of range.
+    pub fn send(&mut self, cfg: &FabricConfig, now: Time, dst: usize, payload_bytes: u64) -> Time {
+        assert!(dst != self.src, "no self-links: {} -> {dst}", self.src);
+        assert!(
+            dst < self.links.len(),
+            "node index out of range: {} -> {dst}",
+            self.src
+        );
+        self.sent[dst] += 1;
+        let propagation = cfg.hop_latency * cfg.topology.hops(self.src, dst);
+        self.links[dst].transmit(now, payload_bytes + cfg.header_bytes) + propagation
+    }
+}
+
 /// The rack fabric: a full mesh of directed links between node pairs, with
 /// per-packet propagation latency derived from the routed hop count.
 ///
@@ -90,11 +135,8 @@ impl FabricConfig {
 #[derive(Debug)]
 pub struct Fabric {
     cfg: FabricConfig,
-    /// `links[src * nodes + dst]`, unused for `src == dst`.
-    links: Vec<BandwidthServer>,
-    /// Packets pushed onto each directed link so far (conservation
-    /// accounting: every send is delivered exactly once).
-    sent: Vec<u64>,
+    /// One outgoing port per source node.
+    ports: Vec<FabricPort>,
 }
 
 impl Fabric {
@@ -118,16 +160,27 @@ impl Fabric {
                 cols
             );
         }
-        let links = (0..cfg.nodes * cfg.nodes)
-            .map(|_| BandwidthServer::new(cfg.link_gbps, Time::ZERO))
+        let ports = (0..cfg.nodes)
+            .map(|src| FabricPort {
+                src,
+                links: (0..cfg.nodes)
+                    .map(|_| BandwidthServer::new(cfg.link_gbps, Time::ZERO))
+                    .collect(),
+                sent: vec![0; cfg.nodes],
+            })
             .collect();
-        let sent = vec![0; cfg.nodes * cfg.nodes];
-        Fabric { cfg, links, sent }
+        Fabric { cfg, ports }
     }
 
     /// The configuration.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Splits the fabric into its shared configuration and the per-source
+    /// port array, so disjoint node ranges (shards) can send concurrently.
+    pub fn split(&mut self) -> (&FabricConfig, &mut [FabricPort]) {
+        (&self.cfg, &mut self.ports)
     }
 
     /// Hops a packet from `src` to `dst` traverses under the configured
@@ -149,39 +202,35 @@ impl Fabric {
     ///
     /// Panics if `src == dst` or either index is out of range.
     pub fn send(&mut self, now: Time, src: usize, dst: usize, payload_bytes: u64) -> Time {
-        assert!(src != dst, "no self-links: {src} -> {dst}");
         assert!(
             src < self.cfg.nodes && dst < self.cfg.nodes,
             "node index out of range: {src} -> {dst}"
         );
-        let idx = src * self.cfg.nodes + dst;
-        self.sent[idx] += 1;
-        let propagation = self.cfg.hop_latency * self.hops(src, dst);
-        self.links[idx].transmit(now, payload_bytes + self.cfg.header_bytes) + propagation
+        self.ports[src].send(&self.cfg, now, dst, payload_bytes)
     }
 
     /// Total bytes (incl. headers) pushed from `src` to `dst` so far.
     pub fn link_bytes(&self, src: usize, dst: usize) -> u64 {
-        self.links[src * self.cfg.nodes + dst].bytes_total()
+        self.ports[src].links[dst].bytes_total()
     }
 
     /// Packets pushed from `src` to `dst` so far.
     pub fn link_packets(&self, src: usize, dst: usize) -> u64 {
-        self.sent[src * self.cfg.nodes + dst]
+        self.ports[src].sent[dst]
     }
 
     /// Packets pushed onto any link so far.
     pub fn packets_total(&self) -> u64 {
-        self.sent.iter().sum()
+        self.ports.iter().map(|p| p.sent.iter().sum::<u64>()).sum()
     }
 
     /// Utilization of the `src → dst` link over `[0, horizon]`.
     pub fn link_utilization(&self, src: usize, dst: usize, horizon: Time) -> f64 {
-        self.links[src * self.cfg.nodes + dst].utilization(horizon)
+        self.ports[src].links[dst].utilization(horizon)
     }
 }
 
-/// A message waiting in a [`ShardRouter`] outbox.
+/// A message waiting in an [`Outbox`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Pending<M> {
     at: Time,
@@ -189,25 +238,74 @@ struct Pending<M> {
     msg: M,
 }
 
+/// One source node's outbound mailbox in a [`ShardRouter`].
+///
+/// Like [`FabricPort`], outboxes are the per-source unit a partitioned
+/// event loop hands to its shards: a shard pushes every cross-node message
+/// through the sending node's own outbox, so concurrent shards never share
+/// mailbox state. At the synchronization barrier the loop collects all
+/// outboxes back (see [`ShardRouter::merge_sorted`]).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    src: usize,
+    pending: Vec<Pending<M>>,
+    pushed: u64,
+}
+
+impl<M> Outbox<M> {
+    /// The source node this outbox belongs to.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Queues `msg` for delivery to `dst` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this outbox's own node (fabric messages never
+    /// self-deliver; local work belongs on the node's own queue).
+    pub fn push(&mut self, dst: usize, at: Time, msg: M) {
+        assert!(dst != self.src, "no self-delivery: {} -> {dst}", self.src);
+        self.pending.push(Pending { at, dst, msg });
+        self.pushed += 1;
+    }
+
+    /// Messages queued but not yet drained.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 /// Deterministic cross-shard message exchange for a partitioned event
 /// loop.
 ///
-/// Each source node pushes timestamped messages into its own outbox while
-/// its shard advances; at every synchronization barrier the loop drains
-/// all outboxes with [`ShardRouter::drain_sorted`], which yields messages
-/// in a total order determined *only* by `(arrival time, source node,
-/// per-source push order)`. Because neither the order shards were advanced
-/// in nor the grouping of nodes into shards appears in the key, delivering
-/// the drained messages in yielded order makes the simulation bit-identical
-/// for every shard count — the property the rack's torture tests pin down.
+/// Each source node pushes timestamped messages into its own [`Outbox`]
+/// while its shard advances; at every synchronization barrier the loop
+/// drains all outboxes with [`ShardRouter::drain_sorted`] (or, when the
+/// outboxes are lent out to shards, [`ShardRouter::merge_sorted`]), which
+/// yields messages in a total order determined *only* by `(arrival time,
+/// source node, per-source push order)`. Because neither the order shards
+/// were advanced in nor the grouping of nodes into shards appears in the
+/// key, delivering the drained messages in yielded order makes the
+/// simulation bit-identical for every shard count — the property the
+/// rack's torture tests pin down.
 ///
-/// Conservation: every pushed message is yielded by exactly one subsequent
-/// drain ([`ShardRouter::pushed_total`] = [`ShardRouter::drained_total`] +
-/// [`ShardRouter::in_flight`]).
+/// Conservation: every pushed message is yielded by exactly one
+/// subsequent merge. When all drains go through
+/// [`ShardRouter::drain_sorted`], this is observable as
+/// [`ShardRouter::pushed_total`] = [`ShardRouter::drained_total`] +
+/// [`ShardRouter::in_flight`]; drains performed directly over lent-out
+/// outboxes ([`ShardRouter::merge_sorted`] — how the cluster's window
+/// barrier runs) bypass the router's drained counter, so there
+/// `pushed_total - in_flight` counts the messages merged so far.
 #[derive(Debug)]
 pub struct ShardRouter<M> {
-    outboxes: Vec<Vec<Pending<M>>>,
-    pushed: u64,
+    outboxes: Vec<Outbox<M>>,
     drained: u64,
 }
 
@@ -215,8 +313,13 @@ impl<M> ShardRouter<M> {
     /// A router for `nodes` source nodes.
     pub fn new(nodes: usize) -> Self {
         ShardRouter {
-            outboxes: (0..nodes).map(|_| Vec::new()).collect(),
-            pushed: 0,
+            outboxes: (0..nodes)
+                .map(|src| Outbox {
+                    src,
+                    pending: Vec::new(),
+                    pushed: 0,
+                })
+                .collect(),
             drained: 0,
         }
     }
@@ -225,22 +328,26 @@ impl<M> ShardRouter<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `src` is out of range or `src == dst` (fabric messages
-    /// never self-deliver; local work belongs on the node's own queue).
+    /// Panics if `src` is out of range or `src == dst`.
     pub fn push(&mut self, src: usize, dst: usize, at: Time, msg: M) {
-        assert!(src != dst, "no self-delivery: {src} -> {dst}");
-        self.outboxes[src].push(Pending { at, dst, msg });
-        self.pushed += 1;
+        self.outboxes[src].push(dst, at, msg);
+    }
+
+    /// The per-source outboxes, for lending disjoint ranges to concurrent
+    /// shards. Drains performed directly on the slices (via
+    /// [`ShardRouter::merge_sorted`]) bypass the router's drained counter.
+    pub fn outboxes_mut(&mut self) -> &mut [Outbox<M>] {
+        &mut self.outboxes
     }
 
     /// Messages pushed but not yet drained.
     pub fn in_flight(&self) -> usize {
-        self.outboxes.iter().map(Vec::len).sum()
+        self.outboxes.iter().map(Outbox::len).sum()
     }
 
     /// Total messages ever pushed.
     pub fn pushed_total(&self) -> u64 {
-        self.pushed
+        self.outboxes.iter().map(|o| o.pushed).sum()
     }
 
     /// Total messages ever drained.
@@ -253,14 +360,30 @@ impl<M> ShardRouter<M> {
     /// index, then by per-source push order. The caller inserts each
     /// message into `dst`'s event queue in yielded order.
     pub fn drain_sorted(&mut self) -> Vec<(Time, usize, M)> {
+        let drained = Self::merge_sorted(self.outboxes.iter_mut());
+        self.drained += drained.len() as u64;
+        drained
+    }
+
+    /// [`ShardRouter::drain_sorted`] over an arbitrary set of outboxes —
+    /// the barrier-time merge for a loop that lent its outboxes out to
+    /// shards. The order contract is identical: `(arrival time, source
+    /// node, per-source push order)`, independent of the iteration order
+    /// of `outboxes` (sources tag their messages).
+    pub fn merge_sorted<'a>(
+        outboxes: impl IntoIterator<Item = &'a mut Outbox<M>>,
+    ) -> Vec<(Time, usize, M)>
+    where
+        M: 'a,
+    {
         let mut tagged: Vec<(Time, usize, usize, usize, M)> = Vec::new();
-        for (src, outbox) in self.outboxes.iter_mut().enumerate() {
-            for (idx, p) in outbox.drain(..).enumerate() {
+        for outbox in outboxes {
+            let src = outbox.src;
+            for (idx, p) in outbox.pending.drain(..).enumerate() {
                 tagged.push((p.at, src, idx, p.dst, p.msg));
             }
         }
         tagged.sort_by_key(|t| (t.0, t.1, t.2));
-        self.drained += tagged.len() as u64;
         tagged
             .into_iter()
             .map(|(at, _, _, dst, m)| (at, dst, m))

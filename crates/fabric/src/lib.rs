@@ -20,5 +20,5 @@
 pub mod internode;
 pub mod mesh;
 
-pub use internode::{Fabric, FabricConfig, ShardRouter};
+pub use internode::{Fabric, FabricConfig, FabricPort, Outbox, ShardRouter};
 pub use mesh::{MeshConfig, MeshCoord, RackTopology};

@@ -1,8 +1,8 @@
 //! The discrete-event cluster: nodes, RMCs, memory systems, fabric, cores.
 //!
 //! Every sans-IO component (pipelines, R2P2s, the LightSABRes engines) is
-//! driven from the single event loop here. The wiring follows Figs. 5 and 6
-//! of the paper:
+//! driven from the sharded event loop here. The wiring follows Figs. 5 and
+//! 6 of the paper:
 //!
 //! * a core schedules a WQ entry → its node's RGP backend unrolls it into
 //!   per-block packets (one per RMC cycle) onto the fabric;
@@ -17,7 +17,7 @@
 //! serviced, so racing readers and writers interleave at cache-block
 //! granularity exactly as the paper's atomicity argument requires.
 //!
-//! # The sharded event loop
+//! # The sharded, thread-parallel event loop
 //!
 //! Every node owns its own event queue; nodes interact *only* through
 //! fabric packets, whose earliest possible delivery lags their send by the
@@ -25,18 +25,34 @@
 //! = 35 ns). The loop therefore advances in lookahead-sized windows: each
 //! shard (a contiguous partition of the nodes, [`ClusterConfig::shards`])
 //! drains its nodes' queues up to the window end while outbound packets
-//! accumulate in a per-source [`ShardRouter`] outbox, and at the window
-//! barrier the router merges all cross-node messages into the destination
-//! queues in an order determined only by `(arrival time, source, send
-//! order)`. Because neither the shard grouping nor the intra-window
-//! advance order can influence any node's observable inputs, the
-//! simulation is **bit-identical for every shard count** — the property
-//! the torture tests pin down, and what lets future work drive shards from
-//! worker threads without touching the model.
+//! accumulate in per-source [`sabre_fabric::Outbox`]es, and at the window
+//! barrier all cross-node messages are merged into the destination queues
+//! in an order determined only by `(arrival time, source, send order)`.
+//! Because neither the shard grouping nor the intra-window advance order
+//! can influence any node's observable inputs, the simulation is
+//! **bit-identical for every shard count**.
+//!
+//! That same property makes thread dispatch safe: within one window the
+//! shards share nothing — each owns its nodes' state, its source-side
+//! fabric ports and its outboxes — so [`Cluster::run_until`] drives them
+//! from a pool of OS worker threads when [`ClusterConfig::threads`] opts
+//! in (the default is the zero-overhead serial loop — sweeps already
+//! parallelize across clusters, and nesting pools oversubscribes).
+//! Workers claim shards from a shared cursor, synchronize at the window
+//! barrier where the single coordinator runs the deterministic merge,
+//! and the result stays bit-identical at **every thread count** too —
+//! the torture and equivalence tests pin `threads ∈ {1, 2, shards}`
+//! down. Each node's queue is a [`CalendarQueue`] whose bucket width is
+//! the lookahead, so a window is drained as one pre-sorted batch instead
+//! of per-event binary heap pops.
 
-use sabre_fabric::{Fabric, ShardRouter};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use sabre_fabric::{Fabric, FabricPort, Outbox, ShardRouter};
 use sabre_mem::{Addr, BlockAddr, Llc, MemSystem, NodeMemory, ServiceLevel, BLOCK_BYTES};
-use sabre_sim::{EventQueue, FifoServer, SimRng, Time};
+use sabre_sim::{CalendarQueue, FifoServer, SimRng, Time};
 use sabre_sonuma::r2p2::{R2p2Action, R2p2Stats};
 use sabre_sonuma::{
     Block, CqEntry, MemToken, OpKind, Packet, PacketKind, R2p2, SourcePipeline, WqEntry,
@@ -115,7 +131,11 @@ enum Event {
     },
 }
 
-struct NodeState {
+/// Everything one node owns: simulated hardware, functional memory, the
+/// node's event queue, and the per-core workload/measurement state. A
+/// shard is a contiguous slice of these — the unit one worker thread
+/// advances without synchronization.
+struct NodeCtx {
     memory: NodeMemory,
     llc: Llc,
     mem_sys: MemSystem,
@@ -124,10 +144,17 @@ struct NodeState {
     pump_on: Vec<bool>,
     pipelines: Vec<SourcePipeline>,
     rgp_unroll: Vec<FifoServer>,
-    /// This node's own event queue — the unit the sharded loop advances.
-    queue: EventQueue<Event>,
-    /// Monotonicity watermark of the node's local event time.
+    /// This node's own event queue, bucketed by the fabric lookahead so
+    /// each window drains as one sorted batch.
+    queue: CalendarQueue<Event>,
+    /// Monotonicity watermark of the node's local event time; during
+    /// event handling this *is* the current simulated instant.
     now: Time,
+    workloads: Vec<Option<Box<dyn Workload>>>,
+    metrics: Vec<CoreMetrics>,
+    rngs: Vec<SimRng>,
+    wq_seq: Vec<u64>,
+    delivered_packets: u64,
 }
 
 /// The simulated rack. See the [crate docs](crate) for an example.
@@ -136,12 +163,7 @@ pub struct Cluster {
     now: Time,
     fabric: Fabric,
     router: ShardRouter<Event>,
-    nodes: Vec<NodeState>,
-    workloads: Vec<Vec<Option<Box<dyn Workload>>>>,
-    metrics: Vec<Vec<CoreMetrics>>,
-    rngs: Vec<Vec<SimRng>>,
-    wq_seq: Vec<Vec<u64>>,
-    delivered_packets: u64,
+    nodes: Vec<NodeCtx>,
     started: bool,
 }
 
@@ -156,8 +178,9 @@ impl Cluster {
             panic!("invalid cluster configuration: {e}");
         }
         let root_rng = SimRng::seed(cfg.seed);
+        let lookahead = cfg.fabric.min_latency();
         let nodes = (0..cfg.nodes)
-            .map(|n| NodeState {
+            .map(|n| NodeCtx {
                 memory: NodeMemory::new(cfg.memory_bytes),
                 llc: Llc::with_geometry(cfg.llc_bytes, cfg.llc_ways),
                 mem_sys: MemSystem::new(cfg.mem_timing.clone()),
@@ -170,29 +193,22 @@ impl Cluster {
                     .map(|p| SourcePipeline::new(n as u8, p as u8, cfg.rmc_backends as u8))
                     .collect(),
                 rgp_unroll: vec![FifoServer::new(); cfg.rmc_backends],
-                queue: EventQueue::new(),
+                queue: CalendarQueue::new(lookahead),
                 now: Time::ZERO,
-            })
-            .collect();
-        let rngs = (0..cfg.nodes)
-            .map(|n| {
-                (0..cfg.cores_per_node)
+                workloads: (0..cfg.cores_per_node).map(|_| None).collect(),
+                metrics: vec![CoreMetrics::default(); cfg.cores_per_node],
+                rngs: (0..cfg.cores_per_node)
                     .map(|c| root_rng.fork((n * 1000 + c) as u64))
-                    .collect()
+                    .collect(),
+                wq_seq: vec![0; cfg.cores_per_node],
+                delivered_packets: 0,
             })
             .collect();
         Cluster {
             fabric: Fabric::new(cfg.fabric.clone()),
             router: ShardRouter::new(cfg.nodes),
             nodes,
-            workloads: (0..cfg.nodes)
-                .map(|_| (0..cfg.cores_per_node).map(|_| None).collect())
-                .collect(),
-            metrics: vec![vec![CoreMetrics::default(); cfg.cores_per_node]; cfg.nodes],
-            rngs,
-            wq_seq: vec![vec![0; cfg.cores_per_node]; cfg.nodes],
             now: Time::ZERO,
-            delivered_packets: 0,
             started: false,
             cfg,
         }
@@ -234,21 +250,21 @@ impl Cluster {
     /// Panics if the core already has one or is out of range.
     pub fn add_workload(&mut self, node: usize, core: usize, w: Box<dyn Workload>) {
         assert!(
-            self.workloads[node][core].is_none(),
+            self.nodes[node].workloads[core].is_none(),
             "core {node}.{core} already has a workload"
         );
-        self.workloads[node][core] = Some(w);
+        self.nodes[node].workloads[core] = Some(w);
     }
 
     /// Metrics of one core.
     pub fn metrics(&self, node: usize, core: usize) -> &CoreMetrics {
-        &self.metrics[node][core]
+        &self.nodes[node].metrics[core]
     }
 
     /// Aggregated (summed) metrics over all cores of `node`.
     pub fn node_metrics(&self, node: usize) -> CoreMetrics {
         let mut total = CoreMetrics::default();
-        for m in &self.metrics[node] {
+        for m in &self.nodes[node].metrics {
             total.merge(m);
         }
         total
@@ -260,12 +276,10 @@ impl Cluster {
     /// events). This is the warmup-window primitive: run the warmup phase,
     /// reset, then measure.
     pub fn reset_metrics(&mut self) {
-        for node in &mut self.metrics {
-            for m in node {
+        for node in &mut self.nodes {
+            for m in &mut node.metrics {
                 m.reset();
             }
-        }
-        for node in &mut self.nodes {
             for r2p2 in &mut node.r2p2s {
                 r2p2.reset_stats();
             }
@@ -282,78 +296,6 @@ impl Cluster {
         self.nodes[node].r2p2s[pipe].engine().stats()
     }
 
-    /// Runs until `deadline` (events at exactly `deadline` still fire).
-    ///
-    /// The loop advances in fabric-lookahead windows (see the
-    /// [crate docs](crate) on sharding): each window, every shard drains
-    /// its nodes' queues up to the window end, then the cross-node packets
-    /// generated meanwhile are merged into destination queues in
-    /// deterministic order. The result is bit-identical for every
-    /// [`ClusterConfig::shards`] value.
-    pub fn run_until(&mut self, deadline: Time) {
-        if !self.started {
-            self.started = true;
-            for node in 0..self.cfg.nodes {
-                for core in 0..self.cfg.cores_per_node {
-                    self.dispatch(node, core, |w, api| w.on_start(api));
-                }
-            }
-        }
-        let lookahead = self.cfg.fabric.min_latency();
-        let shards = self.cfg.shards.clamp(1, self.cfg.nodes);
-        let per_shard = self.cfg.nodes.div_ceil(shards);
-        // The earliest pending event anywhere decides each window; quiet
-        // stretches are skipped in one step.
-        while let Some(next) = self.nodes.iter().filter_map(|n| n.queue.peek_time()).min() {
-            if next > deadline {
-                break;
-            }
-            let window_end = deadline.min(next + lookahead);
-            for shard_start in (0..self.cfg.nodes).step_by(per_shard.max(1)) {
-                let shard_end = (shard_start + per_shard).min(self.cfg.nodes);
-                self.advance_shard(shard_start..shard_end, window_end);
-            }
-            // Window barrier: deliver cross-node traffic in deterministic
-            // merge order (arrival time, then source, then send order).
-            for (at, dst, ev) in self.router.drain_sorted() {
-                debug_assert!(
-                    at >= window_end,
-                    "fabric message outran the lookahead window"
-                );
-                self.nodes[dst].queue.schedule(at, ev);
-            }
-        }
-        self.now = deadline;
-        for node in &mut self.nodes {
-            node.now = deadline;
-        }
-    }
-
-    /// Advances every node of one shard through the current window. Only
-    /// this shard's node states (plus its nodes' source-owned fabric links
-    /// and router outboxes) are touched, which is what makes shards
-    /// independently advanceable.
-    fn advance_shard(&mut self, nodes: std::ops::Range<usize>, window_end: Time) {
-        for node in nodes {
-            while let Some(t) = self.nodes[node].queue.peek_time() {
-                if t > window_end {
-                    break;
-                }
-                let (t, ev) = self.nodes[node].queue.pop().expect("peeked");
-                debug_assert!(t >= self.nodes[node].now, "node time went backwards");
-                self.nodes[node].now = t;
-                self.now = t;
-                self.handle(ev);
-            }
-            self.nodes[node].now = window_end;
-        }
-    }
-
-    /// Runs for `duration` more simulated time.
-    pub fn run_for(&mut self, duration: Time) {
-        self.run_until(self.now + duration);
-    }
-
     /// The inter-node fabric (topology, per-link byte/packet accounting).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
@@ -364,7 +306,305 @@ impl Cluster {
     /// every sent packet is delivered exactly once (the difference is the
     /// packets still queued for a future delivery instant).
     pub fn packets_delivered(&self) -> u64 {
-        self.delivered_packets
+        self.nodes.iter().map(|n| n.delivered_packets).sum()
+    }
+
+    /// Worker threads a run would use: the explicit
+    /// [`ClusterConfig::threads`] clamped to the shard count, else 1.
+    ///
+    /// In-cluster threading is deliberately opt-in: sweeps already
+    /// parallelize across points (one cluster per worker), so a
+    /// per-cluster pool on top would nest — `sweep workers × shard
+    /// workers` threads — and the window barrier costs two
+    /// synchronizations per 35 ns lookahead window, which only pays off
+    /// when one big sharded rack has a host core to itself.
+    fn resolve_threads(&self, shards: usize) -> usize {
+        self.cfg.threads.map_or(1, |n| n.clamp(1, shards))
+    }
+
+    /// Runs until `deadline` (events at exactly `deadline` still fire).
+    ///
+    /// The loop advances in fabric-lookahead windows (see the
+    /// [module docs](self) on sharding and threading): each window, every
+    /// shard drains its nodes' queues up to the window end — concurrently
+    /// when more than one worker thread is resolved — then the cross-node
+    /// packets generated meanwhile are merged into destination queues in
+    /// deterministic order. The result is bit-identical for every
+    /// [`ClusterConfig::shards`] and [`ClusterConfig::threads`] value.
+    pub fn run_until(&mut self, deadline: Time) {
+        let lookahead = self.cfg.fabric.min_latency();
+        let shards = self.cfg.shards.clamp(1, self.cfg.nodes);
+        let per_shard = self.cfg.nodes.div_ceil(shards).max(1);
+        let threads = self.resolve_threads(shards);
+        let start_needed = !self.started;
+        self.started = true;
+
+        // Split the cluster into per-shard execution contexts: disjoint
+        // slices of nodes, their source-side fabric ports, and their
+        // outboxes, plus the shared read-only configuration.
+        let cfg = &self.cfg;
+        let (_, ports) = self.fabric.split();
+        let outboxes = self.router.outboxes_mut();
+        let mut tasks: Vec<ShardExec<'_>> = self
+            .nodes
+            .chunks_mut(per_shard)
+            .zip(ports.chunks_mut(per_shard))
+            .zip(outboxes.chunks_mut(per_shard))
+            .enumerate()
+            .map(|(i, ((nodes, ports), outboxes))| ShardExec {
+                cfg,
+                base: i * per_shard,
+                nodes,
+                ports,
+                outboxes,
+            })
+            .collect();
+
+        if start_needed {
+            // Deliver on_start in deterministic (node, core) order before
+            // any window runs.
+            for t in tasks.iter_mut() {
+                let base = t.base;
+                for local in 0..t.nodes.len() {
+                    for core in 0..cfg.cores_per_node {
+                        t.dispatch(base + local, core, |w, api| w.on_start(api));
+                    }
+                }
+            }
+        }
+
+        if threads <= 1 || tasks.len() <= 1 {
+            Self::run_windows_serial(&mut tasks, per_shard, lookahead, deadline);
+        } else {
+            Self::run_windows_parallel(
+                tasks.as_mut_slice(),
+                per_shard,
+                lookahead,
+                deadline,
+                threads,
+            );
+        }
+
+        self.now = deadline;
+        for node in &mut self.nodes {
+            node.now = deadline;
+        }
+    }
+
+    /// The single-threaded window loop (also the `shards == 1` fast path).
+    fn run_windows_serial(
+        tasks: &mut [ShardExec<'_>],
+        per_shard: usize,
+        lookahead: Time,
+        deadline: Time,
+    ) {
+        // The earliest pending event anywhere decides each window; quiet
+        // stretches are skipped in one step.
+        while let Some(next) = tasks.iter_mut().filter_map(ShardExec::next_event).min() {
+            if next > deadline {
+                break;
+            }
+            let window_end = deadline.min(next + lookahead);
+            for t in tasks.iter_mut() {
+                t.advance(window_end);
+            }
+            let mut refs: Vec<&mut ShardExec<'_>> = tasks.iter_mut().collect();
+            Self::merge_deliver(&mut refs, per_shard, window_end);
+        }
+    }
+
+    /// The thread-parallel window loop: a pool of `threads` workers claims
+    /// shards from a shared cursor each window; the coordinator (this
+    /// thread) computes windows and runs the deterministic merge at each
+    /// barrier. Bit-identical to the serial loop by construction — the
+    /// merge order never depends on which worker advanced which shard.
+    fn run_windows_parallel(
+        tasks: &mut [ShardExec<'_>],
+        per_shard: usize,
+        lookahead: Time,
+        deadline: Time,
+        threads: usize,
+    ) {
+        let n_tasks = tasks.len();
+        let slots: Vec<Mutex<&mut ShardExec<'_>>> = tasks.iter_mut().map(Mutex::new).collect();
+        let barrier = Barrier::new(threads + 1);
+        let window_ps = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // A worker panic (workload assertion, poisoned shard) is stashed
+        // here and re-raised by the coordinator after the pool unblocks —
+        // a raw propagation would leave the others waiting at the barrier
+        // forever.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let window_end = Time::from_ps(window_ps.load(Ordering::Acquire));
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::AcqRel);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        slots[i].lock().expect("shard poisoned").advance(window_end);
+                    }));
+                    if let Err(p) = outcome {
+                        let mut slot = match panicked.lock() {
+                            Ok(s) => s,
+                            Err(e) => e.into_inner(),
+                        };
+                        slot.get_or_insert(p);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            // Coordinator. Any panic on this side (a merge debug-assert,
+            // a poisoned shard) must also release the parked workers
+            // before unwinding, or thread::scope's implicit join would
+            // hang on the barrier forever — hence `abort`.
+            let abort = |p: Box<dyn std::any::Any + Send>| -> ! {
+                stop.store(true, Ordering::Release);
+                barrier.wait();
+                panic::resume_unwind(p);
+            };
+            let next_event = |slots: &[Mutex<&mut ShardExec<'_>>]| {
+                slots
+                    .iter()
+                    .filter_map(|s| s.lock().expect("shard poisoned").next_event())
+                    .min()
+            };
+            let mut next = match panic::catch_unwind(AssertUnwindSafe(|| next_event(&slots))) {
+                Ok(n) => n,
+                Err(p) => abort(p),
+            };
+            loop {
+                let window_end = match next {
+                    Some(n) if n <= deadline => deadline.min(n + lookahead),
+                    _ => {
+                        stop.store(true, Ordering::Release);
+                        barrier.wait();
+                        break;
+                    }
+                };
+                window_ps.store(window_end.as_ps(), Ordering::Release);
+                cursor.store(0, Ordering::Release);
+                barrier.wait(); // workers advance their claimed shards
+                barrier.wait(); // window done
+                let p = {
+                    let mut slot = match panicked.lock() {
+                        Ok(s) => s,
+                        Err(e) => e.into_inner(),
+                    };
+                    slot.take()
+                };
+                if let Some(p) = p {
+                    abort(p);
+                }
+                // Workers are parked at the window-start barrier, so the
+                // coordinator owns every shard: merge cross-node traffic
+                // and pick the next window.
+                let merged = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut guards: Vec<_> = slots
+                        .iter()
+                        .map(|s| s.lock().expect("shard poisoned"))
+                        .collect();
+                    let mut refs: Vec<&mut ShardExec<'_>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    Self::merge_deliver(&mut refs, per_shard, window_end);
+                    refs.iter_mut().filter_map(|t| t.next_event()).min()
+                }));
+                next = match merged {
+                    Ok(n) => n,
+                    Err(p) => abort(p),
+                };
+            }
+        });
+    }
+
+    /// The window barrier: drains every shard's outboxes and delivers the
+    /// cross-node messages into destination queues in the deterministic
+    /// merge order `(arrival time, source, per-source send order)`.
+    fn merge_deliver(tasks: &mut [&mut ShardExec<'_>], per_shard: usize, window_end: Time) {
+        let merged =
+            ShardRouter::merge_sorted(tasks.iter_mut().flat_map(|t| t.outboxes.iter_mut()));
+        for (at, dst, ev) in merged {
+            debug_assert!(
+                at >= window_end,
+                "fabric message outran the lookahead window"
+            );
+            let ti = dst / per_shard;
+            tasks[ti].nodes[dst - ti * per_shard].queue.schedule(at, ev);
+        }
+    }
+
+    /// Runs for `duration` more simulated time.
+    pub fn run_for(&mut self, duration: Time) {
+        self.run_until(self.now + duration);
+    }
+}
+
+/// One shard's execution context: the shared configuration plus mutable
+/// ownership of a contiguous node range, those nodes' fabric ports and
+/// outboxes. All event handling happens here, always against the state of
+/// exactly one node (plus its source-owned port/outbox) — which is what
+/// makes shards independently advanceable from worker threads.
+struct ShardExec<'a> {
+    cfg: &'a ClusterConfig,
+    /// Global index of `nodes[0]`.
+    base: usize,
+    nodes: &'a mut [NodeCtx],
+    ports: &'a mut [FabricPort],
+    outboxes: &'a mut [Outbox<Event>],
+}
+
+impl<'a> ShardExec<'a> {
+    /// Re-borrows the context with a shorter lifetime (for [`CoreApi`]).
+    fn reborrow(&mut self) -> ShardExec<'_> {
+        ShardExec {
+            cfg: self.cfg,
+            base: self.base,
+            nodes: self.nodes,
+            ports: self.ports,
+            outboxes: self.outboxes,
+        }
+    }
+
+    fn node_ref(&self, node: usize) -> &NodeCtx {
+        &self.nodes[node - self.base]
+    }
+
+    fn node_mut(&mut self, node: usize) -> &mut NodeCtx {
+        &mut self.nodes[node - self.base]
+    }
+
+    /// Earliest pending event over this shard's nodes.
+    fn next_event(&mut self) -> Option<Time> {
+        self.nodes
+            .iter_mut()
+            .filter_map(|n| n.queue.peek_time())
+            .min()
+    }
+
+    /// Advances every node of this shard through the current window. Only
+    /// this shard's state is touched.
+    fn advance(&mut self, window_end: Time) {
+        for i in 0..self.nodes.len() {
+            while let Some(t) = self.nodes[i].queue.peek_time() {
+                if t > window_end {
+                    break;
+                }
+                let (t, ev) = self.nodes[i].queue.pop().expect("peeked");
+                debug_assert!(t >= self.nodes[i].now, "node time went backwards");
+                self.nodes[i].now = t;
+                self.handle(ev);
+            }
+            self.nodes[i].now = window_end;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -372,9 +612,9 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Schedules an event on `node`'s own queue (node-local work only;
-    /// cross-node traffic goes through the fabric and the shard router).
+    /// cross-node traffic goes through the fabric and the outboxes).
     fn schedule_at(&mut self, node: usize, at: Time, ev: Event) {
-        self.nodes[node].queue.schedule(at, ev);
+        self.node_mut(node).queue.schedule(at, ev);
     }
 
     fn handle(&mut self, ev: Event) {
@@ -382,13 +622,16 @@ impl Cluster {
             Event::FabricSend(pkt) => {
                 // Processed at the source node: the directed link servers
                 // of node `src` are owned by its shard. Delivery crosses
-                // the shard boundary through the router's outbox.
+                // the shard boundary through the source's outbox.
                 let (src, dst) = (pkt.src_node as usize, pkt.dst_node as usize);
-                let arrival = self
-                    .fabric
-                    .send(self.now, src, dst, pkt.kind.payload_bytes());
-                self.router
-                    .push(src, dst, arrival, Event::PacketArrive(pkt));
+                let now = self.node_ref(src).now;
+                let arrival = self.ports[src - self.base].send(
+                    &self.cfg.fabric,
+                    now,
+                    dst,
+                    pkt.kind.payload_bytes(),
+                );
+                self.outboxes[src - self.base].push(dst, arrival, Event::PacketArrive(pkt));
             }
             Event::PacketArrive(pkt) => self.on_packet_arrive(pkt),
             Event::Pump { node, pipe } => self.on_pump(node, pipe),
@@ -398,9 +641,9 @@ impl Cluster {
                 token,
                 block,
             } => {
-                let data = Block(self.nodes[node as usize].memory.read_block(block));
-                let actions =
-                    self.nodes[node as usize].r2p2s[pipe as usize].on_mem_reply(token, data);
+                let n = self.node_mut(node as usize);
+                let data = Block(n.memory.read_block(block));
+                let actions = n.r2p2s[pipe as usize].on_mem_reply(token, data);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -413,7 +656,7 @@ impl Cluster {
             } => {
                 self.apply_store(node as usize, block, &data.0);
                 let actions =
-                    self.nodes[node as usize].r2p2s[pipe as usize].on_mem_write_done(token);
+                    self.node_mut(node as usize).r2p2s[pipe as usize].on_mem_write_done(token);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -425,14 +668,14 @@ impl Cluster {
             } => {
                 let n = node as usize;
                 let acquired =
-                    ReaderLockWord::try_shared_acquire(&mut self.nodes[n].memory, version_addr);
+                    ReaderLockWord::try_shared_acquire(&mut self.node_mut(n).memory, version_addr);
                 // Deliver the outcome to the acquiring engine before the
                 // RMW's invalidation fans out: the requester owns the line
                 // it just modified, so its own stream buffer must not treat
                 // the acquisition as a foreign write (other R2P2s' SABRes
                 // on the object still see it — real reader-reader
                 // interference).
-                let actions = self.nodes[n].r2p2s[pipe as usize].on_lock_reply(token, acquired);
+                let actions = self.node_mut(n).r2p2s[pipe as usize].on_lock_reply(token, acquired);
                 if acquired {
                     self.broadcast_inval(n, version_addr.block());
                 }
@@ -441,7 +684,7 @@ impl Cluster {
             }
             Event::ReleaseDone { node, version_addr } => {
                 let n = node as usize;
-                ReaderLockWord::shared_release(&mut self.nodes[n].memory, version_addr);
+                ReaderLockWord::shared_release(&mut self.node_mut(n).memory, version_addr);
                 self.broadcast_inval(n, version_addr.block());
             }
             Event::CasDone {
@@ -451,13 +694,13 @@ impl Cluster {
                 version_addr,
             } => {
                 let n = node as usize;
-                let v = sabre_sw::VersionWord::load(&self.nodes[n].memory, version_addr);
+                let v = sabre_sw::VersionWord::load(&self.node_ref(n).memory, version_addr);
                 let acquired = !v.is_locked();
                 if acquired {
-                    v.locked().store(&mut self.nodes[n].memory, version_addr);
+                    v.locked().store(&mut self.node_mut(n).memory, version_addr);
                     self.broadcast_inval(n, version_addr.block());
                 }
-                let actions = self.nodes[n].r2p2s[pipe as usize].on_cas_done(token, acquired);
+                let actions = self.node_mut(n).r2p2s[pipe as usize].on_cas_done(token, acquired);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -468,10 +711,11 @@ impl Cluster {
                 version_addr,
             } => {
                 let n = node as usize;
-                let v = sabre_sw::VersionWord::load(&self.nodes[n].memory, version_addr);
-                v.unlocked().store(&mut self.nodes[n].memory, version_addr);
+                let v = sabre_sw::VersionWord::load(&self.node_ref(n).memory, version_addr);
+                v.unlocked()
+                    .store(&mut self.node_mut(n).memory, version_addr);
                 self.broadcast_inval(n, version_addr.block());
-                let actions = self.nodes[n].r2p2s[pipe as usize].on_unlock_done(token);
+                let actions = self.node_mut(n).r2p2s[pipe as usize].on_unlock_done(token);
                 self.run_r2p2_actions(node, pipe, actions);
                 self.schedule_pump(node, pipe);
             }
@@ -510,7 +754,7 @@ impl Cluster {
 
     fn on_packet_arrive(&mut self, pkt: Packet) {
         let node = pkt.dst_node as usize;
-        self.delivered_packets += 1;
+        self.node_mut(node).delivered_packets += 1;
         match pkt.kind {
             PacketKind::ReadReq { .. }
             | PacketKind::WriteReq { .. }
@@ -519,7 +763,7 @@ impl Cluster {
             | PacketKind::SabreReg { .. }
             | PacketKind::SabreReadReq { .. } => {
                 let pipe = pkt.dst_pipe as usize;
-                if self.nodes[node].r2p2s[pipe].on_packet(&pkt) {
+                if self.node_mut(node).r2p2s[pipe].on_packet(&pkt) {
                     self.schedule_pump(pkt.dst_node, pkt.dst_pipe);
                 }
             }
@@ -530,7 +774,7 @@ impl Cluster {
             | PacketKind::UnlockAck { .. }
             | PacketKind::SabreValidation { .. } => {
                 let pipe = pkt.dst_pipe as usize;
-                let (write, done) = self.nodes[node].pipelines[pipe].on_reply(&pkt);
+                let (write, done) = self.node_mut(node).pipelines[pipe].on_reply(&pkt);
                 if let Some(w) = write {
                     // DMA the payload into the local buffer (allocates into
                     // the LLC like DDIO, raising any eviction invalidations).
@@ -538,9 +782,10 @@ impl Cluster {
                 }
                 if let Some(done) = done {
                     let core = (done.wq_id >> 32) as u8;
+                    let at = self.node_ref(node).now + self.cfg.completion_latency;
                     self.schedule_at(
                         node,
-                        self.now + self.cfg.completion_latency,
+                        at,
                         Event::Complete {
                             node: pkt.dst_node,
                             core,
@@ -550,9 +795,10 @@ impl Cluster {
                 }
             }
             PacketKind::RpcReq { tag, bytes } => {
+                let at = self.node_ref(node).now;
                 self.schedule_at(
                     node,
-                    self.now,
+                    at,
                     Event::RpcDeliver {
                         node: pkt.dst_node,
                         core: pkt.dst_pipe,
@@ -564,9 +810,10 @@ impl Cluster {
                 );
             }
             PacketKind::RpcReply { tag, bytes } => {
+                let at = self.node_ref(node).now;
                 self.schedule_at(
                     node,
-                    self.now,
+                    at,
                     Event::RpcReplyDeliver {
                         node: pkt.dst_node,
                         core: pkt.dst_pipe,
@@ -581,16 +828,19 @@ impl Cluster {
     fn on_pump(&mut self, node: u8, pipe: u8) {
         let n = node as usize;
         let p = pipe as usize;
-        self.nodes[n].pump_on[p] = false;
-        let Some(action) = self.nodes[n].r2p2s[p].next_issue() else {
+        let interval = self.cfg.r2p2_issue_interval();
+        let ctx = self.node_mut(n);
+        ctx.pump_on[p] = false;
+        let Some(action) = ctx.r2p2s[p].next_issue() else {
             return; // re-armed by the next state-changing event
         };
-        let interval = self.cfg.r2p2_issue_interval();
-        self.nodes[n].r2p2_issue[p].admit(self.now, interval);
+        let now = ctx.now;
+        ctx.r2p2_issue[p].admit(now, interval);
         match action {
             R2p2Action::MemRead { token, block, .. } => {
                 let level = self.llc_touch(n, block);
-                let done = self.nodes[n].mem_sys.access(self.now, block, level);
+                let ctx = self.node_mut(n);
+                let done = ctx.mem_sys.access(now, block, level);
                 self.schedule_at(
                     n,
                     done,
@@ -604,7 +854,7 @@ impl Cluster {
             }
             R2p2Action::MemWrite { token, block, data } => {
                 let level = self.llc_touch(n, block);
-                let done = self.nodes[n].mem_sys.access(self.now, block, level);
+                let done = self.node_mut(n).mem_sys.access(now, block, level);
                 self.schedule_at(
                     n,
                     done,
@@ -622,9 +872,10 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n]
+                let done = self
+                    .node_mut(n)
                     .mem_sys
-                    .access(self.now, version_addr.block(), level);
+                    .access(now, version_addr.block(), level);
                 self.schedule_at(
                     n,
                     done,
@@ -641,9 +892,10 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n]
+                let done = self
+                    .node_mut(n)
                     .mem_sys
-                    .access(self.now, version_addr.block(), level);
+                    .access(now, version_addr.block(), level);
                 self.schedule_at(
                     n,
                     done,
@@ -660,9 +912,10 @@ impl Cluster {
                 version_addr,
             } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n]
+                let done = self
+                    .node_mut(n)
                     .mem_sys
-                    .access(self.now, version_addr.block(), level);
+                    .access(now, version_addr.block(), level);
                 self.schedule_at(
                     n,
                     done,
@@ -676,16 +929,17 @@ impl Cluster {
             }
             R2p2Action::LockRelease { version_addr } => {
                 let level = self.llc_touch(n, version_addr.block());
-                let done = self.nodes[n]
+                let done = self
+                    .node_mut(n)
                     .mem_sys
-                    .access(self.now, version_addr.block(), level);
+                    .access(now, version_addr.block(), level);
                 self.schedule_at(n, done, Event::ReleaseDone { node, version_addr });
             }
             R2p2Action::Send(pkt) => {
-                self.schedule_at(n, self.now, Event::FabricSend(pkt));
+                self.schedule_at(n, now, Event::FabricSend(pkt));
             }
         }
-        if self.nodes[n].r2p2s[p].has_issuable() {
+        if self.node_mut(n).r2p2s[p].has_issuable() {
             self.schedule_pump(node, pipe);
         }
     }
@@ -694,7 +948,8 @@ impl Cluster {
         for action in actions {
             match action {
                 R2p2Action::Send(pkt) => {
-                    self.schedule_at(node as usize, self.now, Event::FabricSend(pkt));
+                    let now = self.node_ref(node as usize).now;
+                    self.schedule_at(node as usize, now, Event::FabricSend(pkt));
                 }
                 other => {
                     // Memory work emitted from a completion path would break
@@ -709,7 +964,7 @@ impl Cluster {
     /// invalidation if the fill displaced a tracked block. Returns the
     /// service level of the access.
     fn llc_touch(&mut self, node: usize, block: BlockAddr) -> ServiceLevel {
-        let outcome = self.nodes[node].llc.access(block);
+        let outcome = self.node_mut(node).llc.access(block);
         if let Some(victim) = outcome.evicted {
             self.broadcast_inval(node, victim);
         }
@@ -723,7 +978,7 @@ impl Cluster {
     /// Applies a store (core or DMA) to functional memory with full
     /// coherence side effects: byte write, LLC fill, invalidation fan-out.
     fn apply_store(&mut self, node: usize, block: BlockAddr, data: &[u8; BLOCK_BYTES]) {
-        self.nodes[node].memory.write_block(block, data);
+        self.node_mut(node).memory.write_block(block, data);
         let _ = self.llc_touch(node, block);
         self.broadcast_inval(node, block);
     }
@@ -731,7 +986,7 @@ impl Cluster {
     /// Delivers an invalidation for `block` to every R2P2 on `node` (the
     /// engines probe their stream buffers by subtractor).
     fn broadcast_inval(&mut self, node: usize, block: BlockAddr) {
-        for r2p2 in &mut self.nodes[node].r2p2s {
+        for r2p2 in &mut self.node_mut(node).r2p2s {
             r2p2.on_invalidation(block);
         }
     }
@@ -739,11 +994,12 @@ impl Cluster {
     fn schedule_pump(&mut self, node: u8, pipe: u8) {
         let n = node as usize;
         let p = pipe as usize;
-        if self.nodes[n].pump_on[p] {
+        let ctx = self.node_mut(n);
+        if ctx.pump_on[p] {
             return;
         }
-        self.nodes[n].pump_on[p] = true;
-        let at = self.now.max(self.nodes[n].r2p2_issue[p].next_free());
+        ctx.pump_on[p] = true;
+        let at = ctx.now.max(ctx.r2p2_issue[p].next_free());
         self.schedule_at(n, at, Event::Pump { node, pipe });
     }
 
@@ -751,23 +1007,25 @@ impl Cluster {
     where
         F: FnOnce(&mut dyn Workload, &mut CoreApi<'_>),
     {
-        let Some(mut w) = self.workloads[node][core].take() else {
+        let Some(mut w) = self.node_mut(node).workloads[core].take() else {
             return;
         };
         let mut api = CoreApi {
-            cluster: self,
+            exec: self.reborrow(),
             node,
             core,
         };
         f(w.as_mut(), &mut api);
-        self.workloads[node][core] = Some(w);
+        self.node_mut(node).workloads[core] = Some(w);
     }
 }
 
 /// The interface a [`Workload`] uses to act on the world. Scoped to one
-/// core of one node.
+/// core of one node (and, under the hood, to that node's shard — every
+/// operation here is node-local or a fabric send through the node's own
+/// port, which is what lets shards run on worker threads).
 pub struct CoreApi<'a> {
-    cluster: &'a mut Cluster,
+    exec: ShardExec<'a>,
     node: usize,
     core: usize,
 }
@@ -775,7 +1033,7 @@ pub struct CoreApi<'a> {
 impl CoreApi<'_> {
     /// Current simulated time.
     pub fn now(&self) -> Time {
-        self.cluster.now
+        self.exec.node_ref(self.node).now
     }
 
     /// This core's node index.
@@ -790,22 +1048,24 @@ impl CoreApi<'_> {
 
     /// The cluster configuration (cost model, Table 2 parameters).
     pub fn config(&self) -> &ClusterConfig {
-        &self.cluster.cfg
+        self.exec.cfg
     }
 
     /// The CPU cost model, for charging software work via [`CoreApi::sleep`].
     pub fn cpu(&self) -> &CpuCostModel {
-        &self.cluster.cfg.cpu
+        &self.exec.cfg.cpu
     }
 
     /// This core's deterministic RNG.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.cluster.rngs[self.node][self.core]
+        let core = self.core;
+        &mut self.exec.node_mut(self.node).rngs[core]
     }
 
     /// This core's metrics sink.
     pub fn metrics(&mut self) -> &mut CoreMetrics {
-        &mut self.cluster.metrics[self.node][self.core]
+        let core = self.core;
+        &mut self.exec.node_mut(self.node).metrics[core]
     }
 
     /// Schedules a one-sided operation; [`Workload::on_completion`] fires
@@ -844,7 +1104,9 @@ impl CoreApi<'_> {
         local_buf: Addr,
         size_bytes: u32,
     ) -> u64 {
-        let data = self.cluster.nodes[self.node]
+        let data = self
+            .exec
+            .node_ref(self.node)
             .memory
             .read_vec(local_buf, size_bytes as usize);
         self.issue_entry(
@@ -869,10 +1131,14 @@ impl CoreApi<'_> {
         version_offset: u32,
         write_data: Option<Vec<u8>>,
     ) -> u64 {
-        let seq = &mut self.cluster.wq_seq[self.node][self.core];
-        let wq_id = ((self.core as u64) << 32) | (*seq & 0xFFFF_FFFF);
+        let core = self.core;
+        let pipe = core % self.exec.cfg.rmc_backends;
+        let frontend = self.exec.cfg.frontend_latency;
+        let unroll = self.exec.cfg.rgp_unroll_interval();
+        let ctx = self.exec.node_mut(self.node);
+        let seq = &mut ctx.wq_seq[core];
+        let wq_id = ((core as u64) << 32) | (*seq & 0xFFFF_FFFF);
         *seq += 1;
-        let pipe = self.core % self.cluster.cfg.rmc_backends;
         let wq = WqEntry {
             wq_id,
             op,
@@ -882,15 +1148,11 @@ impl CoreApi<'_> {
             size_bytes,
             version_offset,
         };
-        let pkts = self.cluster.nodes[self.node].pipelines[pipe]
-            .start_transfer(&wq, write_data.as_deref());
-        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
-        let unroll = self.cluster.cfg.rgp_unroll_interval();
+        let pkts = ctx.pipelines[pipe].start_transfer(&wq, write_data.as_deref());
+        let t0 = ctx.now + frontend;
         for pkt in pkts {
-            let start = self.cluster.nodes[self.node].rgp_unroll[pipe].admit(t0, unroll);
-            let node = self.node;
-            self.cluster
-                .schedule_at(node, start + unroll, Event::FabricSend(pkt));
+            let start = ctx.rgp_unroll[pipe].admit(t0, unroll);
+            ctx.queue.schedule(start + unroll, Event::FabricSend(pkt));
         }
         wq_id
     }
@@ -906,9 +1168,10 @@ impl CoreApi<'_> {
             dst_pipe: dst_core,
             kind: PacketKind::RpcReq { tag, bytes },
         };
-        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
+        let frontend = self.exec.cfg.frontend_latency;
         let node = self.node;
-        self.cluster.schedule_at(node, t0, Event::FabricSend(pkt));
+        let t0 = self.exec.node_ref(node).now + frontend;
+        self.exec.schedule_at(node, t0, Event::FabricSend(pkt));
     }
 
     /// Replies to an RPC previously delivered to this core.
@@ -920,16 +1183,18 @@ impl CoreApi<'_> {
             dst_pipe: dst_core,
             kind: PacketKind::RpcReply { tag, bytes },
         };
-        let t0 = self.cluster.now + self.cluster.cfg.frontend_latency;
+        let frontend = self.exec.cfg.frontend_latency;
         let node = self.node;
-        self.cluster.schedule_at(node, t0, Event::FabricSend(pkt));
+        let t0 = self.exec.node_ref(node).now + frontend;
+        self.exec.schedule_at(node, t0, Event::FabricSend(pkt));
     }
 
     /// Sleeps for `d`; [`Workload::on_wake`] fires afterwards. Used to
     /// charge CPU work (strip kernels, application reads, think time).
     pub fn sleep(&mut self, d: Time) {
-        let (node, at) = (self.node, self.cluster.now + d);
-        self.cluster.schedule_at(
+        let node = self.node;
+        let at = self.exec.node_ref(node).now + d;
+        self.exec.schedule_at(
             node,
             at,
             Event::Wake {
@@ -942,7 +1207,7 @@ impl CoreApi<'_> {
     /// Reads `len` bytes from this node's memory (functional, instant —
     /// charge time separately via [`CoreApi::sleep`]).
     pub fn read_local(&self, addr: Addr, len: usize) -> Vec<u8> {
-        self.cluster.nodes[self.node].memory.read_vec(addr, len)
+        self.exec.node_ref(self.node).memory.read_vec(addr, len)
     }
 
     /// Performs one local store of up to a cache block: functional write,
@@ -958,10 +1223,10 @@ impl CoreApi<'_> {
             "store_local must stay within one cache block"
         );
         let node = self.node;
-        self.cluster.nodes[node].memory.write(addr, data);
+        self.exec.node_mut(node).memory.write(addr, data);
         let block = addr.block();
-        let _ = self.cluster.llc_touch(node, block);
-        self.cluster.broadcast_inval(node, block);
+        let _ = self.exec.llc_touch(node, block);
+        self.exec.broadcast_inval(node, block);
     }
 
     /// Stores a 64-bit word locally (version updates).
@@ -1092,49 +1357,80 @@ mod tests {
         assert!(cluster.metrics(0, 0).ops > 0, "reader still progressing");
     }
 
+    fn sharded_fingerprint(
+        shards: usize,
+        threads: Option<usize>,
+    ) -> (Vec<(u64, Option<f64>)>, u64, u64) {
+        let mut cfg = ClusterConfig::with_nodes(4);
+        cfg.memory_bytes = 4 * 1024 * 1024;
+        cfg.shards = shards;
+        cfg.threads = threads;
+        let mut cluster = Cluster::new(cfg);
+        for (reader, target) in [(0usize, 2u8), (1, 3)] {
+            cluster
+                .node_memory_mut(target as usize)
+                .write_u64(Addr::new(0), 0);
+            cluster.add_workload(
+                reader,
+                0,
+                Box::new(SyncReader::endless(
+                    target,
+                    vec![Addr::new(0)],
+                    512,
+                    ReadMechanism::Sabre,
+                )),
+            );
+        }
+        cluster.run_for(Time::from_us(30));
+        let metrics: Vec<(u64, Option<f64>)> = (0..2)
+            .map(|n| {
+                (
+                    cluster.metrics(n, 0).ops,
+                    cluster.metrics(n, 0).latency.mean(),
+                )
+            })
+            .collect();
+        (
+            metrics,
+            cluster.packets_delivered(),
+            cluster.fabric().packets_total(),
+        )
+    }
+
     #[test]
     fn shard_count_never_changes_results() {
         // The acceptance bar of the sharded loop: the same 4-node rack,
         // advanced as 1, 2 or 4 shards, replays bit-identically.
-        let run = |shards: usize| {
-            let mut cfg = ClusterConfig::with_nodes(4);
-            cfg.memory_bytes = 4 * 1024 * 1024;
-            cfg.shards = shards;
-            let mut cluster = Cluster::new(cfg);
-            for (reader, target) in [(0usize, 2u8), (1, 3)] {
-                cluster
-                    .node_memory_mut(target as usize)
-                    .write_u64(Addr::new(0), 0);
-                cluster.add_workload(
-                    reader,
-                    0,
-                    Box::new(SyncReader::endless(
-                        target,
-                        vec![Addr::new(0)],
-                        512,
-                        ReadMechanism::Sabre,
-                    )),
+        let single = sharded_fingerprint(1, Some(1));
+        assert!(single.0[0].0 > 0, "readers must make progress");
+        assert_eq!(
+            single,
+            sharded_fingerprint(2, Some(1)),
+            "2 shards must replay the 1-shard run"
+        );
+        assert_eq!(
+            single,
+            sharded_fingerprint(4, Some(1)),
+            "4 shards must replay the 1-shard run"
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // The tentpole acceptance bar of thread dispatch: the same sharded
+        // rack driven by 1 worker, 2 workers or one per shard replays the
+        // serial single-shard run bit for bit.
+        let single = sharded_fingerprint(1, Some(1));
+        assert!(single.0[0].0 > 0, "readers must make progress");
+        for shards in [2usize, 4] {
+            for threads in [2usize, 4] {
+                assert_eq!(
+                    single,
+                    sharded_fingerprint(shards, Some(threads)),
+                    "{shards} shards on {threads} threads must replay the serial run"
                 );
             }
-            cluster.run_for(Time::from_us(30));
-            let metrics: Vec<(u64, Option<f64>)> = (0..2)
-                .map(|n| {
-                    (
-                        cluster.metrics(n, 0).ops,
-                        cluster.metrics(n, 0).latency.mean(),
-                    )
-                })
-                .collect();
-            (
-                metrics,
-                cluster.packets_delivered(),
-                cluster.fabric().packets_total(),
-            )
-        };
-        let single = run(1);
-        assert!(single.0[0].0 > 0, "readers must make progress");
-        assert_eq!(single, run(2), "2 shards must replay the 1-shard run");
-        assert_eq!(single, run(4), "4 shards must replay the 1-shard run");
+        }
     }
 
     #[test]

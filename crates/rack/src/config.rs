@@ -158,6 +158,15 @@ pub struct ClusterConfig {
     /// windows with a deterministic cross-shard merge. Values above the
     /// node count are clamped.
     pub shards: usize,
+    /// OS worker threads driving the shards inside one cluster run,
+    /// clamped to the shard count. `None` (the default) means the
+    /// serial loop: in-cluster threading is opt-in because sweeps
+    /// already run one cluster per worker — nesting a per-cluster pool
+    /// under a sweep pool oversubscribes the host — and the window
+    /// barrier only pays off when one big sharded rack has cores to
+    /// itself. Purely an execution knob: results are bit-identical for
+    /// every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -181,6 +190,7 @@ impl Default for ClusterConfig {
             seed: 0x5AB2E5,
             topology: Topology::paper_pair(),
             shards: 1,
+            threads: None,
         }
     }
 }

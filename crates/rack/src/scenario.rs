@@ -53,6 +53,21 @@ use crate::workload::Workload;
 type PrepareFn = Box<dyn FnOnce(&mut Cluster) -> Vec<Addr>>;
 type FactoryFn = Box<dyn FnOnce(&[Addr]) -> Box<dyn Workload>>;
 
+/// The `SABRES_THREADS` environment cap, shared by the [`Sweep`] runner
+/// and the cluster's sharded event loop.
+pub(crate) fn threads_from_env() -> Option<usize> {
+    let v = std::env::var("SABRES_THREADS").ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) => Some(n.max(1)),
+        Err(_) => {
+            // An unparseable cap must not silently become "use every
+            // core" — that is the opposite of what the user asked.
+            eprintln!("warning: ignoring unparseable SABRES_THREADS={v:?} (want an integer)");
+            None
+        }
+    }
+}
+
 /// A declarative description of one experiment on the simulated rack.
 ///
 /// Construction order is preserved exactly: region preparations run in
@@ -132,6 +147,15 @@ impl ScenarioBuilder {
     /// bit-identical for every value; see [`ClusterConfig::shards`]).
     pub fn shards(mut self, shards: usize) -> Self {
         self.cfg.shards = shards.max(1);
+        self
+    }
+
+    /// Worker threads driving the shards inside the cluster run (purely
+    /// an execution knob — results are bit-identical for every value; see
+    /// [`ClusterConfig::threads`]). Clamped to the shard count, so it
+    /// only buys wall-clock with [`ScenarioBuilder::shards`] above one.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = Some(threads.max(1));
         self
     }
 
@@ -467,21 +491,7 @@ impl<P: Send + Sync> Sweep<P> {
     }
 
     fn resolve_threads(&self, points: usize) -> usize {
-        let from_env = || {
-            let v = std::env::var("SABRES_THREADS").ok()?;
-            match v.trim().parse::<usize>() {
-                Ok(n) => Some(n),
-                Err(_) => {
-                    // An unparseable cap must not silently become "use every
-                    // core" — that is the opposite of what the user asked.
-                    eprintln!(
-                        "warning: ignoring unparseable SABRES_THREADS={v:?} (want an integer)"
-                    );
-                    None
-                }
-            }
-        };
-        let n = self.threads.or_else(from_env).unwrap_or_else(|| {
+        let n = self.threads.or_else(threads_from_env).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)

@@ -65,7 +65,14 @@ impl ReadMechanism {
 ///
 /// All hooks receive a [`CoreApi`] scoped to the program's core. Hooks are
 /// never re-entered: each runs to completion before the next event fires.
-pub trait Workload {
+///
+/// Workloads must be [`Send`]: the cluster's sharded event loop may drive
+/// different shards from different OS worker threads (still never
+/// re-entering a hook, and still bit-deterministic — see
+/// [`crate::cluster`]). State shared *between* workloads therefore uses
+/// `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`; state owned by one
+/// workload needs no synchronization at all.
+pub trait Workload: Send {
     /// Called once when the simulation starts.
     fn on_start(&mut self, api: &mut CoreApi<'_>);
 

@@ -6,6 +6,8 @@
 //!   cycle conversions ([`Freq`]).
 //! * [`EventQueue`] — a stable (FIFO-within-same-timestamp) priority queue of
 //!   timestamped events, generic over the event payload.
+//! * [`CalendarQueue`] — the same contract bucketed by time window, so a
+//!   windowed loop drains each lookahead span as one sorted batch.
 //! * [`server`] — analytic queued servers used to model bandwidth-limited
 //!   resources (memory channels, fabric links, pipelines).
 //! * [`stats`] — counters, mean/max trackers, log-bucketed histograms and
@@ -27,12 +29,14 @@
 //! assert_eq!((t, ev), (Time::from_ns(1), "early"));
 //! ```
 
+pub mod calendar;
 pub mod queue;
 pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use server::{BandwidthServer, FifoServer};

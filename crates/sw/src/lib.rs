@@ -25,7 +25,7 @@ pub mod layout;
 pub mod locking;
 pub mod version;
 
-pub use checksum::{crc64_ecma, ChecksumLayout};
+pub use checksum::{crc64_ecma, crc64_ecma_scalar, ChecksumLayout};
 pub use cost::CpuCostModel;
 pub use layout::{AtomicityViolation, CleanLayout, PerClLayout};
 pub use version::{ReaderLockWord, VersionWord};

@@ -64,6 +64,18 @@ proptest! {
     }
 
     #[test]
+    fn crc64_slice_by_8_matches_scalar_reference(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // The slice-by-8 kernel is a pure optimization: byte-for-byte the
+        // same function as the scalar loop, at every length and content.
+        prop_assert_eq!(
+            sabre_sw::crc64_ecma(&payload),
+            sabre_sw::crc64_ecma_scalar(&payload)
+        );
+    }
+
+    #[test]
     fn crc64_is_a_function_and_detects_swaps(
         a in proptest::collection::vec(any::<u8>(), 2..512),
     ) {

@@ -8,10 +8,20 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Instead of criterion's statistical sampling it runs a short warm-up,
-//! then measures the median of a fixed number of timed batches and prints
-//! one line per benchmark (with bytes/s when a throughput is set). That is
-//! enough for `cargo bench --no-run` compile gating and for coarse local
-//! regression eyeballing; swap in the real crate for serious measurement.
+//! then takes a fixed number of timed batches and reports the **median**
+//! nanoseconds per iteration with the **median absolute deviation** (MAD)
+//! as the robust spread estimate — enough statistics for committed
+//! baselines and regression eyeballing; swap in the real crate for serious
+//! measurement. Reporting:
+//!
+//! * one line per benchmark on **stderr** (stdout stays clean for runners
+//!   that golden-diff their output);
+//! * with `SABRES_BENCH_JSON=<path>` set, the full result set is also
+//!   written to `<path>` as JSON (`{group, bench, median_ns, mad_ns,
+//!   samples, throughput?}` records) — how `BENCH_baseline.json` is
+//!   (re)generated;
+//! * `SABRES_BENCH_QUICK=1` shrinks the pass count and calibration budget
+//!   for CI smoke runs.
 
 use std::time::{Duration, Instant};
 
@@ -37,23 +47,31 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// Whether the quick (CI smoke) profile is active.
+fn quick() -> bool {
+    std::env::var("SABRES_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
-    ns_per_iter: f64,
+    median_ns: f64,
+    /// Median absolute deviation of the per-pass ns/iter samples.
+    mad_ns: f64,
     /// Timed passes per benchmark (from the group's `sample_size`).
     passes: usize,
 }
 
 impl Bencher {
     fn measure<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
-        // Warm up, then take the median of the configured passes.
+        // Warm up, then take the median (+ MAD) of the configured passes.
         timed_pass();
         let mut samples: Vec<f64> = (0..self.passes)
             .map(|_| timed_pass().as_nanos() as f64)
             .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
-        self.ns_per_iter = samples[samples.len() / 2];
+        self.median_ns = median_in_place(&mut samples);
+        let mut deviations: Vec<f64> = samples.iter().map(|s| (s - self.median_ns).abs()).collect();
+        self.mad_ns = median_in_place(&mut deviations);
     }
 
     /// Times `routine`, called repeatedly.
@@ -64,7 +82,8 @@ impl Bencher {
         let start = Instant::now();
         std::hint::black_box(routine());
         let probe_ns = start.elapsed().as_nanos().max(1);
-        let iters = (1_000_000 / probe_ns).clamp(1, 64) as u32;
+        let budget = if quick() { 200_000 } else { 1_000_000 };
+        let iters = (budget / probe_ns).clamp(1, 64) as u32;
         self.measure(|| {
             let start = Instant::now();
             for _ in 0..iters {
@@ -90,12 +109,37 @@ impl Bencher {
     }
 }
 
+/// Median of `samples` (sorts in place); 0.0 for an empty slice.
+fn median_in_place(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// One finished benchmark's statistics.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    group: String,
+    bench: String,
+    median_ns: f64,
+    mad_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
     samples: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -114,23 +158,36 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut bencher = Bencher {
-            ns_per_iter: 0.0,
-            passes: self.samples,
+            median_ns: 0.0,
+            mad_ns: 0.0,
+            passes: if quick() {
+                self.samples.min(3)
+            } else {
+                self.samples
+            },
         };
         f(&mut bencher);
         let rate = match self.throughput {
-            Some(Throughput::Bytes(n)) if bencher.ns_per_iter > 0.0 => {
-                format!(" ({:.1} MiB/s)", n as f64 / bencher.ns_per_iter * 953.67)
+            Some(Throughput::Bytes(n)) if bencher.median_ns > 0.0 => {
+                format!(" ({:.1} MiB/s)", n as f64 / bencher.median_ns * 953.67)
             }
-            Some(Throughput::Elements(n)) if bencher.ns_per_iter > 0.0 => {
-                format!(" ({:.1} Melem/s)", n as f64 / bencher.ns_per_iter * 1000.0)
+            Some(Throughput::Elements(n)) if bencher.median_ns > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / bencher.median_ns * 1000.0)
             }
             _ => String::new(),
         };
-        println!(
-            "bench {}/{:<40} {:>12.1} ns/iter{}",
-            self.name, id, bencher.ns_per_iter, rate
+        eprintln!(
+            "bench {}/{:<40} {:>12.1} ns/iter (±{:.1} MAD){}",
+            self.name, id, bencher.median_ns, bencher.mad_ns, rate
         );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            bench: id.to_string(),
+            median_ns: bencher.median_ns,
+            mad_ns: bencher.mad_ns,
+            samples: bencher.passes,
+            throughput: self.throughput,
+        });
         self
     }
 
@@ -140,7 +197,9 @@ impl BenchmarkGroup<'_> {
 
 /// Entry point collecting benchmark groups.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Starts a named group of benchmarks.
@@ -149,12 +208,54 @@ impl Criterion {
             name: name.to_string(),
             throughput: None,
             samples: 7,
-            _criterion: self,
+            criterion: self,
         }
     }
 
-    /// Prints the closing summary (a no-op in the shim).
-    pub fn final_summary(&mut self) {}
+    /// Prints the closing summary; with `SABRES_BENCH_JSON=<path>` set,
+    /// also writes every result as JSON to `<path>`.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("SABRES_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let json = self.to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("bench results written to {path}");
+        }
+    }
+
+    /// The collected results as a JSON document.
+    fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = match r.throughput {
+                Some(Throughput::Bytes(n)) => format!(", \"bytes_per_iter\": {n}"),
+                Some(Throughput::Elements(n)) => format!(", \"elements_per_iter\": {n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \
+                 \"mad_ns\": {:.1}, \"samples\": {}{}}}{}\n",
+                esc(&r.group),
+                esc(&r.bench),
+                r.median_ns,
+                r.mad_ns,
+                r.samples,
+                tp,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 /// Collects benchmark functions into a group callable by
@@ -201,5 +302,36 @@ mod tests {
         });
         g.finish();
         assert!(count > 0);
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].bench, "spin");
+        assert!(c.results[0].median_ns >= 0.0);
+        assert!(c.results[0].mad_ns >= 0.0);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        let mut odd = vec![5.0, 1.0, 9.0];
+        assert_eq!(median_in_place(&mut odd), 5.0);
+        let mut even = vec![4.0, 1.0, 9.0, 6.0];
+        assert_eq!(median_in_place(&mut even), 5.0);
+        assert_eq!(median_in_place(&mut []), 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let mut c = Criterion::default();
+        c.results.push(BenchResult {
+            group: "g".into(),
+            bench: "b \"x\"".into(),
+            median_ns: 1.5,
+            mad_ns: 0.25,
+            samples: 7,
+            throughput: Some(Throughput::Bytes(64)),
+        });
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("\"bytes_per_iter\": 64"));
+        assert!(json.contains("\"median_ns\": 1.5"));
     }
 }

@@ -21,13 +21,12 @@
 //!   partitions and placements, plus a raw-read control proving the same
 //!   schedules do tear without a mechanism.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use sabres::prelude::*;
 
 /// Counts verified/torn/aborted reads, shared with the reader workload.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct Outcome {
     verified: u64,
     torn: u64,
@@ -39,12 +38,12 @@ struct Outcome {
 struct CheckedReader {
     mech: ReadMechanism,
     store: ObjectStore,
-    outcome: Rc<RefCell<Outcome>>,
+    outcome: Arc<Mutex<Outcome>>,
     cur_obj: u64,
 }
 
 impl CheckedReader {
-    fn new(mech: ReadMechanism, store: ObjectStore, outcome: Rc<RefCell<Outcome>>) -> Self {
+    fn new(mech: ReadMechanism, store: ObjectStore, outcome: Arc<Mutex<Outcome>>) -> Self {
         CheckedReader {
             mech,
             store,
@@ -94,7 +93,7 @@ impl Workload for CheckedReader {
     }
 
     fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
-        let mut o = self.outcome.borrow_mut();
+        let mut o = self.outcome.lock().expect("outcome poisoned");
         if cq.success {
             let image = api.read_local(self.buf(api), self.wire() as usize);
             match self.extract(&image) {
@@ -127,7 +126,7 @@ impl Workload for RawReader {
     fn on_completion(&mut self, api: &mut CoreApi<'_>, _cq: CqEntry) {
         let image = api.read_local(self.0.buf(api), self.0.wire() as usize);
         let payload = CleanLayout::payload_of(&image, self.0.store.payload() as usize);
-        let mut o = self.0.outcome.borrow_mut();
+        let mut o = self.0.outcome.lock().expect("outcome poisoned");
         if verify_payload(self.0.cur_obj, payload).is_some() {
             o.verified += 1;
         } else {
@@ -157,10 +156,10 @@ fn race(
         .seed(seed)
         .warmed_store(1, layout, payload, Some(24));
 
-    let outcome = Rc::new(RefCell::new(Outcome::default()));
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
     let mut scenario = scenario;
     for core in 0..4 {
-        let (store, outcome) = (store.clone(), Rc::clone(&outcome));
+        let (store, outcome) = (store.clone(), Arc::clone(&outcome));
         scenario = scenario.reader(0, core, move |_| {
             Box::new(CheckedReader::new(mech, store, outcome))
         });
@@ -175,7 +174,7 @@ fn race(
         scenario = scenario.workload(1, w, Box::new(writer));
     }
     scenario.run_for(Time::from_us(120));
-    let o = outcome.borrow();
+    let o = outcome.lock().expect("outcome poisoned");
     Outcome {
         verified: o.verified,
         torn: o.torn,
@@ -280,11 +279,11 @@ fn raw_reads_do_tear_under_conflict() {
         ScenarioBuilder::new()
             .seed(99)
             .warmed_store(1, StoreLayout::Clean, 480, Some(8));
-    let outcome = Rc::new(RefCell::new(Outcome::default()));
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
 
     let mut scenario = scenario;
     for core in 0..4 {
-        let (store, outcome) = (store.clone(), Rc::clone(&outcome));
+        let (store, outcome) = (store.clone(), Arc::clone(&outcome));
         scenario = scenario.reader(0, core, move |_| {
             Box::new(RawReader(CheckedReader::new(
                 ReadMechanism::Raw,
@@ -306,7 +305,7 @@ fn raw_reads_do_tear_under_conflict() {
         );
     }
     scenario.run_for(Time::from_us(120));
-    let o = outcome.borrow();
+    let o = outcome.lock().expect("outcome poisoned");
     assert!(
         o.torn > 0,
         "raw reads never tore — the harness is not generating real races"
@@ -346,6 +345,13 @@ impl TortureMech {
 /// size and writer partitioning vary with the seed so the sweep explores
 /// genuinely different schedules, not one schedule with different RNG.
 fn torture_race(tm: TortureMech, nodes: usize, seed: u64) -> Outcome {
+    torture_race_threaded(tm, nodes, seed, 1)
+}
+
+/// [`torture_race`] with an explicit worker-thread count driving the
+/// fully sharded loop — the sweep certifying thread dispatch never
+/// perturbs an adversarial schedule.
+fn torture_race_threaded(tm: TortureMech, nodes: usize, seed: u64, threads: usize) -> Outcome {
     let payload = [208u32, 480, 1008][(seed % 3) as usize];
     let (mech, layout, writer_layout, cc_mode, spec_mode) = match tm {
         TortureMech::Occ => (
@@ -384,13 +390,14 @@ fn torture_race(tm: TortureMech, nodes: usize, seed: u64) -> Outcome {
         })
         .seed(seed)
         .nodes(nodes)
-        .shards(nodes);
+        .shards(nodes)
+        .threads(threads);
     let topo = builder.config().topology.clone();
     let (mut scenario, shards) = builder.sharded_store(topo.store_nodes(), layout, payload, 12);
-    let outcome = Rc::new(RefCell::new(Outcome::default()));
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
     for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
         for core in 0..2 {
-            let (store, outcome) = (shards[i % shards.len()].clone(), Rc::clone(&outcome));
+            let (store, outcome) = (shards[i % shards.len()].clone(), Arc::clone(&outcome));
             scenario = scenario.reader(rnode, core, move |_| {
                 Box::new(CheckedReader::new(mech, store, outcome))
             });
@@ -409,7 +416,7 @@ fn torture_race(tm: TortureMech, nodes: usize, seed: u64) -> Outcome {
         }
     }
     scenario.run_for(Time::from_us(30));
-    let o = outcome.borrow();
+    let o = outcome.lock().expect("outcome poisoned");
     Outcome {
         verified: o.verified,
         torn: o.torn,
@@ -455,6 +462,34 @@ fn torture_no_sabre_mechanism_ever_tears_across_rack_sizes() {
 }
 
 #[test]
+fn torture_outcomes_are_thread_invariant_on_the_eight_node_rack() {
+    // The 8-node torture schedules (fully sharded, one shard per node),
+    // replayed at worker-thread counts {1, 2, shards}: the adversarial
+    // interleavings — including every conflict and abort — must be
+    // untouched by how shards map onto OS threads. One schedule per
+    // mechanism keeps the sweep affordable.
+    for (tm, seed) in [
+        (TortureMech::Occ, 8u64),
+        (TortureMech::NoSpec, 9),
+        (TortureMech::Locking, 10),
+        (TortureMech::PerCl, 11),
+    ] {
+        let serial = torture_race_threaded(tm, 8, seed, 1);
+        assert!(
+            serial.verified > 0,
+            "{tm:?} (seed {seed}): no progress in the serial run"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                torture_race_threaded(tm, 8, seed, threads),
+                "{tm:?} (seed {seed}): {threads} worker threads changed the schedule"
+            );
+        }
+    }
+}
+
+#[test]
 fn torture_raw_reads_still_tear_on_every_rack_size() {
     // The control: the same seed-derived schedules, mechanism stripped
     // out. Aggregated per node count so torn reads must show up at every
@@ -467,10 +502,10 @@ fn torture_raw_reads_still_tear_on_every_rack_size() {
             let topo = builder.config().topology.clone();
             let (mut scenario, shards) =
                 builder.sharded_store(topo.store_nodes(), StoreLayout::Clean, payload, 8);
-            let outcome = Rc::new(RefCell::new(Outcome::default()));
+            let outcome = Arc::new(Mutex::new(Outcome::default()));
             for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
                 for core in 0..2 {
-                    let (store, outcome) = (shards[i % shards.len()].clone(), Rc::clone(&outcome));
+                    let (store, outcome) = (shards[i % shards.len()].clone(), Arc::clone(&outcome));
                     scenario = scenario.reader(rnode, core, move |_| {
                         Box::new(RawReader(CheckedReader::new(
                             ReadMechanism::Raw,
@@ -495,7 +530,7 @@ fn torture_raw_reads_still_tear_on_every_rack_size() {
                 }
             }
             scenario.run_for(Time::from_us(30));
-            torn += outcome.borrow().torn;
+            torn += outcome.lock().expect("outcome poisoned").torn;
         }
         assert!(
             torn > 0,

@@ -18,6 +18,33 @@
 use sabre_bench::{render_all_figures, RunOpts};
 
 #[test]
+fn all_figures_quick_fingerprint_is_thread_invariant() {
+    // The whole harness — every experiment, every sweep, the thread-driven
+    // sharded cluster loop inside fig_scale — rendered serially and with a
+    // worker pool must produce the same bytes. This is the end-to-end
+    // parallel-vs-serial fingerprint; the golden diff below then anchors
+    // those bytes to the committed output.
+    let serial = render_all_figures(
+        RunOpts {
+            quick: true,
+            threads: Some(1),
+        },
+        |_, _| {},
+    );
+    let parallel = render_all_figures(
+        RunOpts {
+            quick: true,
+            threads: Some(2),
+        },
+        |_, _| {},
+    );
+    assert!(
+        serial == parallel,
+        "figure fingerprints diverged between 1 and 2 worker threads"
+    );
+}
+
+#[test]
 fn all_figures_quick_matches_golden_output() {
     let golden = include_str!("golden/figures.txt");
     let live = render_all_figures(RunOpts::quick(), |_, _| {});

@@ -3,8 +3,7 @@
 //! page-boundary stall path — all declared through the Scenario API, with
 //! post-run state inspected via [`RunReport::cluster`].
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use sabres::prelude::*;
 
@@ -15,7 +14,7 @@ struct OneShot {
     remote: Addr,
     local: Addr,
     size: u32,
-    done: Rc<RefCell<Option<CqEntry>>>,
+    done: Arc<Mutex<Option<CqEntry>>>,
 }
 
 impl Workload for OneShot {
@@ -27,7 +26,7 @@ impl Workload for OneShot {
         }
     }
     fn on_completion(&mut self, _api: &mut CoreApi<'_>, cq: CqEntry) {
-        *self.done.borrow_mut() = Some(cq);
+        *self.done.lock().expect("done poisoned") = Some(cq);
     }
 }
 
@@ -35,8 +34,8 @@ impl Workload for OneShot {
 fn one_sided_write_lands_with_invalidations() {
     let payload: Vec<u8> = (0..200u8).collect();
     let local = Addr::new(1 << 20);
-    let done = Rc::new(RefCell::new(None));
-    let seen = Rc::clone(&done);
+    let done = Arc::new(Mutex::new(None));
+    let seen = Arc::clone(&done);
     let init = payload.clone();
     let report = ScenarioBuilder::new()
         .prepare(move |cluster| {
@@ -56,7 +55,10 @@ fn one_sided_write_lands_with_invalidations() {
             }),
         )
         .run_for(Time::from_us(5));
-    let cq = seen.borrow().expect("write completed");
+    let cq = seen
+        .lock()
+        .expect("done poisoned")
+        .expect("write completed");
     assert!(cq.success);
     assert_eq!(cq.op, OpKind::Write);
     assert_eq!(
@@ -79,8 +81,8 @@ fn one_sided_write_lands_with_invalidations() {
 
 #[test]
 fn remote_cas_lock_contention_is_exposed() {
-    let done = Rc::new(RefCell::new(None));
-    let seen = Rc::clone(&done);
+    let done = Arc::new(Mutex::new(None));
+    let seen = Arc::clone(&done);
     let report = ScenarioBuilder::new()
         // Version word pre-locked (odd): the CAS must fail and the CQ must
         // say so.
@@ -101,7 +103,7 @@ fn remote_cas_lock_contention_is_exposed() {
             }),
         )
         .run_for(Time::from_us(5));
-    let cq = seen.borrow().expect("CAS completed");
+    let cq = seen.lock().expect("done poisoned").expect("CAS completed");
     assert!(!cq.success, "CAS on a held lock must report contention");
     // The word is untouched.
     assert_eq!(report.cluster().node_memory(1).read_u64(Addr::new(0)), 3);
@@ -184,8 +186,8 @@ fn sabre_across_page_boundary_completes() {
     let base = Addr::new(page - 128);
     let payload = vec![7u8; 480];
     let init = payload.clone();
-    let done = Rc::new(RefCell::new(None));
-    let seen = Rc::clone(&done);
+    let done = Arc::new(Mutex::new(None));
+    let seen = Arc::clone(&done);
     let report = ScenarioBuilder::new()
         .prepare(move |cluster| {
             CleanLayout::init(cluster.node_memory_mut(1), base, &init);
@@ -204,7 +206,10 @@ fn sabre_across_page_boundary_completes() {
             }),
         )
         .run_for(Time::from_us(10));
-    let cq = seen.borrow().expect("SABRe completed");
+    let cq = seen
+        .lock()
+        .expect("done poisoned")
+        .expect("SABRe completed");
     assert!(cq.success);
     assert!(
         report.engine_totals(1).page_stalls > 0,

@@ -188,10 +188,20 @@ fn warmup_window_changes_measurement_not_simulation() {
 /// latency plus per-node engine and pipeline counters — if any bit of
 /// observable behavior changes, this changes.
 fn rack_fingerprint(nodes: usize, shards: usize, seed: u64) -> Vec<String> {
+    rack_fingerprint_threaded(nodes, shards, 1, seed)
+}
+
+fn rack_fingerprint_threaded(
+    nodes: usize,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<String> {
     let builder = ScenarioBuilder::new()
         .seed(seed)
         .nodes(nodes)
-        .shards(shards);
+        .shards(shards)
+        .threads(threads);
     let topo = builder.config().topology.clone();
     let (mut scenario, store_shards) =
         builder.sharded_store(topo.store_nodes(), StoreLayout::Clean, 1024, 32);
@@ -249,6 +259,82 @@ fn sharded_event_loop_is_bit_identical_to_single_shard() {
     let single = rack_fingerprint(8, 1, 7);
     assert_eq!(single, rack_fingerprint(8, 2, 7));
     assert_eq!(single, rack_fingerprint(8, 8, 7));
+}
+
+#[test]
+fn thread_driven_shards_are_bit_identical_to_serial() {
+    // The thread-dispatch acceptance bar: the fully sharded 8-node rack
+    // driven by 1 worker, 2 workers, or one per shard replays the serial
+    // single-shard run bit for bit.
+    let serial = rack_fingerprint(8, 1, 7);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            serial,
+            rack_fingerprint_threaded(8, 8, threads, 7),
+            "{threads} worker threads changed an 8-shard result bit"
+        );
+    }
+}
+
+#[test]
+fn table1_quadrant_is_thread_invariant() {
+    // The Table-1 quadrant (destination OCC over a clean store), run with
+    // the paper pair fully sharded and thread-driven: every thread count
+    // must reproduce the plain serial scenario bit for bit.
+    let serial = table1_dest_occ_scenario(5);
+    assert!(serial.0 > 0, "serial run must complete ops");
+    for threads in [1usize, 2] {
+        let (scenario, _store) =
+            ScenarioBuilder::new().store(1, StoreLayout::Clean, 1024, Some(512));
+        let wire = StoreLayout::Clean.object_bytes(1024) as u32;
+        let report = scenario
+            .shards(2)
+            .threads(threads)
+            .reader(0, 0, move |objects| {
+                Box::new(
+                    SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
+                        .with_wire(wire),
+                )
+            })
+            .run_for(Time::from_us(20 * 5));
+        let m = report.core(0, 0);
+        assert_eq!(
+            serial,
+            (m.ops, m.latency.mean()),
+            "2 shards on {threads} threads diverged from the serial quadrant"
+        );
+    }
+}
+
+#[test]
+fn eight_node_fig_scale_point_is_thread_invariant() {
+    // The shipped fig_scale construction (not a copy of it), 8 nodes and
+    // 8 shards, across worker-thread counts {1, 2, shards}.
+    let serial = sabre_bench::experiments::fig_scale::measure_sharded(
+        8,
+        sabre_bench::experiments::fig_scale::Mechanism::Sabre,
+        3,
+        1,
+    );
+    for threads in [1usize, 2, 8] {
+        let threaded = sabre_bench::experiments::fig_scale::measure_threaded(
+            8,
+            sabre_bench::experiments::fig_scale::Mechanism::Sabre,
+            3,
+            8,
+            Some(threads),
+        );
+        assert_eq!(serial.latency_ns, threaded.latency_ns, "{threads} threads");
+        assert_eq!(serial.total_gbps, threaded.total_gbps, "{threads} threads");
+        assert_eq!(
+            serial.min_reader_gbps, threaded.min_reader_gbps,
+            "{threads} threads"
+        );
+        assert_eq!(
+            serial.max_reader_gbps, threaded.max_reader_gbps,
+            "{threads} threads"
+        );
+    }
 }
 
 #[test]
