@@ -118,6 +118,8 @@ fn bench_sim_primitives(c: &mut Criterion) {
     });
     // The calendar variant over the same schedule — the structure the
     // windowed loop actually runs on (35 ns buckets = fabric lookahead).
+    // 1000 pending events push it well past the adaptive queue's heap
+    // threshold, so this measures bucketed mode (plus one migration).
     g.bench_function("calendar_queue_schedule_pop_1k", |b| {
         b.iter_batched(
             || CalendarQueue::<u64>::new(Time::from_ns(35)),
@@ -152,6 +154,9 @@ fn bench_sim_primitives(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // One in-flight event at a time: the mostly-idle pattern the adaptive
+    // queue's plain-heap mode exists for (it never reaches the bucket
+    // threshold, so this row tracks the event_queue variant's cost).
     g.bench_function("calendar_queue_windowed_churn_4k", |b| {
         b.iter_batched(
             || {

@@ -1,0 +1,6 @@
+//! Regenerates fig_placement (fabric × placement policy × role skew).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_placement::run(RunOpts::from_args()));
+}

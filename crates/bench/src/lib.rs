@@ -47,6 +47,9 @@ pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
     ("fig10", |o| vec![experiments::fig10::run(o)]),
     ("ablations", experiments::ablations::run),
     ("fig_scale", |o| vec![experiments::fig_scale::run(o)]),
+    ("fig_placement", |o| {
+        vec![experiments::fig_placement::run(o)]
+    }),
 ];
 
 /// Renders every table and figure into one string (the golden-diffable

@@ -88,6 +88,21 @@ pub struct FabricPort {
     /// Packets pushed onto each directed link so far (conservation
     /// accounting: every send is delivered exactly once).
     sent: Vec<u64>,
+    /// Hops traversed by every packet sent from this port so far,
+    /// including fat-tree uplink queueing penalties — the numerator of the
+    /// per-node mean hop count the placement experiments report.
+    hops_sent: u64,
+    /// Hop-latency window index the uplink counter below covers.
+    uplink_window: u64,
+    /// Cross-leaf packets this port pushed within the current window.
+    uplink_in_window: u64,
+    /// Cross-leaf packets that exceeded the uplink's per-window budget and
+    /// paid queueing hops.
+    uplink_queued: u64,
+    /// Arrival time of the last packet through the uplink bundle: the
+    /// bundle is a FIFO queue, so a later packet (whose window counter may
+    /// have reset) never overtakes an earlier queued one.
+    uplink_tail: Time,
 }
 
 impl FabricPort {
@@ -101,6 +116,18 @@ impl FabricPort {
     /// `dst`: serialization onto the (queued) directed link plus one
     /// [`FabricConfig::hop_latency`] per routed hop.
     ///
+    /// On a [`RackTopology::FatTree`], cross-leaf packets contend for the
+    /// leaf's oversubscribed uplink bundle: within each hop-latency window
+    /// a port may push its leaf's share
+    /// ([`RackTopology::uplink_budget`] = `radix / oversubscription`
+    /// packets) uplink unpenalized; every packet beyond the budget pays
+    /// one extra hop of latency *per queued predecessor* — a coarse,
+    /// deterministic stand-in for spine-queue delay. The state is tracked
+    /// per source port (each shard owns its own nodes' ports), so the
+    /// sharded event loop's bit-identity is untouched; contention from
+    /// leaf-mates sharing the physical bundle is approximated by each port
+    /// holding the full window share.
+    ///
     /// # Panics
     ///
     /// Panics if `dst` is this port's own node or out of range.
@@ -112,8 +139,35 @@ impl FabricPort {
             self.src
         );
         self.sent[dst] += 1;
-        let propagation = cfg.hop_latency * cfg.topology.hops(self.src, dst);
-        self.links[dst].transmit(now, payload_bytes + cfg.header_bytes) + propagation
+        let mut hops = cfg.topology.hops(self.src, dst);
+        let crosses = cfg.topology.crosses_uplink(self.src, dst);
+        if crosses {
+            let budget = cfg
+                .topology
+                .uplink_budget()
+                .expect("uplink crossings only exist on fat trees");
+            let window = now.as_ps() / cfg.hop_latency.as_ps().max(1);
+            if window != self.uplink_window {
+                self.uplink_window = window;
+                self.uplink_in_window = 0;
+            }
+            self.uplink_in_window += 1;
+            if self.uplink_in_window > budget {
+                hops += self.uplink_in_window - budget;
+                self.uplink_queued += 1;
+            }
+        }
+        self.hops_sent += hops;
+        let propagation = cfg.hop_latency * hops;
+        let mut arrival =
+            self.links[dst].transmit(now, payload_bytes + cfg.header_bytes) + propagation;
+        if crosses {
+            // The uplink bundle is a FIFO queue: a packet sent in a later
+            // window (counter reset) never overtakes one still queued.
+            arrival = arrival.max(self.uplink_tail);
+            self.uplink_tail = arrival;
+        }
+        arrival
     }
 }
 
@@ -148,17 +202,37 @@ impl Fabric {
     /// node.
     pub fn new(cfg: FabricConfig) -> Self {
         assert!(cfg.nodes >= 2, "a fabric needs at least two nodes");
-        if let RackTopology::Mesh { cols } = cfg.topology {
-            assert!(cols >= 1, "mesh must be at least one column wide");
-            // Every node's grid coordinate must fit the u8 MeshCoord, or
-            // hop counts would silently truncate.
-            let rows = cfg.nodes.div_ceil(cols as usize);
-            assert!(
-                rows <= u8::MAX as usize + 1,
-                "topology grid cannot place every node: {} nodes on {} columns",
-                cfg.nodes,
-                cols
-            );
+        match cfg.topology {
+            RackTopology::Mesh { cols } => {
+                assert!(cols >= 1, "mesh must be at least one column wide");
+                // Every node's grid coordinate must fit the u8 MeshCoord,
+                // or hop counts would silently truncate.
+                let rows = cfg.nodes.div_ceil(cols as usize);
+                assert!(
+                    rows <= u8::MAX as usize + 1,
+                    "topology grid cannot place every node: {} nodes on {} columns",
+                    cfg.nodes,
+                    cols
+                );
+            }
+            RackTopology::FatTree {
+                radix,
+                oversubscription,
+            } => {
+                assert!(radix >= 1, "fat-tree leaves need at least one downlink");
+                assert!(
+                    oversubscription >= 1,
+                    "oversubscription ratio must be at least 1:1"
+                );
+                let leaves = cfg.nodes.div_ceil(radix as usize);
+                assert!(
+                    leaves <= u8::MAX as usize + 1,
+                    "topology grid cannot place every node: {} nodes on {}-node leaves",
+                    cfg.nodes,
+                    radix
+                );
+            }
+            RackTopology::Direct => {}
         }
         let ports = (0..cfg.nodes)
             .map(|src| FabricPort {
@@ -167,6 +241,11 @@ impl Fabric {
                     .map(|_| BandwidthServer::new(cfg.link_gbps, Time::ZERO))
                     .collect(),
                 sent: vec![0; cfg.nodes],
+                hops_sent: 0,
+                uplink_window: 0,
+                uplink_in_window: 0,
+                uplink_queued: 0,
+                uplink_tail: Time::ZERO,
             })
             .collect();
         Fabric { cfg, ports }
@@ -217,6 +296,27 @@ impl Fabric {
     /// Packets pushed from `src` to `dst` so far.
     pub fn link_packets(&self, src: usize, dst: usize) -> u64 {
         self.ports[src].sent[dst]
+    }
+
+    /// Packets pushed from `src` onto any link so far.
+    pub fn node_packets_sent(&self, src: usize) -> u64 {
+        self.ports[src].sent.iter().sum()
+    }
+
+    /// Hops traversed by every packet sent from `src` so far, including
+    /// fat-tree uplink queueing penalties (see [`FabricPort::send`]).
+    /// Divided by [`Fabric::node_packets_sent`] this is the node's mean
+    /// hop count — the placement-quality metric of the `fig_placement`
+    /// experiment.
+    pub fn node_hops_sent(&self, src: usize) -> u64 {
+        self.ports[src].hops_sent
+    }
+
+    /// Cross-leaf packets from `src` that exceeded the fat-tree uplink's
+    /// per-window budget and paid queueing latency (always 0 on the flat
+    /// topologies).
+    pub fn node_uplink_queued(&self, src: usize) -> u64 {
+        self.ports[src].uplink_queued
     }
 
     /// Packets pushed onto any link so far.
@@ -466,6 +566,99 @@ mod tests {
             Time::from_ns(70),
             "two extra hops at 35 ns each"
         );
+    }
+
+    #[test]
+    fn fat_tree_pairs_pay_per_hop_latency() {
+        // 8 nodes, radix 4: 0 -> 3 shares a leaf (1 hop), 0 -> 7 crosses
+        // the spine (3 hops).
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 8,
+            topology: RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            },
+            ..FabricConfig::default()
+        });
+        let same_leaf = f.send(Time::ZERO, 0, 3, 0);
+        let cross_leaf = f.send(Time::ZERO, 0, 7, 0);
+        assert_eq!(
+            cross_leaf - same_leaf,
+            Time::from_ns(70),
+            "two extra hops at 35 ns each"
+        );
+        assert_eq!(f.node_hops_sent(0), 4);
+        assert_eq!(f.node_packets_sent(0), 2);
+        assert_eq!(f.node_uplink_queued(0), 0, "full bisection never queues");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_queues_past_its_window_budget() {
+        // radix 4 at 4:1 -> one cross-leaf packet per 35 ns window; the
+        // k-th excess packet pays k extra hops of queueing latency.
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 8,
+            topology: RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 4,
+            },
+            ..FabricConfig::default()
+        });
+        let first = f.send(Time::ZERO, 0, 7, 0);
+        let second = f.send(Time::ZERO, 0, 7, 0);
+        let third = f.send(Time::ZERO, 0, 7, 0);
+        // Serialization queues 0.16 ns per packet; propagation adds one
+        // extra hop to the second packet, two to the third.
+        assert_eq!(second - first, Time::from_ps(160) + Time::from_ns(35));
+        assert_eq!(third - second, Time::from_ps(160) + Time::from_ns(35));
+        assert_eq!(f.node_uplink_queued(0), 2);
+        assert_eq!(f.node_hops_sent(0), 3 + 4 + 5);
+        // Same-leaf traffic never touches the uplink.
+        let mut g = Fabric::new(FabricConfig {
+            nodes: 8,
+            topology: RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 4,
+            },
+            ..FabricConfig::default()
+        });
+        let a = g.send(Time::ZERO, 0, 3, 0);
+        let b = g.send(Time::ZERO, 0, 3, 0);
+        assert_eq!(b - a, Time::from_ps(160), "only link serialization");
+        assert_eq!(g.node_uplink_queued(0), 0);
+    }
+
+    #[test]
+    fn uplink_budget_resets_every_window() {
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 8,
+            topology: RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 4,
+            },
+            ..FabricConfig::default()
+        });
+        let _ = f.send(Time::ZERO, 0, 7, 0);
+        let _ = f.send(Time::ZERO, 0, 7, 0); // queued
+        assert_eq!(f.node_uplink_queued(0), 1);
+        // The next window's first packet is inside the budget again.
+        let _ = f.send(Time::from_ns(35), 0, 7, 0);
+        assert_eq!(f.node_uplink_queued(0), 1);
+    }
+
+    #[test]
+    fn two_node_fat_tree_matches_direct_fabric() {
+        let mut direct = Fabric::new(FabricConfig::default());
+        let mut ft = Fabric::new(FabricConfig {
+            topology: RackTopology::fat_tree_for(2, 4),
+            ..FabricConfig::default()
+        });
+        for payload in [0u64, 64, 4096] {
+            assert_eq!(
+                direct.send(Time::ZERO, 0, 1, payload),
+                ft.send(Time::ZERO, 0, 1, payload)
+            );
+        }
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //!
 //! The paper's evaluation connects two nodes directly, so the inter-node
 //! path is a single hop each way; N-node racks route over a
-//! [`RackTopology`] (crossbar or rack-level 2D mesh), paying one hop
-//! latency per routed hop. Every directed node pair is an independent
-//! [`BandwidthServer`](sabre_sim::BandwidthServer) so that request and
-//! reply traffic do not contend.
+//! [`RackTopology`] — a crossbar, a rack-level 2D mesh, or a two-level
+//! leaf/spine fat tree whose cross-leaf uplinks may be oversubscribed —
+//! paying one hop latency per routed hop (plus deterministic uplink
+//! queueing on an oversubscribed fat tree). Every directed node pair is an
+//! independent [`BandwidthServer`](sabre_sim::BandwidthServer) so that
+//! request and reply traffic do not contend.
 //!
 //! [`ShardRouter`] provides the deterministic cross-shard message merge a
 //! partitioned event loop synchronizes internode traffic through.

@@ -12,8 +12,9 @@
 //!
 //! [`RackTopology`] reuses the same Manhattan-distance geometry one level
 //! up: beyond the paper's directly-connected pair, rack nodes sit on a 2D
-//! mesh and internode packets pay one [`FabricConfig::hop_latency`]
-//! (see [`crate::FabricConfig`]) per hop of dimension-ordered (XY) routing.
+//! mesh and internode packets pay one
+//! [`FabricConfig::hop_latency`](crate::FabricConfig::hop_latency) per hop
+//! of dimension-ordered (XY) routing.
 
 use sabre_sim::{Freq, Time};
 
@@ -110,9 +111,13 @@ impl MeshConfig {
 /// opens the beyond-paper N-node rack: nodes are placed row-major on a
 /// `cols`-wide 2D grid and packets take the dimension-ordered (XY) route,
 /// so the hop count between two nodes is their Manhattan distance.
+/// [`RackTopology::FatTree`] adds the third interconnect family: a
+/// two-level leaf/spine tree whose cross-leaf uplinks may be
+/// oversubscribed.
 ///
 /// `Mesh { cols }` with two nodes is exactly one hop each way, so the
-/// degenerate mesh reproduces the paper's pair bit-for-bit.
+/// degenerate mesh reproduces the paper's pair bit-for-bit — and so does a
+/// `FatTree` whose first leaf holds both nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RackTopology {
     /// Every node pair directly connected: always one hop (the evaluated
@@ -122,6 +127,22 @@ pub enum RackTopology {
     Mesh {
         /// Grid width in nodes (≥ 1).
         cols: u8,
+    },
+    /// A two-level leaf/spine fat tree: nodes attach to leaf switches in
+    /// contiguous groups of `radix` (node `n` sits on leaf `n / radix`).
+    /// A packet between two nodes of the same leaf traverses one switch
+    /// (1 hop); a cross-leaf packet goes leaf → spine → leaf (3 hops) over
+    /// its leaf's **uplink bundle**, which admits only
+    /// `radix / oversubscription` packets per hop-latency window before
+    /// queueing — see [`RackTopology::uplink_budget`] and
+    /// [`crate::FabricPort::send`] for the contention model.
+    FatTree {
+        /// Downlinks per leaf switch, i.e. nodes per leaf (≥ 1).
+        radix: u8,
+        /// Uplink oversubscription ratio `q` in `q:1` (≥ 1; `1` is a full
+        /// bisection-bandwidth tree, `4` means the uplink bundle carries a
+        /// quarter of the leaf's aggregate downlink bandwidth).
+        oversubscription: u8,
     },
 }
 
@@ -141,12 +162,33 @@ impl RackTopology {
         RackTopology::Mesh { cols: cols as u8 }
     }
 
+    /// A two-leaf fat tree for `nodes` nodes (`radix = ceil(nodes / 2)`,
+    /// floored at 2 so the paper pair shares one leaf) at the given
+    /// oversubscription ratio — the default leaf/spine shape the placement
+    /// experiments sweep against the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or needs a radix beyond `u8`.
+    pub fn fat_tree_for(nodes: usize, oversubscription: u8) -> Self {
+        assert!(nodes > 0, "a rack needs at least one node");
+        let radix = nodes.div_ceil(2).max(2);
+        assert!(radix <= u8::MAX as usize, "fat-tree radix exceeds u8");
+        RackTopology::FatTree {
+            radix: radix as u8,
+            oversubscription,
+        }
+    }
+
     /// Grid coordinate of `node` (row-major placement; meaningless for
-    /// [`RackTopology::Direct`], where every pair is one hop).
+    /// [`RackTopology::Direct`], where every pair is one hop). For
+    /// [`RackTopology::FatTree`] the row is the leaf index and the column
+    /// the position within the leaf.
     pub fn coord(self, node: usize) -> MeshCoord {
         let cols = match self {
             RackTopology::Direct => 1,
             RackTopology::Mesh { cols } => cols.max(1) as usize,
+            RackTopology::FatTree { radix, .. } => radix.max(1) as usize,
         };
         MeshCoord {
             x: (node % cols) as u8,
@@ -154,7 +196,40 @@ impl RackTopology {
         }
     }
 
-    /// Hops an internode packet from `src` to `dst` traverses.
+    /// The leaf switch `node` attaches to, for [`RackTopology::FatTree`];
+    /// `None` for the flat topologies.
+    pub fn leaf_of(self, node: usize) -> Option<usize> {
+        match self {
+            RackTopology::FatTree { radix, .. } => Some(node / radix.max(1) as usize),
+            _ => None,
+        }
+    }
+
+    /// Whether a `src → dst` packet climbs a leaf uplink (fat tree only:
+    /// the endpoints sit on different leaves).
+    pub fn crosses_uplink(self, src: usize, dst: usize) -> bool {
+        match self {
+            RackTopology::FatTree { .. } => self.leaf_of(src) != self.leaf_of(dst),
+            _ => false,
+        }
+    }
+
+    /// Packets a leaf's uplink bundle admits per hop-latency window before
+    /// cross-leaf traffic starts queueing: `radix / oversubscription`,
+    /// floored at one. `None` for topologies without uplinks.
+    pub fn uplink_budget(self) -> Option<u64> {
+        match self {
+            RackTopology::FatTree {
+                radix,
+                oversubscription,
+            } => Some((radix.max(1) as u64 / oversubscription.max(1) as u64).max(1)),
+            _ => None,
+        }
+    }
+
+    /// Hops an internode packet from `src` to `dst` traverses (the
+    /// *uncontended* route; fat-tree uplink queueing adds latency on top —
+    /// see [`crate::FabricPort::send`]).
     ///
     /// # Panics
     ///
@@ -164,15 +239,27 @@ impl RackTopology {
         match self {
             RackTopology::Direct => 1,
             RackTopology::Mesh { .. } => self.coord(src).hops_to(self.coord(dst)),
+            RackTopology::FatTree { .. } => {
+                if self.leaf_of(src) == self.leaf_of(dst) {
+                    1 // up to the shared leaf switch and back down
+                } else {
+                    3 // leaf -> spine -> leaf
+                }
+            }
         }
     }
 
     /// The smallest hop count between any two distinct nodes — the
     /// conservative lookahead a sharded event loop may advance without
-    /// cross-node synchronization (always 1: neighbors exist in both
-    /// shapes).
+    /// cross-node synchronization. 1 in every shape with same-switch
+    /// neighbors; the degenerate radix-1 fat tree has none (each node
+    /// sits alone on its leaf), so every pair routes through the spine
+    /// and the loop may safely look 3 hops ahead.
     pub fn min_hops(self) -> u64 {
-        1
+        match self {
+            RackTopology::FatTree { radix: 0 | 1, .. } => 3,
+            _ => 1,
+        }
     }
 }
 
@@ -246,5 +333,80 @@ mod tests {
     #[should_panic(expected = "no self-delivery")]
     fn rack_self_route_rejected() {
         let _ = RackTopology::mesh_for(4).hops(2, 2);
+    }
+
+    #[test]
+    fn fat_tree_routes_by_leaf() {
+        // 8 nodes, radix 4: leaves {0..3} and {4..7}.
+        let ft = RackTopology::FatTree {
+            radix: 4,
+            oversubscription: 2,
+        };
+        assert_eq!(ft.leaf_of(3), Some(0));
+        assert_eq!(ft.leaf_of(4), Some(1));
+        assert_eq!(ft.hops(0, 3), 1, "same leaf is one switch traversal");
+        assert_eq!(ft.hops(0, 4), 3, "cross leaf is leaf -> spine -> leaf");
+        assert_eq!(ft.hops(4, 0), 3, "routes are symmetric");
+        assert!(ft.crosses_uplink(0, 4));
+        assert!(!ft.crosses_uplink(0, 3));
+        assert_eq!(ft.min_hops(), 1);
+    }
+
+    #[test]
+    fn radix_one_fat_tree_has_no_one_hop_pairs() {
+        // Every node alone on its leaf: all routes cross the spine, so
+        // the safe lookahead is the full 3-hop distance.
+        let ft = RackTopology::FatTree {
+            radix: 1,
+            oversubscription: 1,
+        };
+        assert_eq!(ft.hops(0, 1), 3);
+        assert_eq!(ft.hops(2, 5), 3);
+        assert_eq!(ft.min_hops(), 3);
+    }
+
+    #[test]
+    fn fat_tree_uplink_budget_is_the_oversubscribed_share() {
+        let budget = |radix, oversubscription| {
+            RackTopology::FatTree {
+                radix,
+                oversubscription,
+            }
+            .uplink_budget()
+        };
+        assert_eq!(budget(4, 1), Some(4), "full bisection: all downlinks");
+        assert_eq!(budget(4, 2), Some(2));
+        assert_eq!(budget(4, 4), Some(1));
+        assert_eq!(budget(2, 4), Some(1), "budget floors at one packet");
+        assert_eq!(RackTopology::Direct.uplink_budget(), None);
+        assert_eq!(RackTopology::mesh_for(8).uplink_budget(), None);
+    }
+
+    #[test]
+    fn fat_tree_degenerates_to_the_paper_pair() {
+        // Two nodes on one leaf: one hop each way, no uplink — exactly
+        // Direct.
+        let ft = RackTopology::fat_tree_for(2, 4);
+        assert_eq!(ft.hops(0, 1), 1);
+        assert_eq!(ft.hops(1, 0), 1);
+        assert!(!ft.crosses_uplink(0, 1));
+    }
+
+    #[test]
+    fn fat_tree_for_splits_into_two_leaves() {
+        assert_eq!(
+            RackTopology::fat_tree_for(8, 2),
+            RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 2
+            }
+        );
+        assert_eq!(
+            RackTopology::fat_tree_for(7, 1),
+            RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 1
+            }
+        );
     }
 }

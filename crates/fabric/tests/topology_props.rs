@@ -8,14 +8,17 @@ use proptest::prelude::*;
 use sabre_fabric::{Fabric, FabricConfig, RackTopology, ShardRouter};
 use sabre_sim::Time;
 
-/// A topology strategy covering the paper pair, crossbars and meshes from
-/// 2 to 12 nodes.
+/// A topology strategy covering the paper pair, crossbars, meshes and
+/// (oversubscribed) fat trees from 2 to 12 nodes.
 fn topologies() -> impl Strategy<Value = (usize, RackTopology)> {
-    (2usize..13, any::<bool>()).prop_map(|(nodes, direct)| {
-        let topo = if direct {
-            RackTopology::Direct
-        } else {
-            RackTopology::mesh_for(nodes)
+    (2usize..13, 0u8..3, 1u8..5, 1u8..5).prop_map(|(nodes, family, radix, oversubscription)| {
+        let topo = match family {
+            0 => RackTopology::Direct,
+            1 => RackTopology::mesh_for(nodes),
+            _ => RackTopology::FatTree {
+                radix,
+                oversubscription,
+            },
         };
         (nodes, topo)
     })
@@ -51,6 +54,11 @@ proptest! {
                     RackTopology::Direct => prop_assert_eq!(direct, 1),
                     RackTopology::Mesh { .. } => {
                         prop_assert_eq!(direct, topo.coord(a).hops_to(topo.coord(b)));
+                    }
+                    RackTopology::FatTree { .. } => {
+                        let expect = if topo.leaf_of(a) == topo.leaf_of(b) { 1 } else { 3 };
+                        prop_assert_eq!(direct, expect);
+                        prop_assert_eq!(topo.crosses_uplink(a, b), expect == 3);
                     }
                 }
                 for via in 0..nodes {

@@ -4,7 +4,7 @@
 //! beyond-paper N-node scenario family.
 
 use sabre_core::LightSabresConfig;
-use sabre_fabric::FabricConfig;
+use sabre_fabric::{FabricConfig, RackTopology};
 use sabre_mem::MemTimingConfig;
 use sabre_sim::{Freq, Time};
 use sabre_sw::CpuCostModel;
@@ -19,28 +19,131 @@ pub enum NodeRole {
     Store,
 }
 
+/// A custom reader→shard assignment: given the reader *index* (position in
+/// [`Topology::reader_nodes`]), the role topology and the rack's wiring,
+/// return the store *node* the reader should target.
+pub type PlacementFn = fn(usize, &Topology, RackTopology) -> usize;
+
+/// How reader nodes are assigned to store shards — the knob
+/// [`Topology::store_for_reader`] dispatches on.
+///
+/// Assignment quality is a fabric-geometry question: on the 8-node mesh
+/// (and any oversubscribed fat tree) a badly placed reader pays extra
+/// routed hops — and, on a fat tree, uplink queueing — on every packet of
+/// every read. The `fig_placement` experiment sweeps these policies
+/// against topology families.
+#[derive(Debug, Clone, Copy)]
+pub enum PlacementPolicy {
+    /// Reader `i` targets the `i % S`-th store node (the historical
+    /// default; ignores geometry).
+    RoundRobin,
+    /// Reader `i` targets a store node at minimal routed hop distance
+    /// under the rack's [`RackTopology`]; among equally-near shards it
+    /// round-robins by reader index, so load still spreads (and on a
+    /// crossbar, where every shard is one hop away, it degenerates to
+    /// exactly [`PlacementPolicy::RoundRobin`]).
+    NearestShard,
+    /// Contiguous blocks: the first `R/S` readers share store 0, the next
+    /// block store 1, … (keeps reader cohorts together, e.g. to saturate
+    /// one shard's pipelines before spilling to the next).
+    Striped,
+    /// An arbitrary assignment function (must be deterministic — it is
+    /// consulted during scenario construction).
+    Custom(PlacementFn),
+}
+
+impl PartialEq for PlacementPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PlacementPolicy::RoundRobin, PlacementPolicy::RoundRobin)
+            | (PlacementPolicy::NearestShard, PlacementPolicy::NearestShard)
+            | (PlacementPolicy::Striped, PlacementPolicy::Striped) => true,
+            // Two Custom policies compare by function address: equal
+            // addresses certainly dispatch identically, distinct addresses
+            // are conservatively unequal.
+            (PlacementPolicy::Custom(a), PlacementPolicy::Custom(b)) => {
+                std::ptr::fn_addr_eq(*a, *b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PlacementPolicy {}
+
 /// The rack's role topology: which nodes host store shards and which host
-/// readers. The paper's evaluated pair is `[Reader, Store]`; N-node racks
-/// split half/half by default.
+/// readers, plus the [`PlacementPolicy`] pairing them. The paper's
+/// evaluated pair is `[Reader, Store]`; N-node racks split half/half by
+/// default.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     roles: Vec<NodeRole>,
+    placement: PlacementPolicy,
 }
 
 impl Topology {
-    /// An explicit role assignment, node by node.
+    /// An explicit role assignment, node by node, with the default
+    /// [`PlacementPolicy::RoundRobin`] pairing.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two nodes are declared.
     pub fn new(roles: Vec<NodeRole>) -> Self {
         assert!(roles.len() >= 2, "the rack needs at least two nodes");
-        Topology { roles }
+        Topology {
+            roles,
+            placement: PlacementPolicy::RoundRobin,
+        }
     }
 
     /// The paper's evaluated pair: node 0 reads, node 1 stores.
     pub fn paper_pair() -> Self {
         Topology::new(vec![NodeRole::Reader, NodeRole::Store])
+    }
+
+    /// A skewed role split: `stores` groups of one store node followed by
+    /// its `readers_per_store` reader nodes — `1:N` store:reader ratios as
+    /// a first-class shape. Grouping each store with its readers keeps the
+    /// cohort contiguous, so leaf-local placement is *possible* on a fat
+    /// tree (whether the policy exploits it is what `fig_placement`
+    /// measures).
+    ///
+    /// ```
+    /// use sabre_rack::{NodeRole, Topology};
+    ///
+    /// let t = Topology::skewed(2, 3); // 1:3 split, 8 nodes
+    /// assert_eq!(t.store_nodes(), vec![0, 4]);
+    /// assert_eq!(t.reader_nodes(), vec![1, 2, 3, 5, 6, 7]);
+    /// assert_eq!(t.role(0), NodeRole::Store);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stores` or `readers_per_store` is zero, or the rack
+    /// would have fewer than two nodes.
+    pub fn skewed(stores: usize, readers_per_store: usize) -> Self {
+        assert!(stores > 0, "a skewed split needs at least one store");
+        assert!(
+            readers_per_store > 0,
+            "a skewed split needs at least one reader per store"
+        );
+        let mut roles = Vec::with_capacity(stores * (1 + readers_per_store));
+        for _ in 0..stores {
+            roles.push(NodeRole::Store);
+            roles.extend(std::iter::repeat_n(NodeRole::Reader, readers_per_store));
+        }
+        Topology::new(roles)
+    }
+
+    /// This topology with a different reader→shard [`PlacementPolicy`].
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The reader→shard assignment policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
     }
 
     /// The default N-node split: the first `ceil(nodes / 2)` nodes read,
@@ -98,17 +201,50 @@ impl Topology {
         self.nodes_with(NodeRole::Store)
     }
 
-    /// The store node the `i`-th reader node is paired with (round-robin
-    /// over the store nodes) — the default reader→shard assignment of the
-    /// scaling experiments.
+    /// The store node the `i`-th reader node (by position in
+    /// [`Topology::reader_nodes`]) is paired with, under this topology's
+    /// [`PlacementPolicy`] and the rack's wiring `rack` — the reader→shard
+    /// assignment every placement-aware experiment derives from.
     ///
     /// # Panics
     ///
-    /// Panics if the topology has no store nodes.
-    pub fn store_for_reader(&self, reader_index: usize) -> usize {
+    /// Panics if the topology has no store nodes (or, for
+    /// [`PlacementPolicy::Custom`], if the function returns a non-store
+    /// node).
+    pub fn store_for_reader(&self, reader_index: usize, rack: RackTopology) -> usize {
         let stores = self.store_nodes();
         assert!(!stores.is_empty(), "topology has no store nodes");
-        stores[reader_index % stores.len()]
+        match self.placement {
+            PlacementPolicy::RoundRobin => stores[reader_index % stores.len()],
+            PlacementPolicy::Striped => {
+                let readers = self.reader_nodes().len().max(1);
+                let i = reader_index % readers;
+                stores[(i * stores.len()) / readers]
+            }
+            PlacementPolicy::NearestShard => {
+                let readers = self.reader_nodes();
+                let reader = readers[reader_index % readers.len()];
+                let best = stores
+                    .iter()
+                    .map(|&s| rack.hops(reader, s))
+                    .min()
+                    .expect("at least one store");
+                let nearest: Vec<usize> = stores
+                    .iter()
+                    .copied()
+                    .filter(|&s| rack.hops(reader, s) == best)
+                    .collect();
+                nearest[reader_index % nearest.len()]
+            }
+            PlacementPolicy::Custom(f) => {
+                let node = f(reader_index, self, rack);
+                assert!(
+                    self.roles.get(node) == Some(&NodeRole::Store),
+                    "custom placement returned non-store node {node}"
+                );
+                node
+            }
+        }
     }
 }
 
@@ -233,6 +369,15 @@ impl ClusterConfig {
         }
     }
 
+    /// The store node the `i`-th reader node targets: the role topology's
+    /// [`Topology::store_for_reader`] evaluated against this rack's fabric
+    /// wiring (which [`PlacementPolicy::NearestShard`] measures hop
+    /// distances on).
+    pub fn store_for_reader(&self, reader_index: usize) -> usize {
+        self.topology
+            .store_for_reader(reader_index, self.fabric.topology)
+    }
+
     /// The R2P2's per-block issue interval derived from its bandwidth
     /// target: 64 B / 20 GBps = 3.2 ns with the defaults.
     pub fn r2p2_issue_interval(&self) -> Time {
@@ -335,9 +480,89 @@ mod tests {
         assert_eq!(t.store_nodes(), vec![3, 4]);
         assert_eq!(t.role(0), NodeRole::Reader);
         assert_eq!(t.role(4), NodeRole::Store);
-        // Round-robin pairing of readers onto store shards.
-        assert_eq!(t.store_for_reader(0), 3);
-        assert_eq!(t.store_for_reader(1), 4);
-        assert_eq!(t.store_for_reader(2), 3);
+        assert_eq!(t.placement(), PlacementPolicy::RoundRobin);
+        // Round-robin pairing of readers onto store shards, whatever the
+        // fabric shape.
+        for rack in [RackTopology::Direct, RackTopology::mesh_for(5)] {
+            assert_eq!(t.store_for_reader(0, rack), 3);
+            assert_eq!(t.store_for_reader(1, rack), 4);
+            assert_eq!(t.store_for_reader(2, rack), 3);
+        }
+    }
+
+    #[test]
+    fn skewed_split_groups_each_store_with_its_readers() {
+        let t = Topology::skewed(2, 3);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.store_nodes(), vec![0, 4]);
+        assert_eq!(t.reader_nodes(), vec![1, 2, 3, 5, 6, 7]);
+        // The 1:1 skew is an interleaved half split.
+        let even = Topology::skewed(4, 1);
+        assert_eq!(even.store_nodes(), vec![0, 2, 4, 6]);
+        assert_eq!(even.reader_nodes(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn striped_placement_assigns_contiguous_reader_blocks() {
+        let t = Topology::skewed(2, 3).with_placement(PlacementPolicy::Striped);
+        let rack = RackTopology::mesh_for(8);
+        // 6 readers over 2 stores: first 3 -> store 0, last 3 -> store 4.
+        let picks: Vec<usize> = (0..6).map(|i| t.store_for_reader(i, rack)).collect();
+        assert_eq!(picks, vec![0, 0, 0, 4, 4, 4]);
+    }
+
+    #[test]
+    fn nearest_shard_minimizes_hops_and_spreads_ties() {
+        let rack = RackTopology::FatTree {
+            radix: 4,
+            oversubscription: 2,
+        };
+        let t = Topology::skewed(2, 3).with_placement(PlacementPolicy::NearestShard);
+        // Stores 0 (leaf 0) and 4 (leaf 1): every reader picks its own
+        // leaf's store — one hop instead of round-robin's mixed 1/3 hops.
+        let picks: Vec<usize> = (0..6).map(|i| t.store_for_reader(i, rack)).collect();
+        assert_eq!(picks, vec![0, 0, 0, 4, 4, 4]);
+        // On a crossbar every store is equidistant, so the tie-break
+        // round-robins: NearestShard degenerates to RoundRobin exactly.
+        let rr = Topology::skewed(2, 3);
+        for i in 0..6 {
+            assert_eq!(
+                t.store_for_reader(i, RackTopology::Direct),
+                rr.store_for_reader(i, RackTopology::Direct)
+            );
+        }
+    }
+
+    #[test]
+    fn custom_placement_is_consulted_and_checked() {
+        fn always_last(_: usize, topo: &Topology, _: RackTopology) -> usize {
+            *topo.store_nodes().last().expect("has stores")
+        }
+        let t = Topology::skewed(2, 1).with_placement(PlacementPolicy::Custom(always_last));
+        assert_eq!(t.store_for_reader(0, RackTopology::Direct), 2);
+        assert_eq!(t.store_for_reader(1, RackTopology::Direct), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-store node")]
+    fn custom_placement_rejects_reader_targets() {
+        fn bad(_: usize, topo: &Topology, _: RackTopology) -> usize {
+            topo.reader_nodes()[0]
+        }
+        let t = Topology::skewed(2, 1).with_placement(PlacementPolicy::Custom(bad));
+        let _ = t.store_for_reader(0, RackTopology::Direct);
+    }
+
+    #[test]
+    fn cluster_config_pairs_against_its_own_fabric() {
+        let mut cfg = ClusterConfig::with_nodes(8);
+        cfg.topology = Topology::skewed(2, 3).with_placement(PlacementPolicy::NearestShard);
+        cfg.fabric.topology = RackTopology::FatTree {
+            radix: 4,
+            oversubscription: 4,
+        };
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.store_for_reader(0), 0);
+        assert_eq!(cfg.store_for_reader(5), 4);
     }
 }

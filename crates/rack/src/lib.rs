@@ -45,7 +45,7 @@ pub mod workload;
 pub mod workloads;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, NodeRole, Topology};
+pub use config::{ClusterConfig, NodeRole, PlacementFn, PlacementPolicy, Topology};
 pub use metrics::{CoreMetrics, Phase};
 pub use scenario::{NodeReport, RunReport, ScenarioBuilder, Sweep};
 pub use workload::{CoreApi, ReadMechanism, Workload};

@@ -46,7 +46,7 @@ use sabre_sim::Time;
 use sabre_sonuma::r2p2::R2p2Stats;
 
 use crate::cluster::Cluster;
-use crate::config::{ClusterConfig, NodeRole, Topology};
+use crate::config::{ClusterConfig, NodeRole, PlacementPolicy, Topology};
 use crate::metrics::CoreMetrics;
 use crate::workload::Workload;
 
@@ -135,11 +135,69 @@ impl ScenarioBuilder {
     }
 
     /// Declares an explicit per-node role [`Topology`]; the node count and
-    /// fabric follow it.
+    /// fabric follow it (the fabric resets to the default shape for that
+    /// size — call [`ScenarioBuilder::fat_tree`] *after* this to keep a
+    /// leaf/spine fabric).
     pub fn topology(mut self, topology: Topology) -> Self {
         let n = topology.len();
         self.cfg.resize_to(n);
         self.cfg.topology = topology;
+        self
+    }
+
+    /// Sets the reader→shard [`PlacementPolicy`] on the current role
+    /// topology (call after [`ScenarioBuilder::nodes`] /
+    /// [`ScenarioBuilder::topology`], which reset it to
+    /// [`PlacementPolicy::RoundRobin`]). The policy is consulted through
+    /// [`ClusterConfig::store_for_reader`] when experiments assign readers
+    /// to shards.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.cfg.topology = self.cfg.topology.clone().with_placement(placement);
+        self
+    }
+
+    /// Rewires the rack fabric as a two-level leaf/spine fat tree
+    /// ([`sabre_fabric::RackTopology::FatTree`]): `radix` nodes per leaf,
+    /// uplinks oversubscribed `oversubscription`:1. Call after
+    /// [`ScenarioBuilder::nodes`] / [`ScenarioBuilder::topology`], which
+    /// reset the fabric to the default crossbar/mesh shape.
+    ///
+    /// ```
+    /// use sabre_rack::workloads::SyncReader;
+    /// use sabre_rack::{PlacementPolicy, ReadMechanism, ScenarioBuilder, Topology};
+    /// use sabre_sim::Time;
+    ///
+    /// // A skewed 1:3 rack (stores 0 and 4, three readers each) on a 4:1
+    /// // oversubscribed fat tree, readers pinned to their nearest shard.
+    /// let builder = ScenarioBuilder::new()
+    ///     .topology(Topology::skewed(2, 3).with_placement(PlacementPolicy::NearestShard))
+    ///     .fat_tree(4, 4)
+    ///     .shards(8);
+    /// let cfg = builder.config().clone();
+    /// let readers = cfg.topology.reader_nodes();
+    /// let report = builder
+    ///     .raw_region_sized(0, 256, 8)
+    ///     .raw_region_sized(4, 256, 8)
+    ///     .readers_grid(
+    ///         readers.iter().map(|&n| (n, 0)).collect::<Vec<_>>(),
+    ///         move |node, _core, targets| {
+    ///             // NearestShard keeps every reader on its own leaf.
+    ///             let i = cfg.topology.reader_nodes().iter().position(|&r| r == node).unwrap();
+    ///             let store = cfg.store_for_reader(i);
+    ///             let slice = if store == 0 { &targets[..8] } else { &targets[8..] };
+    ///             Box::new(SyncReader::endless(store as u8, slice.to_vec(), 256, ReadMechanism::Sabre))
+    ///         },
+    ///     )
+    ///     .run_for(Time::from_us(10));
+    /// let nodes = report.node_reports();
+    /// assert!(nodes[1].metrics.ops > 0, "leaf-0 readers progress");
+    /// assert_eq!(nodes[1].mean_hops, 1.0, "no reader ever crosses the spine");
+    /// ```
+    pub fn fat_tree(mut self, radix: u8, oversubscription: u8) -> Self {
+        self.cfg.fabric.topology = sabre_fabric::RackTopology::FatTree {
+            radix,
+            oversubscription,
+        };
         self
     }
 
@@ -407,13 +465,22 @@ impl RunReport {
     /// view N-node experiments report from.
     pub fn node_reports(&self) -> Vec<NodeReport> {
         (0..self.cluster.config().nodes)
-            .map(|node| NodeReport {
-                node,
-                role: self.cluster.config().topology.role(node),
-                metrics: self.node(node),
-                r2p2: self.r2p2_totals(node),
-                engine: self.engine_totals(node),
-                gbps: self.gbps(node),
+            .map(|node| {
+                let fabric = self.cluster.fabric();
+                let packets = fabric.node_packets_sent(node);
+                NodeReport {
+                    node,
+                    role: self.cluster.config().topology.role(node),
+                    metrics: self.node(node),
+                    r2p2: self.r2p2_totals(node),
+                    engine: self.engine_totals(node),
+                    gbps: self.gbps(node),
+                    mean_hops: if packets == 0 {
+                        0.0
+                    } else {
+                        fabric.node_hops_sent(node) as f64 / packets as f64
+                    },
+                }
             })
             .collect()
     }
@@ -441,6 +508,11 @@ pub struct NodeReport {
     pub engine: EngineStats,
     /// The node's goodput over the measurement window, in GB/s.
     pub gbps: f64,
+    /// Mean routed hops per packet *sent* by this node (fat-tree uplink
+    /// queueing penalties included; 0.0 if the node sent nothing) — the
+    /// placement-quality metric: a well-placed reader keeps it at the
+    /// fabric's minimum.
+    pub mean_hops: f64,
 }
 
 /// A grid of independent sweep points, executed in parallel across OS
@@ -668,6 +740,7 @@ mod tests {
             .map(|node| (node, 0))
             .collect();
         let topo_for_factory = topo.clone();
+        let rack = builder.config().fabric.topology;
         let report = builder
             .readers_grid(placements, move |node, _core, targets| {
                 // Targets are concatenated store-node order: 32 per shard.
@@ -677,7 +750,7 @@ mod tests {
                     .iter()
                     .position(|&r| r == node)
                     .expect("placement is a reader node");
-                let store = topo_for_factory.store_for_reader(reader_index);
+                let store = topo_for_factory.store_for_reader(reader_index, rack);
                 let slice = if store == 2 {
                     &targets[..32]
                 } else {

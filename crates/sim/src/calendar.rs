@@ -1,4 +1,4 @@
-//! A calendar (bucketed) event queue for windowed event loops.
+//! An adaptive calendar (bucketed) event queue for windowed event loops.
 //!
 //! [`CalendarQueue`] implements the exact ordering contract of
 //! [`EventQueue`](crate::EventQueue) — ascending timestamp, FIFO among
@@ -13,6 +13,20 @@
 //! sleeps, think time) fall back to a binary heap and migrate into
 //! buckets as the calendar rolls forward, so a handful of distant events
 //! cannot force a huge bucket array.
+//!
+//! **Adaptivity.** Bucketing only pays off when windows are dense; a
+//! mostly-idle queue (one or two in-flight events, the ping-pong pattern)
+//! would pay a calendar roll per event — measured at ~4× the heap's cost
+//! on the synthetic one-event churn benchmark. The queue therefore tracks
+//! its occupancy and switches representation with hysteresis: below
+//! [`HEAP_OCCUPANCY_MAX`] pending events it *is* a plain binary heap (all
+//! events live in the overflow heap); climbing past the threshold it
+//! spreads the backlog into buckets, and draining back below
+//! [`BUCKET_OCCUPANCY_MIN`] it folds the remnant into the heap again.
+//! Both representations order by the same `(timestamp, schedule order)`
+//! key, so the popped sequence — and therefore every simulation result —
+//! is bit-identical whatever the mode history (pinned by the
+//! `calendar_props` equivalence proptests).
 //!
 //! # Example
 //!
@@ -36,6 +50,25 @@ use crate::time::Time;
 /// fabric lookahead as the bucket width this spans ~2.2 us of dense
 /// near-future work; anything later waits in the fallback heap.
 const LIVE_BUCKETS: usize = 64;
+
+/// Occupancy above which the queue leaves plain-heap mode and spreads its
+/// backlog into buckets (dense windows amortize the roll's batch sort).
+pub const HEAP_OCCUPANCY_MAX: usize = 32;
+
+/// Occupancy below which a bucketed queue folds back into a plain heap
+/// (each roll would touch only a handful of events). Kept well under
+/// [`HEAP_OCCUPANCY_MAX`] so the representations cannot thrash.
+pub const BUCKET_OCCUPANCY_MIN: usize = 8;
+
+/// Which representation currently holds the pending events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Everything lives in the overflow heap (cheap at low occupancy).
+    Heap,
+    /// Events are spread over the current batch, the bucket ring and the
+    /// far-future overflow heap (cheap at high occupancy).
+    Bucketed,
+}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -61,13 +94,16 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic timestamped event queue bucketed by time window.
+/// A deterministic timestamped event queue bucketed by time window, with
+/// an adaptive plain-heap mode for low occupancy (see the
+/// [module docs](self)).
 ///
 /// Semantically identical to [`EventQueue`](crate::EventQueue): events
 /// come back in ascending `(timestamp, schedule order)`. The difference
 /// is purely mechanical — the next `width` of virtual time is drained as
-/// one pre-sorted batch — so the two are interchangeable wherever the
-/// engine's determinism contract is pinned.
+/// one pre-sorted batch when the queue is busy, or popped straight off a
+/// binary heap when it is mostly idle — so the two are interchangeable
+/// wherever the engine's determinism contract is pinned.
 ///
 /// Like `EventQueue`, scheduling "into the past" (earlier than the last
 /// popped event) is the caller's bug; the engine layer asserts event
@@ -88,8 +124,10 @@ pub struct CalendarQueue<E> {
     /// Bit `i` set iff `buckets[i]` is non-empty — rolling to the next
     /// populated span is a `trailing_zeros`, not a scan.
     occupied: u64,
-    /// Events beyond the bucketed horizon, in heap order.
+    /// Events beyond the bucketed horizon, in heap order — and, in
+    /// [`Mode::Heap`], *every* pending event.
     overflow: BinaryHeap<Reverse<Entry<E>>>,
+    mode: Mode,
     seq: u64,
     len: usize,
 }
@@ -110,6 +148,7 @@ impl<E> CalendarQueue<E> {
             buckets: (0..LIVE_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: 0,
             overflow: BinaryHeap::new(),
+            mode: Mode::Heap,
             seq: 0,
             len: 0,
         }
@@ -122,17 +161,40 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Schedules `event` for delivery at time `at`.
+    ///
+    /// In heap mode (the mostly-idle common case) this is one heap push
+    /// touching no calendar state, exactly like
+    /// [`EventQueue::schedule`](crate::EventQueue::schedule).
+    #[inline]
     pub fn schedule(&mut self, at: Time, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.len += 1;
         let e = Entry { at, seq, event };
-        let ps = at.as_ps();
+        match self.mode {
+            // In heap mode `len` is not maintained (the heap knows); the
+            // fast path touches as little state as a plain EventQueue.
+            Mode::Heap => {
+                self.overflow.push(Reverse(e));
+                if self.overflow.len() > HEAP_OCCUPANCY_MAX {
+                    self.enter_bucketed();
+                }
+            }
+            Mode::Bucketed => {
+                self.len += 1;
+                self.schedule_bucketed(e);
+            }
+        }
+    }
+
+    /// Bucketed-mode placement: current batch, bucket ring or far-future
+    /// heap.
+    fn schedule_bucketed(&mut self, e: Entry<E>) {
+        let ps = e.at.as_ps();
         if ps < self.cur_start.saturating_add(self.width) {
             // Into the window being drained (or the past): merge-insert.
             // The new seq is the largest, so everything at `<= at` stays
             // in front — FIFO at equal timestamps is preserved.
-            let i = self.current.partition_point(|x| x.at <= at);
+            let i = self.current.partition_point(|x| x.at <= e.at);
             self.current.insert(i, e);
         } else if ps < self.horizon() {
             let idx = ((ps - self.cur_start) / self.width - 1) as usize;
@@ -141,6 +203,62 @@ impl<E> CalendarQueue<E> {
         } else {
             self.overflow.push(Reverse(e));
         }
+    }
+
+    /// Leaves plain-heap mode: realigns the calendar to the backlog's
+    /// earliest event and spreads every pending event over the current
+    /// batch, the bucket ring and the (far-future) overflow heap. Entries
+    /// keep their original sequence numbers, so the popped order is
+    /// untouched.
+    #[cold]
+    #[inline(never)]
+    fn enter_bucketed(&mut self) {
+        debug_assert!(self.mode == Mode::Heap);
+        debug_assert!(self.current.is_empty() && self.occupied == 0);
+        self.mode = Mode::Bucketed;
+        let mut entries: Vec<Entry<E>> = std::mem::take(&mut self.overflow)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        self.len = entries.len(); // bucketed mode maintains the count
+        let Some(min_ps) = entries.iter().map(|e| e.at.as_ps()).min() else {
+            return;
+        };
+        self.cur_start = min_ps / self.width * self.width;
+        entries.sort_unstable();
+        let window_end = self.cur_start.saturating_add(self.width);
+        let horizon = self.horizon();
+        for e in entries {
+            let ps = e.at.as_ps();
+            if ps < window_end {
+                self.current.push_back(e); // sorted order preserved
+            } else if ps < horizon {
+                let idx = ((ps - self.cur_start) / self.width - 1) as usize;
+                self.buckets[idx].push(e);
+                self.occupied |= 1 << idx;
+            } else {
+                self.overflow.push(Reverse(e));
+            }
+        }
+    }
+
+    /// Folds a drained-down calendar back into plain-heap mode: the few
+    /// remaining batch/bucket entries join the overflow heap, which then
+    /// holds everything. Entries keep their sequence numbers.
+    #[cold]
+    #[inline(never)]
+    fn enter_heap(&mut self) {
+        debug_assert!(self.mode == Mode::Bucketed);
+        self.mode = Mode::Heap;
+        for e in self.current.drain(..) {
+            self.overflow.push(Reverse(e));
+        }
+        for bucket in &mut self.buckets {
+            for e in bucket.drain(..) {
+                self.overflow.push(Reverse(e));
+            }
+        }
+        self.occupied = 0;
     }
 
     /// Rolls the calendar forward to the next non-empty span and sorts it
@@ -209,7 +327,23 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
+    ///
+    /// Like [`CalendarQueue::schedule`], the heap-mode fast path is one
+    /// heap pop touching no calendar state.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        match self.mode {
+            Mode::Heap => {
+                let Reverse(e) = self.overflow.pop()?;
+                Some((e.at, e.event))
+            }
+            Mode::Bucketed => self.pop_bucketed(),
+        }
+    }
+
+    /// Bucketed-mode pop: roll to the next span if the batch is drained,
+    /// pop the front, fold back to heap mode below the low-water mark.
+    fn pop_bucketed(&mut self) -> Option<(Time, E)> {
         if self.len == 0 {
             return None;
         }
@@ -218,6 +352,9 @@ impl<E> CalendarQueue<E> {
         }
         let e = self.current.pop_front().expect("rolled to an event");
         self.len -= 1;
+        if self.len < BUCKET_OCCUPANCY_MIN {
+            self.enter_heap();
+        }
         Some((e.at, e.event))
     }
 
@@ -226,23 +363,31 @@ impl<E> CalendarQueue<E> {
     /// Takes `&mut self` (unlike [`EventQueue`](crate::EventQueue)):
     /// peeking may roll the calendar forward to the next non-empty span.
     pub fn peek_time(&mut self) -> Option<Time> {
-        if self.len == 0 {
-            return None;
+        match self.mode {
+            Mode::Heap => self.overflow.peek().map(|Reverse(e)| e.at),
+            Mode::Bucketed => {
+                if self.len == 0 {
+                    return None;
+                }
+                if self.current.is_empty() {
+                    self.roll();
+                }
+                self.current.front().map(|e| e.at)
+            }
         }
-        if self.current.is_empty() {
-            self.roll();
-        }
-        self.current.front().map(|e| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.len
+        match self.mode {
+            Mode::Heap => self.overflow.len(),
+            Mode::Bucketed => self.len,
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (monotone counter).
@@ -321,6 +466,59 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_us(3)));
         assert_eq!(q.pop(), Some((Time::from_us(3), 1)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn adaptive_modes_preserve_global_order() {
+        // Drive the queue through heap -> bucketed -> heap -> bucketed
+        // transitions; the popped sequence must be the plain (time, seq)
+        // order throughout.
+        let mut q = q();
+        let mut expected: Vec<(Time, u32)> = Vec::new();
+        let mut id = 0u32;
+        let mut push = |q: &mut CalendarQueue<u32>, expected: &mut Vec<(Time, u32)>, t: u64| {
+            q.schedule(Time::from_ns(t), id);
+            expected.push((Time::from_ns(t), id));
+            id += 1;
+        };
+        // Burst far past the heap threshold (forces bucketing), with
+        // timestamp collisions to stress FIFO across the migration.
+        for i in 0..(3 * HEAP_OCCUPANCY_MAX as u64) {
+            push(&mut q, &mut expected, (i * 13) % 240);
+        }
+        // Drain below the bucket minimum (forces the fold back to heap).
+        expected.sort_by_key(|&(t, _)| t); // stable: FIFO within a timestamp
+        let mut popped = Vec::new();
+        while q.len() > 2 {
+            popped.push(q.pop().unwrap());
+        }
+        // Trickle in heap mode, then burst again.
+        for i in 0..(2 * HEAP_OCCUPANCY_MAX as u64) {
+            push(&mut q, &mut expected, 240 + (i * 7) % 100);
+        }
+        expected.sort_by_key(|&(t, _)| t);
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, expected);
+        assert_eq!(q.scheduled_total(), id as u64);
+    }
+
+    #[test]
+    fn low_occupancy_ping_pong_stays_consistent() {
+        // The mostly-idle pattern the adaptive heap mode exists for: one
+        // event in flight at a time, never reaching the bucket threshold.
+        let mut q = q();
+        q.schedule(Time::ZERO, 0);
+        let mut now = Time::ZERO;
+        for i in 1..1000u32 {
+            let (t, e) = q.pop().expect("seeded");
+            assert!(t >= now, "time went backwards");
+            assert_eq!(e, i - 1);
+            now = t;
+            q.schedule(now + Time::from_ns((i as u64 * 13) % 97), i);
+        }
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! This workspace builds in environments without network access to a crates
 //! registry, so the subset of the proptest 1.x API its property tests use is
 //! provided here: the [`proptest!`] macro, `prop_assert*` macros,
-//! [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`],
+//! [`prop_oneof!`](crate::prop_oneof) macro, [`strategy::Just`], [`arbitrary::any`],
 //! [`collection::vec`], range/tuple strategies, `prop_map`, and a
 //! deterministic [`test_runner::TestRng`].
 //!
@@ -225,7 +225,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
 
-    /// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (built by the `prop_oneof!` macro).
     pub struct Union<V> {
         options: Vec<Box<dyn Strategy<Value = V>>>,
     }
@@ -314,7 +314,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

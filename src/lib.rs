@@ -80,6 +80,7 @@ pub use sabre_sw as sw;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sabre_core::{CcMode, LightSabres, LightSabresConfig, SpecMode};
+    pub use sabre_fabric::RackTopology;
     pub use sabre_farm::{
         FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore, RpcWriteServer, RpcWriter,
         ScenarioStoreExt, StoreLayout,
@@ -90,8 +91,8 @@ pub mod prelude {
         WriterLayout,
     };
     pub use sabre_rack::{
-        Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase, ReadMechanism, RunReport,
-        ScenarioBuilder, Sweep, Topology, Workload,
+        Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase, PlacementPolicy,
+        ReadMechanism, RunReport, ScenarioBuilder, Sweep, Topology, Workload,
     };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};

@@ -247,3 +247,68 @@ fn fig_scale_goodput_grows_and_atomicity_stays_cheap() {
         assert!(get(8, mech).latency_ns > get(6, mech).latency_ns);
     }
 }
+
+#[test]
+fn fig_placement_nearest_beats_round_robin_where_geometry_matters() {
+    use ex::fig_placement::{FabricKind, Placement, SPLITS};
+    let points = ex::fig_placement::data(Q);
+    let get = |f: FabricKind, p: Placement, s: (usize, usize)| {
+        *points
+            .iter()
+            .find(|x| x.fabric == f && x.placement == p && x.split == s)
+            .expect("swept point")
+    };
+    for &fabric in &FabricKind::ALL {
+        let mut rr_hops = 0.0;
+        let mut near_hops = 0.0;
+        for &split in &SPLITS {
+            let rr = get(fabric, Placement::RoundRobin, split);
+            let near = get(fabric, Placement::Nearest, split);
+            // NearestShard never routes a reader's packets farther than
+            // round-robin does (the placement_props invariant, observed
+            // end to end), and never costs goodput.
+            assert!(
+                near.reader_hops <= rr.reader_hops + 1e-9,
+                "{fabric:?} {split:?}: nearest {:.3} hops vs rr {:.3}",
+                near.reader_hops,
+                rr.reader_hops
+            );
+            assert!(
+                near.total_gbps >= rr.total_gbps * 0.999,
+                "{fabric:?} {split:?}: nearest {:.2} GB/s vs rr {:.2}",
+                near.total_gbps,
+                rr.total_gbps
+            );
+            // With a single shard the policies have nothing to choose.
+            if split.0 == 1 {
+                assert_eq!(near.reader_hops, rr.reader_hops);
+                assert_eq!(near.latency_ns, rr.latency_ns);
+            }
+            rr_hops += rr.reader_hops;
+            near_hops += near.reader_hops;
+        }
+        // The acceptance bar: on the geometry-sensitive fabrics — the
+        // multi-hop 8-node mesh and the 4:1 oversubscribed fat tree —
+        // nearest-shard placement achieves a strictly lower mean hop
+        // count than round-robin.
+        if matches!(fabric, FabricKind::Mesh | FabricKind::FatTree4) {
+            assert!(
+                near_hops < rr_hops,
+                "{fabric:?}: nearest ({near_hops:.3}) must beat round-robin ({rr_hops:.3})"
+            );
+        }
+    }
+    // Oversubscription hurts round-robin's cross-leaf traffic: the 4:1
+    // fat tree's mixed-leaf split is slower than the 2:1 tree's, while
+    // leaf-local nearest placement is immune to the uplink entirely.
+    let mixed = (2usize, 3usize);
+    assert!(
+        get(FabricKind::FatTree4, Placement::RoundRobin, mixed).latency_ns
+            > get(FabricKind::FatTree2, Placement::RoundRobin, mixed).latency_ns
+    );
+    assert_eq!(
+        get(FabricKind::FatTree4, Placement::Nearest, mixed).reader_hops,
+        1.0,
+        "nearest keeps every reader on its shard's leaf"
+    );
+}

@@ -338,6 +338,42 @@ fn eight_node_fig_scale_point_is_thread_invariant() {
 }
 
 #[test]
+fn fig_placement_point_is_shard_and_thread_invariant() {
+    // The shipped fig_placement construction (not a copy of it) on its
+    // geometry-heaviest point — the 4:1 fat tree with a 1:3 skew under
+    // round-robin placement, where uplink queueing is busiest — replayed
+    // at every shards × threads setting.
+    use sabre_bench::experiments::fig_placement::{measure_threaded, FabricKind, Placement};
+    let fingerprint = |p: sabre_bench::experiments::fig_placement::Point| {
+        (p.latency_ns, p.total_gbps, p.reader_hops)
+    };
+    for (fabric, placement) in [
+        (FabricKind::FatTree4, Placement::RoundRobin),
+        (FabricKind::Mesh, Placement::Nearest),
+    ] {
+        let serial = fingerprint(measure_threaded(fabric, placement, (2, 3), 3, 1, Some(1)));
+        assert!(serial.1 > 0.0, "{fabric:?}/{placement:?}: no goodput");
+        for shards in [2usize, 8] {
+            for threads in [1usize, 2, 8] {
+                let threaded = fingerprint(measure_threaded(
+                    fabric,
+                    placement,
+                    (2, 3),
+                    3,
+                    shards,
+                    Some(threads),
+                ));
+                assert_eq!(
+                    serial, threaded,
+                    "{fabric:?}/{placement:?}: {shards} shards on {threads} threads \
+                     diverged from the serial run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn eight_node_table1_workload_reports_per_node_metrics() {
     // The Table-1 workload (1 KB clean-store SABRes), distributed over the
     // 8-node rack through the Scenario API, with the shipped fig_scale
