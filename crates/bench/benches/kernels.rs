@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use sabre_core::{LightSabres, LightSabresConfig, SabreId, StreamBuffer};
 use sabre_mem::{Addr, BlockAddr, Llc, NodeMemory, BLOCK_BYTES};
-use sabre_sim::{CalendarQueue, EventQueue, Time};
+use sabre_sim::{CalendarQueue, EventQueue, LatencyHistogram, Time};
 use sabre_sw::layout::PerClLayout;
 use sabre_sw::{crc64_ecma, crc64_ecma_scalar, VersionWord};
 
@@ -173,6 +173,33 @@ fn bench_sim_primitives(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    // The latency-histogram hot path: one record per successful op in
+    // every workload, and one full 592-bucket merge per core at
+    // aggregation time (the fig_tail percentile plumbing).
+    g.bench_function("latency_hist_record_4k", |b| {
+        b.iter_batched(
+            LatencyHistogram::new,
+            |mut h| {
+                for i in 0..4096u64 {
+                    h.record(100 + i * 37 % 100_000);
+                }
+                black_box(h.p99())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("latency_hist_merge", |b| {
+        let mut a = LatencyHistogram::new();
+        let mut other = LatencyHistogram::new();
+        for i in 0..4096u64 {
+            a.record(100 + i * 37 % 100_000);
+            other.record(50 + i * 91 % 1_000_000);
+        }
+        b.iter(|| {
+            a.merge(black_box(&other));
+            black_box(a.count())
+        })
     });
     g.bench_function("node_memory_block_rw", |b| {
         let mut mem = NodeMemory::new(1 << 20);

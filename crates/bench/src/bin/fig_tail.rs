@@ -1,0 +1,6 @@
+//! Regenerates fig_tail (offered load × tail latency on the 8-node rack).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_tail::run(RunOpts::from_args()));
+}

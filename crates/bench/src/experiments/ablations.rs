@@ -14,8 +14,8 @@
 
 use sabre_core::CcMode;
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
-use sabre_rack::workloads::{AsyncReader, SyncReader, Writer, WriterLayout};
-use sabre_rack::{ReadMechanism, ScenarioBuilder};
+use sabre_rack::workloads::{Writer, WriterLayout};
+use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
 use crate::table::{fmt_gbps, fmt_ns};
@@ -29,14 +29,14 @@ pub fn depth_sweep(opts: RunOpts) -> Vec<(u32, f64)> {
         let report = ScenarioBuilder::new()
             .configure(|cfg| cfg.lightsabres.depth = depth)
             .raw_region(1, 8192)
-            .reader(0, 0, |targets| {
-                Box::new(SyncReader::endless(
-                    1,
-                    targets.to_vec(),
-                    8192,
-                    ReadMechanism::Sabre,
-                ))
-            })
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(8192)
+                    .mechanism(ReadMechanism::Sabre),
+            )
             .run_for(Time::from_us(15 * iters));
         (depth, report.mean_latency_ns(0, 0).expect("ops completed"))
     })
@@ -53,15 +53,15 @@ pub fn concurrency_sweep(opts: RunOpts) -> Vec<(usize, f64)> {
             .raw_region(1, 128);
         let cores = 0..scenario.config().cores_per_node;
         let report = scenario
-            .readers(0, cores, |_, targets| {
-                Box::new(AsyncReader::new(
-                    1,
-                    targets.to_vec(),
-                    128,
-                    ReadMechanism::Sabre,
-                    8,
-                ))
-            })
+            .readers_spec(
+                0,
+                cores,
+                spec()
+                    .store(1)
+                    .payload(128)
+                    .mechanism(ReadMechanism::Sabre)
+                    .window(8),
+            )
             .run_for(duration);
         (buffers, report.gbps(0))
     })
@@ -79,12 +79,15 @@ pub fn cc_mode_sweep(opts: RunOpts) -> Vec<(u32, f64, f64)> {
                 .store(1, StoreLayout::Clean, size, Some(512));
             let wire = StoreLayout::Clean.object_bytes(size as usize) as u32;
             let report = scenario
-                .reader(0, 0, move |objects| {
-                    Box::new(
-                        SyncReader::endless(1, objects.to_vec(), size, ReadMechanism::Sabre)
-                            .with_wire(wire),
-                    )
-                })
+                .reader_spec(
+                    0,
+                    0,
+                    spec()
+                        .store(1)
+                        .payload(size)
+                        .mechanism(ReadMechanism::Sabre)
+                        .wire(wire),
+                )
                 .run_for(Time::from_us(15 * iters));
             out[i] = report.mean_latency_ns(0, 0).expect("ops");
         }
@@ -106,14 +109,17 @@ pub fn retry_policy_sweep(opts: RunOpts) -> Vec<(String, f64, f64)> {
         let (scenario, store) =
             ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 8192, Some(100));
         let cores = 0..scenario.config().cores_per_node;
-        let mut scenario = scenario.readers(0, cores, move |_, objects| {
-            Box::new(
-                SyncReader::endless(1, objects.to_vec(), 8192, ReadMechanism::Sabre)
-                    .with_consume()
-                    .with_backoff(backoff)
-                    .with_wire(StoreLayout::Clean.object_bytes(8192) as u32),
-            )
-        });
+        let mut scenario = scenario.readers_spec(
+            0,
+            cores,
+            spec()
+                .store(1)
+                .payload(8192)
+                .mechanism(ReadMechanism::Sabre)
+                .consume()
+                .backoff(backoff)
+                .wire(StoreLayout::Clean.object_bytes(8192) as u32),
+        );
         let entries = store.object_entries();
         for w in 0..16 {
             let owned: Vec<_> = entries.iter().copied().skip(w).step_by(16).collect();

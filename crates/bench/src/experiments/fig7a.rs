@@ -9,7 +9,6 @@
 //! transfers — until transfer time dominates at large sizes.
 
 use sabre_core::SpecMode;
-use sabre_rack::workloads::SyncReader;
 use sabre_rack::{ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
@@ -43,9 +42,11 @@ pub fn measure(size: u32, mech: ReadMechanism, spec: SpecMode, iters: u64) -> f6
     let report = ScenarioBuilder::new()
         .configure(|cfg| cfg.lightsabres.spec_mode = spec)
         .raw_region(1, size)
-        .reader(0, 0, move |targets| {
-            Box::new(SyncReader::endless(1, targets.to_vec(), size, mech))
-        })
+        .reader_spec(
+            0,
+            0,
+            sabre_rack::spec().store(1).payload(size).mechanism(mech),
+        )
         // Enough simulated time for `iters` back-to-back ops at <10 us each.
         .run_for(Time::from_us(10 * iters));
     let m = report.core(0, 0);

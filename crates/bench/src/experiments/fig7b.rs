@@ -6,8 +6,7 @@
 //! the R2P2s' aggregate issue bandwidth (4 × 20 GBps) as the transfer size
 //! grows.
 
-use sabre_rack::workloads::AsyncReader;
-use sabre_rack::{ReadMechanism, ScenarioBuilder};
+use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
 use super::TRANSFER_SIZES;
@@ -29,9 +28,11 @@ fn measure(size: u32, mech: ReadMechanism, duration: Time) -> f64 {
     let scenario = ScenarioBuilder::new().raw_region(1, size);
     let threads = 0..scenario.config().cores_per_node;
     scenario
-        .readers(0, threads, move |_, targets| {
-            Box::new(AsyncReader::new(1, targets.to_vec(), size, mech, 4))
-        })
+        .readers_spec(
+            0,
+            threads,
+            spec().store(1).payload(size).mechanism(mech).window(4),
+        )
         .run_for(duration)
         .gbps(0)
 }

@@ -11,8 +11,8 @@
 //! failure notification does not.
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
-use sabre_rack::workloads::{SyncReader, Writer, WriterLayout};
-use sabre_rack::{ReadMechanism, ScenarioBuilder};
+use sabre_rack::workloads::{Writer, WriterLayout};
+use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
 use crate::table::fmt_gbps;
@@ -52,13 +52,16 @@ fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f
     };
     let readers = scenario.config().cores_per_node;
     let wire = layout.object_bytes(size as usize) as u32;
-    let mut scenario = scenario.readers(0, 0..readers, move |_, objects| {
-        Box::new(
-            SyncReader::endless(1, objects.to_vec(), size, mech)
-                .with_consume()
-                .with_wire(wire),
-        )
-    });
+    let mut scenario = scenario.readers_spec(
+        0,
+        0..readers,
+        spec()
+            .store(1)
+            .payload(size)
+            .mechanism(mech)
+            .consume()
+            .wire(wire),
+    );
     if writers > 0 {
         let wl = match layout {
             StoreLayout::Clean => WriterLayout::Clean,

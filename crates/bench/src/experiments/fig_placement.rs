@@ -23,8 +23,7 @@
 //! has nothing left to choose.
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
-use sabre_rack::workloads::SyncReader;
-use sabre_rack::{PlacementPolicy, ReadMechanism, ScenarioBuilder, Topology};
+use sabre_rack::{spec, PlacementPolicy, ReadMechanism, ScenarioBuilder, Topology};
 use sabre_sim::Time;
 
 use crate::table::{fmt_gbps, fmt_ns};
@@ -174,7 +173,7 @@ pub fn measure_threaded(
         .map(|(i, &node)| (node, i))
         .collect();
     let report = builder
-        .readers_grid(placements, move |node, _core, _targets| {
+        .readers_grid_spec(placements, move |node, _core, _targets| {
             // The policy picks a store *node*; shard handles are in
             // store-node order.
             let store = cfg.store_for_reader(reader_index[&node]);
@@ -183,15 +182,12 @@ pub fn measure_threaded(
                 .position(|&s| s == store)
                 .expect("placement returns a store node");
             let shard = &store_shards[shard_pos];
-            Box::new(
-                SyncReader::endless(
-                    shard.node(),
-                    shard.object_addrs(),
-                    PAYLOAD,
-                    ReadMechanism::Sabre,
-                )
-                .with_wire(shard.slot_bytes() as u32),
-            )
+            spec()
+                .store(shard.node() as usize)
+                .payload(PAYLOAD)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(shard.slot_bytes() as u32)
+                .objects(shard.object_addrs())
         })
         .run_for(Time::from_us(20 * iters));
 

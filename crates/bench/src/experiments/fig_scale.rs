@@ -15,8 +15,7 @@
 //! 2.
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
-use sabre_rack::workloads::SyncReader;
-use sabre_rack::{ReadMechanism, ScenarioBuilder};
+use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
 use crate::table::{fmt_gbps, fmt_ns};
@@ -145,17 +144,14 @@ pub fn measure_threaded(
         .map(|(i, &node)| (node, i))
         .collect();
     let report = builder
-        .readers_grid(placements, move |node, _core, _targets| {
+        .readers_grid_spec(placements, move |node, _core, _targets| {
             let shard = &store_shards[reader_index[&node] % store_shards.len()];
-            Box::new(
-                SyncReader::endless(
-                    shard.node(),
-                    shard.object_addrs(),
-                    PAYLOAD,
-                    mech.read_mechanism(),
-                )
-                .with_wire(shard.slot_bytes() as u32),
-            )
+            spec()
+                .store(shard.node() as usize)
+                .payload(PAYLOAD)
+                .mechanism(mech.read_mechanism())
+                .wire(shard.slot_bytes() as u32)
+                .objects(shard.object_addrs())
         })
         .run_for(Time::from_us(20 * iters));
 

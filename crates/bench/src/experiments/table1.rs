@@ -14,8 +14,7 @@
 
 use sabre_core::CcMode;
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
-use sabre_rack::workloads::{SourceLockingReader, SyncReader};
-use sabre_rack::{ReadMechanism, ScenarioBuilder};
+use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 
 use crate::table::fmt_ns;
@@ -93,31 +92,20 @@ pub fn measure(quadrant: Quadrant, iters: u64) -> f64 {
         .store(1, layout, PAYLOAD, Some(512));
     let report = scenario
         .reader(0, 0, move |objects| -> Box<dyn sabre_rack::Workload> {
-            let objects = objects.to_vec();
+            let base = spec().store(1).payload(PAYLOAD);
             match quadrant {
-                Quadrant::SourceLocking => {
-                    Box::new(SourceLockingReader::endless(1, objects, PAYLOAD))
+                Quadrant::SourceLocking => base.source_locking(),
+                Quadrant::SourceOccPerCl => {
+                    base.mechanism(ReadMechanism::PerClValidate { payload: PAYLOAD })
                 }
-                Quadrant::SourceOccPerCl => Box::new(SyncReader::endless(
-                    1,
-                    objects,
-                    PAYLOAD,
-                    ReadMechanism::PerClValidate { payload: PAYLOAD },
-                )),
-                Quadrant::SourceOccChecksum => Box::new(SyncReader::endless(
-                    1,
-                    objects,
-                    PAYLOAD,
-                    ReadMechanism::ChecksumValidate { payload: PAYLOAD },
-                )),
-                Quadrant::DestLocking | Quadrant::DestOcc => {
-                    let wire = StoreLayout::Clean.object_bytes(PAYLOAD as usize) as u32;
-                    Box::new(
-                        SyncReader::endless(1, objects, PAYLOAD, ReadMechanism::Sabre)
-                            .with_wire(wire),
-                    )
+                Quadrant::SourceOccChecksum => {
+                    base.mechanism(ReadMechanism::ChecksumValidate { payload: PAYLOAD })
                 }
+                Quadrant::DestLocking | Quadrant::DestOcc => base
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(StoreLayout::Clean.object_bytes(PAYLOAD as usize) as u32),
             }
+            .build(objects)
         })
         .run_for(Time::from_us(20 * iters));
     let m = report.core(0, 0);

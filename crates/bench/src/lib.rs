@@ -50,6 +50,7 @@ pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
     ("fig_placement", |o| {
         vec![experiments::fig_placement::run(o)]
     }),
+    ("fig_tail", |o| vec![experiments::fig_tail::run(o)]),
 ];
 
 /// Renders every table and figure into one string (the golden-diffable

@@ -7,19 +7,21 @@
 //! ```
 //! use sabre_farm::scenario::ScenarioStoreExt;
 //! use sabre_farm::StoreLayout;
-//! use sabre_rack::{workloads::SyncReader, ReadMechanism, ScenarioBuilder};
+//! use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
 //! use sabre_sim::Time;
 //!
 //! let (scenario, store) =
 //!     ScenarioBuilder::new().store(1, StoreLayout::Clean, 1024, Some(64));
-//! let wire = store.slot_bytes() as u32;
 //! let report = scenario
-//!     .reader(0, 0, move |targets| {
-//!         Box::new(
-//!             SyncReader::endless(1, targets.to_vec(), 1024, ReadMechanism::Sabre)
-//!                 .with_wire(wire),
-//!         )
-//!     })
+//!     .reader_spec(
+//!         0,
+//!         0,
+//!         spec()
+//!             .store(1)
+//!             .payload(1024)
+//!             .mechanism(ReadMechanism::Sabre)
+//!             .wire(store.slot_bytes() as u32),
+//!     )
 //!     .run_for(Time::from_us(30));
 //! assert!(report.core(0, 0).ops > 0);
 //! ```
@@ -160,8 +162,7 @@ impl ScenarioStoreExt for ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sabre_rack::workloads::SyncReader;
-    use sabre_rack::ReadMechanism;
+    use sabre_rack::{spec, ReadMechanism};
     use sabre_sim::Time;
 
     #[test]
@@ -183,10 +184,12 @@ mod tests {
         let report = scenario
             .reader(0, 0, move |targets| {
                 assert_eq!(targets.len(), 16, "store targets reach the factory");
-                Box::new(
-                    SyncReader::endless(1, targets.to_vec(), 112, ReadMechanism::Sabre)
-                        .with_wire(wire),
-                )
+                spec()
+                    .store(1)
+                    .payload(112)
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(wire)
+                    .build(targets)
             })
             .run_for(Time::from_us(30));
         assert!(report.core(0, 0).ops > 0);
@@ -206,19 +209,16 @@ mod tests {
         }
         // Every shard is initialized and remotely readable.
         let shard = shards[1].clone();
-        let wire = shard.slot_bytes() as u32;
         let report = scenario
             .reader(0, 0, move |targets| {
                 assert_eq!(targets.len(), 3 * 8, "all shards' objects reach factories");
-                Box::new(
-                    SyncReader::endless(
-                        shard.node(),
-                        shard.object_addrs(),
-                        128,
-                        ReadMechanism::Sabre,
-                    )
-                    .with_wire(wire),
-                )
+                spec()
+                    .store(shard.node() as usize)
+                    .payload(128)
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(shard.slot_bytes() as u32)
+                    .objects(shard.object_addrs())
+                    .build(targets)
             })
             .run_for(Time::from_us(30));
         assert!(report.core(0, 0).ops > 0);
@@ -236,14 +236,16 @@ mod tests {
             } else {
                 b.store(1, StoreLayout::Clean, 1024, Some(64))
             };
-            let wire = store.slot_bytes() as u32;
             scenario
-                .reader(0, 0, move |t| {
-                    Box::new(
-                        SyncReader::endless(1, t.to_vec(), 1024, ReadMechanism::Sabre)
-                            .with_wire(wire),
-                    )
-                })
+                .reader_spec(
+                    0,
+                    0,
+                    spec()
+                        .store(1)
+                        .payload(1024)
+                        .mechanism(ReadMechanism::Sabre)
+                        .wire(store.slot_bytes() as u32),
+                )
                 .run_for(Time::from_us(50))
                 .mean_latency_ns(0, 0)
                 .expect("ops completed")

@@ -4,10 +4,8 @@
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_mem::Addr;
-use sabre_rack::workloads::{
-    pattern_payload, verify_payload, AsyncReader, SyncReader, Writer, WriterLayout,
-};
-use sabre_rack::{Phase, ReadMechanism, ScenarioBuilder};
+use sabre_rack::workloads::{pattern_payload, verify_payload, Writer, WriterLayout};
+use sabre_rack::{spec, Phase, ReadMechanism, ScenarioBuilder};
 use sabre_sim::Time;
 use sabre_sw::layout::{CleanLayout, PerClLayout};
 
@@ -102,15 +100,15 @@ fn percl_writer_keeps_store_validatable() {
 fn async_reader_keeps_window_full() {
     let report = small_scenario()
         .raw_region_sized(1, 128, 1)
-        .reader(0, 0, |targets| {
-            Box::new(AsyncReader::new(
-                1,
-                targets.to_vec(),
-                128,
-                ReadMechanism::Sabre,
-                4,
-            ))
-        })
+        .reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(128)
+                .mechanism(ReadMechanism::Sabre)
+                .window(4),
+        )
         .run_for(Time::from_us(50));
     let m = report.core(0, 0);
     // 4-deep pipelining must clearly beat what a synchronous reader could
@@ -127,16 +125,16 @@ fn async_reader_keeps_window_full() {
 fn sync_reader_phases_are_recorded() {
     let (scenario, _store) = small_scenario().store(1, StoreLayout::PerCl, 480, Some(8));
     let report = scenario
-        .reader(0, 0, |objects| {
-            Box::new(SyncReader::iterations(
-                1,
-                objects.to_vec(),
-                480,
-                ReadMechanism::PerClValidate { payload: 480 },
-                Addr::new(4 * 1024 * 1024),
-                20,
-            ))
-        })
+        .reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(480)
+                .mechanism(ReadMechanism::PerClValidate { payload: 480 })
+                .local_buf(Addr::new(4 * 1024 * 1024))
+                .iterations(20),
+        )
         .run_for(Time::from_us(100));
     let m = report.core(0, 0);
     assert_eq!(m.ops, 20);
@@ -149,21 +147,18 @@ fn sync_reader_phases_are_recorded() {
 #[test]
 fn checksum_reader_works_end_to_end() {
     let (scenario, store) = small_scenario().store(1, StoreLayout::Checksum, 480, Some(8));
-    let wire = store.slot_bytes() as u32;
     let report = scenario
-        .reader(0, 0, move |objects| {
-            Box::new(
-                SyncReader::iterations(
-                    1,
-                    objects.to_vec(),
-                    480,
-                    ReadMechanism::ChecksumValidate { payload: 480 },
-                    Addr::new(4 * 1024 * 1024),
-                    5,
-                )
-                .with_wire(wire),
-            )
-        })
+        .reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(480)
+                .mechanism(ReadMechanism::ChecksumValidate { payload: 480 })
+                .local_buf(Addr::new(4 * 1024 * 1024))
+                .iterations(5)
+                .wire(store.slot_bytes() as u32),
+        )
         .run_for(Time::from_us(200));
     let m = report.core(0, 0);
     assert_eq!(m.ops, 5);
@@ -177,14 +172,12 @@ fn node_metrics_aggregate_cores() {
     let report = small_scenario()
         .raw_region_sized(1, 64, 1)
         .readers(0, 0..3, |core, targets| {
-            Box::new(SyncReader::iterations(
-                1,
-                targets.to_vec(),
-                64,
-                ReadMechanism::Raw,
-                Addr::new((4 + core as u64) * 1024 * 1024),
-                10,
-            ))
+            spec()
+                .store(1)
+                .payload(64)
+                .local_buf(Addr::new((4 + core as u64) * 1024 * 1024))
+                .iterations(10)
+                .build(targets)
         })
         .run_for(Time::from_us(50));
     let agg = report.node(0);

@@ -1238,8 +1238,8 @@ impl CoreApi<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::spec;
     use crate::workload::ReadMechanism;
-    use crate::workloads::SyncReader;
     use sabre_sw::layout::CleanLayout;
 
     fn small_cfg() -> ClusterConfig {
@@ -1259,14 +1259,12 @@ mod tests {
         cluster.add_workload(
             0,
             0,
-            Box::new(SyncReader::iterations(
-                1,
-                vec![Addr::new(0)],
-                128,
-                ReadMechanism::Raw,
-                buf,
-                1,
-            )),
+            spec()
+                .store(1)
+                .payload(128)
+                .local_buf(buf)
+                .iterations(1)
+                .build(&[Addr::new(0)]),
         );
         cluster.run_for(Time::from_us(5));
         assert_eq!(cluster.metrics(0, 0).ops, 1);
@@ -1289,14 +1287,13 @@ mod tests {
         cluster.add_workload(
             0,
             0,
-            Box::new(SyncReader::iterations(
-                1,
-                vec![Addr::new(0)],
-                112,
-                ReadMechanism::Sabre,
-                buf,
-                1,
-            )),
+            spec()
+                .store(1)
+                .payload(112)
+                .mechanism(ReadMechanism::Sabre)
+                .local_buf(buf)
+                .iterations(1)
+                .build(&[Addr::new(0)]),
         );
         cluster.run_for(Time::from_us(5));
         let m = cluster.metrics(0, 0);
@@ -1325,12 +1322,11 @@ mod tests {
         cluster.add_workload(
             0,
             0,
-            Box::new(SyncReader::endless(
-                1,
-                vec![Addr::new(0)],
-                112,
-                ReadMechanism::Sabre,
-            )),
+            spec()
+                .store(1)
+                .payload(112)
+                .mechanism(ReadMechanism::Sabre)
+                .build(&[Addr::new(0)]),
         );
         cluster.run_for(Time::from_us(20));
         assert!(cluster.metrics(0, 0).ops > 0);
@@ -1373,12 +1369,11 @@ mod tests {
             cluster.add_workload(
                 reader,
                 0,
-                Box::new(SyncReader::endless(
-                    target,
-                    vec![Addr::new(0)],
-                    512,
-                    ReadMechanism::Sabre,
-                )),
+                spec()
+                    .store(target as usize)
+                    .payload(512)
+                    .mechanism(ReadMechanism::Sabre)
+                    .build(&[Addr::new(0)]),
             );
         }
         cluster.run_for(Time::from_us(30));
@@ -1442,14 +1437,13 @@ mod tests {
         cluster.add_workload(
             0,
             0,
-            Box::new(SyncReader::iterations(
-                1,
-                vec![Addr::new(0)],
-                256,
-                ReadMechanism::Sabre,
-                Addr::new(1 << 20),
-                5,
-            )),
+            spec()
+                .store(1)
+                .payload(256)
+                .mechanism(ReadMechanism::Sabre)
+                .local_buf(Addr::new(1 << 20))
+                .iterations(5)
+                .build(&[Addr::new(0)]),
         );
         cluster.run_for(Time::from_us(50));
         assert_eq!(cluster.metrics(0, 0).ops, 5);
@@ -1472,14 +1466,13 @@ mod tests {
             cluster.add_workload(
                 0,
                 0,
-                Box::new(SyncReader::iterations(
-                    1,
-                    vec![Addr::new(0)],
-                    1024,
-                    mech,
-                    Addr::new(1 << 20),
-                    20,
-                )),
+                spec()
+                    .store(1)
+                    .payload(1024)
+                    .mechanism(mech)
+                    .local_buf(Addr::new(1 << 20))
+                    .iterations(20)
+                    .build(&[Addr::new(0)]),
             );
             cluster.run_for(Time::from_us(50));
             assert_eq!(cluster.metrics(0, 0).ops, 20);

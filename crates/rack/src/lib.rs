@@ -20,19 +20,25 @@
 //! low-level [`Cluster`] example below shows what a scenario materializes
 //! into.
 //!
+//! Workloads themselves are *declared* with the [`mod@spec`] module's
+//! [`WorkloadSpec`] builder — mechanism, arrival process, key popularity,
+//! read/write mix — and placed on cores by the scenario layer.
+//!
 //! # Example
 //!
 //! ```
-//! use sabre_rack::{Cluster, ClusterConfig, workloads::SyncReader, ReadMechanism};
+//! use sabre_rack::{Cluster, ClusterConfig, spec, ReadMechanism};
 //! use sabre_mem::Addr;
 //!
 //! let mut cluster = Cluster::new(ClusterConfig::default());
 //! // One object of 128 B at address 0 of node 1, version word at offset 0.
 //! cluster.node_memory_mut(1).write_u64(Addr::new(0), 0);
-//! cluster.add_workload(
-//!     0, 0,
-//!     Box::new(SyncReader::endless(1, vec![Addr::new(0)], 128, ReadMechanism::Sabre)),
-//! );
+//! let reader = spec()
+//!     .store(1)
+//!     .payload(128)
+//!     .mechanism(ReadMechanism::Sabre)
+//!     .build(&[Addr::new(0)]);
+//! cluster.add_workload(0, 0, reader);
 //! cluster.run_for(sabre_sim::Time::from_us(10));
 //! assert!(cluster.metrics(0, 0).ops > 0);
 //! ```
@@ -41,6 +47,7 @@ pub mod cluster;
 pub mod config;
 pub mod metrics;
 pub mod scenario;
+pub mod spec;
 pub mod workload;
 pub mod workloads;
 
@@ -48,4 +55,5 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, NodeRole, PlacementFn, PlacementPolicy, Topology};
 pub use metrics::{CoreMetrics, Phase};
 pub use scenario::{NodeReport, RunReport, ScenarioBuilder, Sweep};
+pub use spec::{spec, Arrivals, Popularity, WorkloadSpec};
 pub use workload::{CoreApi, ReadMechanism, Workload};

@@ -1,6 +1,6 @@
 //! Per-core measurement plumbing for the experiment harness.
 
-use sabre_sim::{Histogram, MeanTracker, Time};
+use sabre_sim::{Histogram, LatencyHistogram, MeanTracker, Time};
 
 /// Latency components the paper's breakdowns distinguish (Figs. 1 and 9a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,8 +38,20 @@ pub struct CoreMetrics {
     pub bytes: u64,
     /// Operations retried after an atomicity failure.
     pub retries: u64,
-    /// End-to-end latency of successful operations (ns).
+    /// End-to-end latency of successful operations (ns) — the legacy
+    /// float histogram the mean-latency tables read. Kept per-core (not
+    /// merged), unlike [`CoreMetrics::latency_hist`].
     pub latency: Histogram,
+    /// Deterministic integer latency histogram of the same successes —
+    /// u64 ns bucket counts with an exact merge, so tail percentiles are
+    /// bit-identical at every shard × thread setting. See
+    /// [`LatencyHistogram`] for the resolution guarantees.
+    pub latency_hist: LatencyHistogram,
+    /// Open-loop arrivals that fired while the previous operation was
+    /// still in flight (queue buildup; closed-loop workloads keep it 0).
+    pub queued_arrivals: u64,
+    /// Deepest arrival backlog observed (operations waiting to start).
+    pub peak_backlog: u64,
     phases: [MeanTracker; 4],
 }
 
@@ -49,11 +61,34 @@ impl CoreMetrics {
         self.ops += 1;
         self.bytes += bytes;
         self.latency.record_time(latency);
+        self.latency_hist.record_time(latency);
     }
 
     /// Records one atomicity-failure retry.
     pub fn record_retry(&mut self) {
         self.retries += 1;
+    }
+
+    /// Records an arrival that had to queue behind `depth` already-waiting
+    /// operations (open-loop workloads).
+    pub fn record_queued(&mut self, depth: u64) {
+        self.queued_arrivals += 1;
+        self.peak_backlog = self.peak_backlog.max(depth);
+    }
+
+    /// Median end-to-end latency in whole ns (deterministic bucket edge).
+    pub fn p50_ns(&self) -> Option<u64> {
+        self.latency_hist.p50()
+    }
+
+    /// 99th-percentile end-to-end latency in whole ns.
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.latency_hist.p99()
+    }
+
+    /// 99.9th-percentile end-to-end latency in whole ns.
+    pub fn p999_ns(&self) -> Option<u64> {
+        self.latency_hist.p999()
     }
 
     /// Records the duration of one latency component.
@@ -92,13 +127,21 @@ impl CoreMetrics {
     }
 
     /// Merges another core's metrics into this one (aggregation).
+    ///
+    /// Counters add, [`CoreMetrics::latency_hist`] merges exactly
+    /// (element-wise bucket addition), `queued_arrivals` adds and
+    /// `peak_backlog` takes the max — all associative/commutative, so the
+    /// aggregate is independent of merge grouping. The legacy float
+    /// `latency` histogram and the phase means are kept per-core only
+    /// (their float sums would not merge exactly); aggregate callers use
+    /// `latency_hist` for distributions.
     pub fn merge(&mut self, other: &CoreMetrics) {
         self.ops += other.ops;
         self.bytes += other.bytes;
         self.retries += other.retries;
-        // Histograms and phase means are kept per-core; aggregate callers
-        // use ops/bytes. Merging distributions is not needed by any
-        // experiment, so we do not pretend to support it.
+        self.latency_hist.merge(&other.latency_hist);
+        self.queued_arrivals += other.queued_arrivals;
+        self.peak_backlog = self.peak_backlog.max(other.peak_backlog);
     }
 }
 
@@ -163,5 +206,33 @@ mod tests {
         assert_eq!(a.ops, 2);
         assert_eq!(a.bytes, 30);
         assert_eq!(a.retries, 1);
+    }
+
+    #[test]
+    fn merge_combines_latency_histograms_and_queueing() {
+        let mut a = CoreMetrics::default();
+        let mut b = CoreMetrics::default();
+        a.record_success(10, Time::from_ns(100));
+        a.record_queued(3);
+        b.record_success(10, Time::from_ns(900));
+        b.record_queued(1);
+        b.record_queued(7);
+        a.merge(&b);
+        assert_eq!(a.latency_hist.count(), 2);
+        assert_eq!(a.p999_ns(), Some(900));
+        assert_eq!(a.queued_arrivals, 3);
+        assert_eq!(a.peak_backlog, 7);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_integer_histogram() {
+        let mut m = CoreMetrics::default();
+        assert_eq!(m.p50_ns(), None);
+        for ns in [100u64, 200, 300, 400] {
+            m.record_success(1, Time::from_ns(ns));
+        }
+        let p50 = m.p50_ns().unwrap();
+        assert!((200..=224).contains(&p50), "{p50}");
+        assert_eq!(m.p99_ns(), Some(400));
     }
 }

@@ -18,16 +18,18 @@
 //!
 //! ```
 //! use sabre_rack::scenario::{ScenarioBuilder, Sweep};
-//! use sabre_rack::{workloads::SyncReader, ReadMechanism};
+//! use sabre_rack::{spec, ReadMechanism};
 //! use sabre_sim::Time;
 //!
 //! let latencies: Vec<f64> = Sweep::over([64u32, 256, 1024])
 //!     .map(|&size| {
 //!         ScenarioBuilder::new()
 //!             .raw_region(1, size)
-//!             .reader(0, 0, move |targets| {
-//!                 Box::new(SyncReader::endless(1, targets.to_vec(), size, ReadMechanism::Sabre))
-//!             })
+//!             .reader_spec(
+//!                 0,
+//!                 0,
+//!                 spec().store(1).payload(size).mechanism(ReadMechanism::Sabre),
+//!             )
 //!             .run_for(Time::from_us(30))
 //!             .mean_latency_ns(0, 0)
 //!             .expect("ops completed")
@@ -48,6 +50,7 @@ use sabre_sonuma::r2p2::R2p2Stats;
 use crate::cluster::Cluster;
 use crate::config::{ClusterConfig, NodeRole, PlacementPolicy, Topology};
 use crate::metrics::CoreMetrics;
+use crate::spec::WorkloadSpec;
 use crate::workload::Workload;
 
 type PrepareFn = Box<dyn FnOnce(&mut Cluster) -> Vec<Addr>>;
@@ -163,8 +166,7 @@ impl ScenarioBuilder {
     /// reset the fabric to the default crossbar/mesh shape.
     ///
     /// ```
-    /// use sabre_rack::workloads::SyncReader;
-    /// use sabre_rack::{PlacementPolicy, ReadMechanism, ScenarioBuilder, Topology};
+    /// use sabre_rack::{spec, PlacementPolicy, ReadMechanism, ScenarioBuilder, Topology};
     /// use sabre_sim::Time;
     ///
     /// // A skewed 1:3 rack (stores 0 and 4, three readers each) on a 4:1
@@ -178,14 +180,18 @@ impl ScenarioBuilder {
     /// let report = builder
     ///     .raw_region_sized(0, 256, 8)
     ///     .raw_region_sized(4, 256, 8)
-    ///     .readers_grid(
+    ///     .readers_grid_spec(
     ///         readers.iter().map(|&n| (n, 0)).collect::<Vec<_>>(),
     ///         move |node, _core, targets| {
     ///             // NearestShard keeps every reader on its own leaf.
     ///             let i = cfg.topology.reader_nodes().iter().position(|&r| r == node).unwrap();
     ///             let store = cfg.store_for_reader(i);
     ///             let slice = if store == 0 { &targets[..8] } else { &targets[8..] };
-    ///             Box::new(SyncReader::endless(store as u8, slice.to_vec(), 256, ReadMechanism::Sabre))
+    ///             spec()
+    ///                 .store(store)
+    ///                 .payload(256)
+    ///                 .mechanism(ReadMechanism::Sabre)
+    ///                 .objects(slice.to_vec())
     ///         },
     ///     )
     ///     .run_for(Time::from_us(10));
@@ -319,6 +325,40 @@ impl ScenarioBuilder {
             ));
         }
         self
+    }
+
+    /// Places the workload declared by a [`WorkloadSpec`] on `core` of
+    /// `node` — the declarative counterpart of [`ScenarioBuilder::reader`].
+    /// The spec's default object set is the concatenated targets of every
+    /// declared region.
+    pub fn reader_spec(self, node: usize, core: usize, spec: WorkloadSpec) -> Self {
+        self.reader(node, core, move |targets| spec.build(targets))
+    }
+
+    /// Places one copy of the spec's workload on every core in `cores` —
+    /// the declarative counterpart of [`ScenarioBuilder::readers`].
+    pub fn readers_spec(
+        self,
+        node: usize,
+        cores: impl IntoIterator<Item = usize>,
+        spec: WorkloadSpec,
+    ) -> Self {
+        self.readers(node, cores, move |_core, targets| spec.build(targets))
+    }
+
+    /// Places one spec-declared workload per `(node, core)` placement,
+    /// with `factory` producing the spec from `(node, core, targets)` —
+    /// the declarative counterpart of [`ScenarioBuilder::readers_grid`].
+    /// `targets` lets per-node factories slice the region targets into
+    /// explicit [`WorkloadSpec::objects`].
+    pub fn readers_grid_spec(
+        self,
+        placements: impl IntoIterator<Item = (usize, usize)>,
+        factory: impl Fn(usize, usize, &[Addr]) -> WorkloadSpec + 'static,
+    ) -> Self {
+        self.readers_grid(placements, move |node, core, targets| {
+            factory(node, core, targets).build(targets)
+        })
     }
 
     /// Declares a warmup window: the simulation runs for `t` before the
@@ -490,6 +530,35 @@ impl RunReport {
     pub fn total_gbps(&self) -> f64 {
         (0..self.cluster.config().nodes).map(|n| self.gbps(n)).sum()
     }
+
+    /// Core metrics merged over every core of every node — the rack-wide
+    /// aggregate. The deterministic latency histogram merges exactly
+    /// (element-wise bucket addition), so anything derived from it is
+    /// bit-identical at every shard × thread setting.
+    pub fn rack_metrics(&self) -> CoreMetrics {
+        let mut total = CoreMetrics::default();
+        for node in 0..self.cluster.config().nodes {
+            total.merge(&self.node(node));
+        }
+        total
+    }
+
+    /// `(p50, p99, p99.9)` end-to-end latency in whole ns over every
+    /// successful operation of the run, from the merged deterministic
+    /// histogram ([`LatencyHistogram`](sabre_sim::LatencyHistogram) —
+    /// exact below 16 ns, within 1/16 relative error above). `None` when
+    /// nothing completed.
+    pub fn latency_percentiles(&self) -> Option<(u64, u64, u64)> {
+        let m = self.rack_metrics();
+        Some((m.p50_ns()?, m.p99_ns()?, m.p999_ns()?))
+    }
+
+    /// Human-readable dump of the rack-wide merged latency histogram
+    /// (one `lower..=upper count` line per occupied bucket) — the
+    /// debugging view behind the percentile accessors.
+    pub fn latency_dump(&self) -> String {
+        self.rack_metrics().latency_hist.dump()
+    }
 }
 
 /// One node's slice of a [`RunReport`]: everything the rack-scale
@@ -513,6 +582,15 @@ pub struct NodeReport {
     /// placement-quality metric: a well-placed reader keeps it at the
     /// fabric's minimum.
     pub mean_hops: f64,
+}
+
+impl NodeReport {
+    /// 99th-percentile end-to-end latency across the node's cores in
+    /// whole ns, from the merged deterministic histogram (`None` if the
+    /// node completed nothing — e.g. store nodes).
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.metrics.p99_ns()
+    }
 }
 
 /// A grid of independent sweep points, executed in parallel across OS
@@ -619,8 +697,7 @@ impl<P: Send + Sync> Sweep<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::ReadMechanism;
-    use crate::workloads::SyncReader;
+    use crate::spec::spec;
 
     fn small() -> ClusterConfig {
         ClusterConfig {
@@ -632,14 +709,7 @@ mod tests {
     fn one_reader(size: u32) -> ScenarioBuilder {
         ScenarioBuilder::with_config(small())
             .raw_region_sized(1, size, 64)
-            .reader(0, 0, move |targets| {
-                Box::new(SyncReader::endless(
-                    1,
-                    targets.to_vec(),
-                    size,
-                    ReadMechanism::Raw,
-                ))
-            })
+            .reader_spec(0, 0, spec().store(1).payload(size))
     }
 
     #[test]
@@ -649,14 +719,12 @@ mod tests {
             .reader(0, 0, |targets| {
                 assert_eq!(targets.len(), 8);
                 assert_eq!(targets[1], Addr::new(128));
-                Box::new(SyncReader::iterations(
-                    1,
-                    targets.to_vec(),
-                    128,
-                    ReadMechanism::Raw,
-                    Addr::new(1 << 20),
-                    3,
-                ))
+                spec()
+                    .store(1)
+                    .payload(128)
+                    .local_buf(Addr::new(1 << 20))
+                    .iterations(3)
+                    .build(targets)
             })
             .run_for(Time::from_us(20));
         assert_eq!(report.core(0, 0).ops, 3);
@@ -674,11 +742,7 @@ mod tests {
             mem.write_u64(Addr::new(i * 256), 0);
             targets.push(Addr::new(i * 256));
         }
-        cluster.add_workload(
-            0,
-            0,
-            Box::new(SyncReader::endless(1, targets, 256, ReadMechanism::Raw)),
-        );
+        cluster.add_workload(0, 0, spec().store(1).payload(256).build(&targets));
         cluster.run_for(Time::from_us(40));
 
         assert_eq!(scenario.core(0, 0).ops, cluster.metrics(0, 0).ops);
@@ -742,7 +806,7 @@ mod tests {
         let topo_for_factory = topo.clone();
         let rack = builder.config().fabric.topology;
         let report = builder
-            .readers_grid(placements, move |node, _core, targets| {
+            .readers_grid_spec(placements, move |node, _core, targets| {
                 // Targets are concatenated store-node order: 32 per shard.
                 // store_for_reader takes the reader *index*, not the node id.
                 let reader_index = topo_for_factory
@@ -756,12 +820,7 @@ mod tests {
                 } else {
                     &targets[32..]
                 };
-                Box::new(SyncReader::endless(
-                    store as u8,
-                    slice.to_vec(),
-                    256,
-                    ReadMechanism::Raw,
-                ))
+                spec().store(store).payload(256).objects(slice.to_vec())
             })
             .run_for(Time::from_us(30));
         let nodes = report.node_reports();

@@ -1,0 +1,601 @@
+//! Declarative reader-workload specification: one builder for every
+//! reader shape the experiments use.
+//!
+//! Historically each reader flavor had its own constructor sprawl —
+//! `SyncReader::endless(..).with_consume().with_backoff(..).with_wire(..)`,
+//! `AsyncReader::new` with a long positional argument list,
+//! `SourceLockingReader::{endless, iterations}` — and production-traffic
+//! knobs (arrival processes, key popularity, read/write mixes) had no home
+//! at all. [`WorkloadSpec`] replaces all of that with one declarative
+//! builder:
+//!
+//! ```
+//! use sabre_rack::{spec, Arrivals, Popularity, ReadMechanism, ScenarioBuilder};
+//! use sabre_sim::Time;
+//!
+//! // One core on node 0 reading 256 B objects from node 1 under open-loop
+//! // Poisson arrivals (2 ops/us offered) with Zipf-skewed key popularity.
+//! let report = ScenarioBuilder::new()
+//!     .raw_region_sized(1, 256, 64)
+//!     .reader_spec(
+//!         0,
+//!         0,
+//!         spec()
+//!             .store(1)
+//!             .payload(256)
+//!             .mechanism(ReadMechanism::Sabre)
+//!             .arrivals(Arrivals::Poisson { ops_per_us: 2.0 })
+//!             .popularity(Popularity::Zipf { exponent: 0.99 }),
+//!     )
+//!     .run_for(Time::from_us(50));
+//! let m = report.core(0, 0);
+//! assert!(m.ops > 50, "~2 ops/us over 50 us");
+//! assert!(m.p99_ns().unwrap() >= m.p50_ns().unwrap());
+//! ```
+//!
+//! [`WorkloadSpec::build`] dispatches to the cheapest workload that
+//! implements the requested shape: the classic closed-loop uniform
+//! specs build the *same* [`SyncReader`] / [`AsyncReader`] /
+//! [`SourceLockingReader`] programs the deprecated constructors built
+//! (bit-identical replay, pinned by the scenario-equivalence tests), while
+//! open-loop arrivals, skewed popularity or mixed read/write traffic build
+//! the generalized [`TrafficReader`].
+//!
+//! Scenario placement consumes specs through
+//! [`ScenarioBuilder::reader_spec`](crate::ScenarioBuilder::reader_spec),
+//! [`ScenarioBuilder::readers_spec`](crate::ScenarioBuilder::readers_spec)
+//! and
+//! [`ScenarioBuilder::readers_grid_spec`](crate::ScenarioBuilder::readers_grid_spec).
+
+use sabre_mem::Addr;
+use sabre_sim::Time;
+
+use crate::workload::{ReadMechanism, Workload};
+use crate::workloads::{AsyncReader, SourceLockingReader, SyncReader, TrafficReader};
+
+/// The arrival process driving a reader: when operations *want* to start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Closed loop (the paper's microbenchmarks): the next operation
+    /// starts the instant the previous one completes.
+    Closed,
+    /// Open-loop Poisson arrivals at the given offered load. Arrivals
+    /// that fire while an operation is still in flight queue up
+    /// (`CoreMetrics::queued_arrivals`), and latency is measured from the
+    /// *arrival*, so queueing delay is part of the reported tail.
+    Poisson {
+        /// Offered load per reader, in operations per microsecond.
+        ops_per_us: f64,
+    },
+    /// On/off bursty arrivals: Poisson at `ops_per_us` during each `on`
+    /// window, silence during each `off` window, starting with an `on`
+    /// window at workload start.
+    OnOff {
+        /// Length of each active window.
+        on: Time,
+        /// Length of each silent window.
+        off: Time,
+        /// Offered load during active windows, in ops per microsecond.
+        ops_per_us: f64,
+    },
+}
+
+/// How a reader picks the next object: the key-popularity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Uniform over the object set (the paper's microbenchmarks).
+    Uniform,
+    /// Zipf-distributed ranks over the object set: object 0 is the
+    /// hottest, drawn with probability proportional to `1/rank^exponent`.
+    Zipf {
+        /// The skew exponent (θ); classic YCSB skew is 0.99.
+        exponent: f64,
+    },
+    /// Hot-set skew: a `fraction` of accesses go uniformly to the first
+    /// `hot` objects, the rest uniformly to the remainder.
+    HotSet {
+        /// Size of the hot set (clamped to the object count).
+        hot: u64,
+        /// Fraction of accesses hitting the hot set, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Starts an empty [`WorkloadSpec`] (the conventional spelling:
+/// `spec().store(1).payload(1024).mechanism(..)`).
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec::new()
+}
+
+/// A declarative description of one reader workload; see the
+/// [module docs](self) for the full story and a runnable example.
+///
+/// Only [`WorkloadSpec::store`] and [`WorkloadSpec::payload`] are
+/// mandatory; everything else defaults to the paper's closed-loop uniform
+/// read-only shape.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    store: Option<usize>,
+    payload: Option<u32>,
+    mech: ReadMechanism,
+    objects: Option<Vec<Addr>>,
+    arrivals: Arrivals,
+    popularity: Popularity,
+    read_fraction: f64,
+    consume: bool,
+    backoff: Time,
+    wire: Option<u32>,
+    local_buf: Option<Addr>,
+    iterations: Option<u64>,
+    window: Option<usize>,
+    source_locking: bool,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadSpec {
+    /// An empty spec: closed-loop, uniform popularity, read-only,
+    /// raw-read mechanism, endless.
+    pub fn new() -> Self {
+        WorkloadSpec {
+            store: None,
+            payload: None,
+            mech: ReadMechanism::Raw,
+            objects: None,
+            arrivals: Arrivals::Closed,
+            popularity: Popularity::Uniform,
+            read_fraction: 1.0,
+            consume: false,
+            backoff: Time::ZERO,
+            wire: None,
+            local_buf: None,
+            iterations: None,
+            window: None,
+            source_locking: false,
+        }
+    }
+
+    /// The node the reader targets (mandatory).
+    pub fn store(mut self, node: usize) -> Self {
+        self.store = Some(node);
+        self
+    }
+
+    /// Clean payload bytes per object (mandatory).
+    pub fn payload(mut self, bytes: u32) -> Self {
+        self.payload = Some(bytes);
+        self
+    }
+
+    /// The atomicity mechanism (default: [`ReadMechanism::Raw`]).
+    pub fn mechanism(mut self, mech: ReadMechanism) -> Self {
+        self.mech = mech;
+        self
+    }
+
+    /// Explicit object addresses to read. Default: every target address
+    /// the scenario's declared regions produced.
+    pub fn objects(mut self, objects: Vec<Addr>) -> Self {
+        self.objects = Some(objects);
+        self
+    }
+
+    /// The arrival process (default: [`Arrivals::Closed`]).
+    pub fn arrivals(mut self, arrivals: Arrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// The key-popularity model (default: [`Popularity::Uniform`]).
+    pub fn popularity(mut self, popularity: Popularity) -> Self {
+        self.popularity = popularity;
+        self
+    }
+
+    /// Read fraction of the operation mix in `[0, 1]` (default 1.0 =
+    /// read-only). The write fraction issues one-sided remote writes of
+    /// the payload bytes back to the chosen object — meaningful for
+    /// raw/SABRe object images; the software layouts embed metadata a
+    /// remote writer does not maintain, so mixes below 1.0 are for
+    /// raw-layout traffic studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_fraction` is outside `[0, 1]`.
+    pub fn mix(mut self, read_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1], got {read_fraction}"
+        );
+        self.read_fraction = read_fraction;
+        self
+    }
+
+    /// Model the application reading the clean object after the transfer
+    /// (the Fig. 8 microbenchmark semantics).
+    pub fn consume(mut self) -> Self {
+        self.consume = true;
+        self
+    }
+
+    /// Pause before retrying a failed read (default: immediate retry).
+    pub fn backoff(mut self, backoff: Time) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Overrides the transfer size (e.g. a store's exact slot footprint;
+    /// default: the mechanism's natural wire size for the payload).
+    pub fn wire(mut self, wire: u32) -> Self {
+        self.wire = Some(wire);
+        self
+    }
+
+    /// Explicit local buffer address (default: a per-core slot in the
+    /// upper half of local memory).
+    pub fn local_buf(mut self, buf: Addr) -> Self {
+        self.local_buf = Some(buf);
+        self
+    }
+
+    /// Stop after exactly `n` successful operations (default: endless).
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Keep `window` asynchronous operations in flight at all times
+    /// (Fig. 7b peak-throughput semantics) instead of the synchronous
+    /// loop. Only [`ReadMechanism::Raw`] / [`ReadMechanism::Sabre`] with
+    /// the default closed-loop uniform read-only shape support this.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// DrTM-style source locking (Table 1, top-left): remote CAS lock,
+    /// data read, asynchronous unlock. Only the closed-loop uniform
+    /// read-only shape supports this.
+    pub fn source_locking(mut self) -> Self {
+        self.source_locking = true;
+        self
+    }
+
+    fn is_plain_closed_loop(&self) -> bool {
+        self.arrivals == Arrivals::Closed
+            && self.popularity == Popularity::Uniform
+            && self.read_fraction == 1.0
+    }
+
+    /// Materializes the spec into a workload program. `targets` is the
+    /// scenario's concatenated region-target list, used when no explicit
+    /// [`WorkloadSpec::objects`] were given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mandatory field is missing, the object set is empty,
+    /// or the requested combination is unsupported (window/source-locking
+    /// with open-loop arrivals, skewed popularity or write mixes).
+    pub fn build(&self, targets: &[Addr]) -> Box<dyn Workload> {
+        let objects = match &self.objects {
+            Some(objs) => objs.clone(),
+            None => targets.to_vec(),
+        };
+        assert!(
+            !objects.is_empty(),
+            "WorkloadSpec needs objects: declare a region or call .objects(..)"
+        );
+        let store = self
+            .store
+            .expect("WorkloadSpec needs a target node: call .store(node)");
+        assert!(store <= u8::MAX as usize, "store node out of range");
+        let dst = store as u8;
+        let payload = self
+            .payload
+            .expect("WorkloadSpec needs an object size: call .payload(bytes)");
+
+        if self.source_locking {
+            assert!(
+                self.is_plain_closed_loop(),
+                "source locking supports only the closed-loop uniform read-only shape"
+            );
+            assert!(
+                self.window.is_none() && !self.consume && self.wire.is_none(),
+                "source locking ignores window/consume/wire"
+            );
+            return Box::new(SourceLockingReader::assemble(
+                dst,
+                objects,
+                payload,
+                self.local_buf,
+                self.iterations,
+            ));
+        }
+        if let Some(window) = self.window {
+            assert!(
+                self.is_plain_closed_loop(),
+                "windowed readers support only the closed-loop uniform read-only shape"
+            );
+            assert!(
+                !self.consume && self.backoff == Time::ZERO && self.iterations.is_none(),
+                "windowed readers ignore consume/backoff/iterations"
+            );
+            return Box::new(AsyncReader::assemble(
+                dst, objects, payload, self.mech, window,
+            ));
+        }
+        if self.is_plain_closed_loop() {
+            // The classic shape: the exact program the deprecated
+            // constructors built, so spec-declared scenarios replay
+            // bit-identically to legacy ones.
+            return Box::new(SyncReader::assemble(
+                dst,
+                objects,
+                payload,
+                self.mech,
+                self.local_buf,
+                self.iterations,
+                self.consume,
+                self.backoff,
+                self.wire,
+            ));
+        }
+        Box::new(TrafficReader::from_spec(
+            dst,
+            objects,
+            payload,
+            self.mech,
+            self.arrivals,
+            self.popularity,
+            self.read_fraction,
+            self.local_buf,
+            self.iterations,
+            self.consume,
+            self.backoff,
+            self.wire,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::scenario::{RunReport, ScenarioBuilder};
+
+    fn small() -> ClusterConfig {
+        ClusterConfig {
+            memory_bytes: 4 * 1024 * 1024,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn fingerprint(r: &RunReport) -> (u64, u64, Option<f64>, Option<u64>) {
+        let m = r.core(0, 0);
+        (m.ops, m.retries, m.latency.mean(), m.p99_ns())
+    }
+
+    #[test]
+    fn spec_closed_loop_replays_legacy_sync_reader_bit_for_bit() {
+        let legacy = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader(0, 0, |targets| {
+                #[allow(deprecated)]
+                let r = crate::workloads::SyncReader::endless(
+                    1,
+                    targets.to_vec(),
+                    256,
+                    ReadMechanism::Sabre,
+                );
+                Box::new(r)
+            })
+            .run_for(Time::from_us(40));
+        let specced = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec().store(1).payload(256).mechanism(ReadMechanism::Sabre),
+            )
+            .run_for(Time::from_us(40));
+        assert!(specced.core(0, 0).ops > 0);
+        assert_eq!(fingerprint(&legacy), fingerprint(&specced));
+    }
+
+    #[test]
+    fn spec_window_replays_legacy_async_reader_bit_for_bit() {
+        let legacy = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 512, 64)
+            .reader(0, 0, |targets| {
+                #[allow(deprecated)]
+                let r = crate::workloads::AsyncReader::new(
+                    1,
+                    targets.to_vec(),
+                    512,
+                    ReadMechanism::Sabre,
+                    8,
+                );
+                Box::new(r)
+            })
+            .run_for(Time::from_us(40));
+        let specced = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 512, 64)
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(512)
+                    .mechanism(ReadMechanism::Sabre)
+                    .window(8),
+            )
+            .run_for(Time::from_us(40));
+        assert!(specced.core(0, 0).ops > 0);
+        assert_eq!(fingerprint(&legacy), fingerprint(&specced));
+    }
+
+    #[test]
+    fn spec_source_locking_replays_legacy_reader_bit_for_bit() {
+        let legacy = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 16)
+            .reader(0, 0, |targets| {
+                #[allow(deprecated)]
+                let r = crate::workloads::SourceLockingReader::endless(1, targets.to_vec(), 256);
+                Box::new(r)
+            })
+            .run_for(Time::from_us(40));
+        let specced = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 16)
+            .reader_spec(0, 0, spec().store(1).payload(256).source_locking())
+            .run_for(Time::from_us(40));
+        assert!(specced.core(0, 0).ops > 0);
+        assert_eq!(fingerprint(&legacy), fingerprint(&specced));
+    }
+
+    #[test]
+    fn poisson_open_loop_tracks_offered_load() {
+        // 1 op/us offered for 200 us with ~300 ns service: the loop is
+        // open, so completions track arrivals, not service capacity.
+        let report = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(256)
+                    .arrivals(Arrivals::Poisson { ops_per_us: 1.0 }),
+            )
+            .run_for(Time::from_us(200));
+        let m = report.core(0, 0);
+        assert!(
+            (120..=280).contains(&m.ops),
+            "~200 Poisson arrivals expected, got {}",
+            m.ops
+        );
+        // Utilization ~0.3: queueing happens but stays the exception.
+        assert!(
+            m.queued_arrivals < m.ops / 2,
+            "{} queued",
+            m.queued_arrivals
+        );
+    }
+
+    #[test]
+    fn poisson_overload_builds_queue_and_stretches_the_tail() {
+        // 20 ops/us offered against ~300 ns service is ~6x overload: the
+        // backlog grows for the whole window and arrival-anchored latency
+        // stretches far beyond the service time.
+        let report = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(256)
+                    .arrivals(Arrivals::Poisson { ops_per_us: 20.0 }),
+            )
+            .run_for(Time::from_us(50));
+        let m = report.core(0, 0);
+        assert!(m.ops > 0);
+        assert!(m.queued_arrivals > m.ops, "most arrivals should queue");
+        assert!(
+            m.peak_backlog >= 8,
+            "backlog {} too shallow",
+            m.peak_backlog
+        );
+        let (p50, p99) = (m.p50_ns().unwrap(), m.p99_ns().unwrap());
+        assert!(
+            p99 > p50,
+            "saturation must stretch the tail: {p50} vs {p99}"
+        );
+        assert!(m.p999_ns().unwrap() >= p99);
+    }
+
+    #[test]
+    fn onoff_arrivals_burst_and_go_silent() {
+        // 4 ops/us during 5 us bursts, 5 us silences: about half the
+        // offered load of always-on, and bursts outrun the ~300 ns service
+        // enough to queue.
+        let report = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec().store(1).payload(256).arrivals(Arrivals::OnOff {
+                    on: Time::from_us(5),
+                    off: Time::from_us(5),
+                    ops_per_us: 4.0,
+                }),
+            )
+            .run_for(Time::from_us(100));
+        let m = report.core(0, 0);
+        assert!(
+            (120..=280).contains(&m.ops),
+            "~200 bursty arrivals expected, got {}",
+            m.ops
+        );
+        assert!(m.queued_arrivals > 0, "bursts should queue behind service");
+    }
+
+    #[test]
+    fn skewed_and_mixed_traffic_is_deterministic() {
+        let run = || {
+            let report = ScenarioBuilder::with_config(small())
+                .raw_region_sized(1, 256, 64)
+                .reader_spec(
+                    0,
+                    0,
+                    spec()
+                        .store(1)
+                        .payload(256)
+                        .popularity(Popularity::Zipf { exponent: 0.99 })
+                        .mix(0.5),
+                )
+                .run_for(Time::from_us(50));
+            fingerprint(&report)
+        };
+        let a = run();
+        assert!(a.0 > 50, "closed-loop mixed traffic must make progress");
+        assert_eq!(a.1, 0, "raw reads and writes never retry");
+        assert_eq!(a, run(), "same seed, same history");
+    }
+
+    #[test]
+    fn hot_set_popularity_runs() {
+        let report = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec().store(1).payload(256).popularity(Popularity::HotSet {
+                    hot: 4,
+                    fraction: 0.9,
+                }),
+            )
+            .run_for(Time::from_us(20));
+        assert!(report.core(0, 0).ops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a target node")]
+    fn build_requires_a_store() {
+        let _ = spec().payload(64).build(&[Addr::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop uniform read-only")]
+    fn window_rejects_open_loop_arrivals() {
+        let _ = spec()
+            .store(1)
+            .payload(64)
+            .window(4)
+            .arrivals(Arrivals::Poisson { ops_per_us: 1.0 })
+            .build(&[Addr::new(0)]);
+    }
+}

@@ -3,8 +3,11 @@
 //! memory, or reader threads that access objects in remote memory using
 //! one-sided soNUMA operations in a tight loop").
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
 use sabre_mem::{Addr, BLOCK_BYTES};
-use sabre_sim::Time;
+use sabre_sim::{SimRng, Time, Zipf};
 use sabre_sonuma::CqEntry;
 use sabre_sw::cost::DataSource;
 use sabre_sw::layout::{CleanLayout, PerClLayout};
@@ -12,6 +15,7 @@ use sabre_sw::{ChecksumLayout, VersionWord};
 
 use crate::cluster::CoreApi;
 use crate::metrics::Phase;
+use crate::spec::{Arrivals, Popularity};
 use crate::workload::{ReadMechanism, Workload};
 
 /// Generates the recognizable payload a writer stores: `[obj_id u64 | seq
@@ -131,27 +135,58 @@ pub struct SyncReader {
 }
 
 impl SyncReader {
-    /// A reader that runs until the simulation ends. The local buffer is
-    /// placed automatically (per-core slot in the upper half of memory).
-    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32, mech: ReadMechanism) -> Self {
+    /// The one true constructor, fed by [`WorkloadSpec::build`]
+    /// (crate::spec::WorkloadSpec::build). Field-for-field what the
+    /// deprecated builder chain used to assemble, so spec-built readers
+    /// replay bit-identically to legacy ones.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        mech: ReadMechanism,
+        local_buf: Option<Addr>,
+        remaining: Option<u64>,
+        consume: bool,
+        backoff: Time,
+        wire_override: Option<u32>,
+    ) -> Self {
         SyncReader {
             dst_node,
             objects,
             payload,
             mech,
-            local_buf: None,
-            remaining: None,
-            consume: false,
-            backoff: Time::ZERO,
-            wire_override: None,
+            local_buf,
+            remaining,
+            consume,
+            backoff,
+            wire_override,
             cur_obj: 0,
             t0: Time::ZERO,
             state: ReaderState::Idle,
         }
     }
 
+    /// A reader that runs until the simulation ends. The local buffer is
+    /// placed automatically (per-core slot in the upper half of memory).
+    #[deprecated(note = "declare the reader with sabre_rack::spec() instead")]
+    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32, mech: ReadMechanism) -> Self {
+        SyncReader::assemble(
+            dst_node,
+            objects,
+            payload,
+            mech,
+            None,
+            None,
+            false,
+            Time::ZERO,
+            None,
+        )
+    }
+
     /// A reader that performs exactly `n` successful operations, with an
     /// explicit local buffer.
+    #[deprecated(note = "declare the reader with sabre_rack::spec() instead")]
     pub fn iterations(
         dst_node: u8,
         objects: Vec<Addr>,
@@ -160,25 +195,35 @@ impl SyncReader {
         local_buf: Addr,
         n: u64,
     ) -> Self {
-        let mut r = SyncReader::endless(dst_node, objects, payload, mech);
-        r.local_buf = Some(local_buf);
-        r.remaining = Some(n);
-        r
+        SyncReader::assemble(
+            dst_node,
+            objects,
+            payload,
+            mech,
+            Some(local_buf),
+            Some(n),
+            false,
+            Time::ZERO,
+            None,
+        )
     }
 
     /// Enables the post-transfer application read (Fig. 8 semantics).
+    #[deprecated(note = "use WorkloadSpec::consume instead")]
     pub fn with_consume(mut self) -> Self {
         self.consume = true;
         self
     }
 
     /// Sets a backoff pause before each retry (default: immediate retry).
+    #[deprecated(note = "use WorkloadSpec::backoff instead")]
     pub fn with_backoff(mut self, backoff: Time) -> Self {
         self.backoff = backoff;
         self
     }
 
     /// Overrides the transfer size (e.g. a store's exact slot footprint).
+    #[deprecated(note = "use WorkloadSpec::wire instead")]
     pub fn with_wire(mut self, wire: u32) -> Self {
         self.wire_override = Some(wire);
         self
@@ -325,7 +370,20 @@ impl AsyncReader {
     ///
     /// Panics if the mechanism needs CPU post-processing (use
     /// [`SyncReader`] for those) or the window is zero.
+    #[deprecated(note = "declare the reader with sabre_rack::spec().window(n) instead")]
     pub fn new(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        mech: ReadMechanism,
+        window: usize,
+    ) -> Self {
+        AsyncReader::assemble(dst_node, objects, payload, mech, window)
+    }
+
+    /// The one true constructor, fed by `WorkloadSpec::build`; same
+    /// panics as the deprecated [`AsyncReader::new`].
+    pub(crate) fn assemble(
         dst_node: u8,
         objects: Vec<Addr>,
         payload: u32,
@@ -579,14 +637,20 @@ pub struct SourceLockingReader {
 }
 
 impl SourceLockingReader {
-    /// A locking reader that runs until the simulation ends.
-    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32) -> Self {
+    /// The one true constructor, fed by `WorkloadSpec::build`.
+    pub(crate) fn assemble(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        local_buf: Option<Addr>,
+        remaining: Option<u64>,
+    ) -> Self {
         SourceLockingReader {
             dst_node,
             objects,
             payload,
-            local_buf: None,
-            remaining: None,
+            local_buf,
+            remaining,
             backoff: Time::from_ns(200),
             cur_obj: 0,
             t0: Time::ZERO,
@@ -594,11 +658,16 @@ impl SourceLockingReader {
         }
     }
 
+    /// A locking reader that runs until the simulation ends.
+    #[deprecated(note = "declare the reader with sabre_rack::spec().source_locking() instead")]
+    pub fn endless(dst_node: u8, objects: Vec<Addr>, payload: u32) -> Self {
+        SourceLockingReader::assemble(dst_node, objects, payload, None, None)
+    }
+
     /// A locking reader performing exactly `n` successful reads.
+    #[deprecated(note = "declare the reader with sabre_rack::spec().source_locking() instead")]
     pub fn iterations(dst_node: u8, objects: Vec<Addr>, payload: u32, n: u64) -> Self {
-        let mut r = SourceLockingReader::endless(dst_node, objects, payload);
-        r.remaining = Some(n);
-        r
+        SourceLockingReader::assemble(dst_node, objects, payload, None, Some(n))
     }
 
     fn wire(&self) -> u32 {
@@ -692,5 +761,424 @@ impl Workload for SourceLockingReader {
     fn on_wake(&mut self, api: &mut CoreApi<'_>) {
         assert_eq!(self.state, LockReaderState::Backoff);
         self.begin(api, false);
+    }
+}
+
+/// Stream ids for [`TrafficReader`]'s forked RNGs. Forks are
+/// consumption-insensitive, so the arrival-time stream is identical across
+/// mechanisms and object-choice patterns (and vice versa).
+const ARRIVAL_STREAM: u64 = 0x5452_4146_4152_5256; // "TRAFARRV"
+const CHOICE_STREAM: u64 = 0x5452_4146_4348_4F49; // "TRAFCHOI"
+
+/// What a pending [`TrafficReader`] wake means. The reader can have an
+/// arrival timer and a service sleep (strip/consume/backoff) outstanding
+/// at once; a local min-heap keyed by `(due, seq, kind)` disambiguates
+/// them, relying on the node event queue's FIFO-within-timestamp order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum WakeKind {
+    Arrival,
+    Service,
+}
+
+/// The generalized production-traffic reader: any [`Arrivals`] process ×
+/// any [`Popularity`] model × a read/write mix, over any
+/// [`ReadMechanism`].
+///
+/// Differences from the closed-loop [`SyncReader`]:
+///
+/// * Under open-loop arrivals, **latency is measured from the arrival**,
+///   not from the issue — queueing delay behind an in-flight operation
+///   and atomicity-retry time are both part of the reported latency, which
+///   is what makes offered-load tail-latency sweeps meaningful.
+/// * Arrivals that fire while an operation is in flight are queued
+///   ([`CoreMetrics::record_queued`](crate::CoreMetrics::record_queued));
+///   queued operations start the instant the previous one completes.
+/// * Object choice and arrival timing draw from *forked* RNG streams, so
+///   arrival times are bit-identical across mechanisms and the choice
+///   sequence is independent of the arrival process.
+///
+/// Built via `WorkloadSpec::build` (crate::spec::WorkloadSpec) when the
+/// spec asks for anything beyond the classic closed-loop uniform
+/// read-only shape.
+#[derive(Debug)]
+pub struct TrafficReader {
+    dst_node: u8,
+    objects: Vec<Addr>,
+    payload: u32,
+    mech: ReadMechanism,
+    arrivals: Arrivals,
+    popularity: Popularity,
+    read_fraction: f64,
+    local_buf: Option<Addr>,
+    remaining: Option<u64>,
+    consume: bool,
+    backoff: Time,
+    wire_override: Option<u32>,
+    // Runtime state, inert until `on_start`.
+    choice_rng: Option<SimRng>,
+    arrival_rng: Option<SimRng>,
+    zipf: Option<Zipf>,
+    start: Time,
+    /// Accumulated *active* time consumed by on/off arrivals, in ps; the
+    /// wall-clock mapping skips the off windows (integer arithmetic, so
+    /// the schedule is exact and replayable).
+    active_ps: u64,
+    /// Arrival timestamps waiting behind the in-flight operation.
+    backlog: VecDeque<Time>,
+    busy: bool,
+    cur_obj: usize,
+    cur_write: bool,
+    /// Arrival time of the in-flight operation — the latency baseline.
+    t_arrival: Time,
+    /// Issue time of the current attempt — the transfer-phase baseline.
+    t_issue: Time,
+    state: ReaderState,
+    wakes: BinaryHeap<Reverse<(Time, u64, WakeKind)>>,
+    wake_seq: u64,
+}
+
+impl TrafficReader {
+    /// Builds the reader from spec fields; see `WorkloadSpec::build`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty object set, a non-positive/non-finite arrival
+    /// rate, a zero-length on-window, or a hot-set fraction outside
+    /// `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_spec(
+        dst_node: u8,
+        objects: Vec<Addr>,
+        payload: u32,
+        mech: ReadMechanism,
+        arrivals: Arrivals,
+        popularity: Popularity,
+        read_fraction: f64,
+        local_buf: Option<Addr>,
+        remaining: Option<u64>,
+        consume: bool,
+        backoff: Time,
+        wire_override: Option<u32>,
+    ) -> Self {
+        assert!(!objects.is_empty(), "a traffic reader needs objects");
+        match arrivals {
+            Arrivals::Closed => {}
+            Arrivals::Poisson { ops_per_us } => {
+                assert!(
+                    ops_per_us.is_finite() && ops_per_us > 0.0,
+                    "Poisson rate must be positive and finite, got {ops_per_us}"
+                );
+            }
+            Arrivals::OnOff { on, ops_per_us, .. } => {
+                assert!(
+                    ops_per_us.is_finite() && ops_per_us > 0.0,
+                    "on/off rate must be positive and finite, got {ops_per_us}"
+                );
+                assert!(on > Time::ZERO, "on-window must be non-empty");
+            }
+        }
+        if let Popularity::HotSet { fraction, .. } = popularity {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "hot-set fraction must be in [0, 1], got {fraction}"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1], got {read_fraction}"
+        );
+        TrafficReader {
+            dst_node,
+            objects,
+            payload,
+            mech,
+            arrivals,
+            popularity,
+            read_fraction,
+            local_buf,
+            remaining,
+            consume,
+            backoff,
+            wire_override,
+            choice_rng: None,
+            arrival_rng: None,
+            zipf: None,
+            start: Time::ZERO,
+            active_ps: 0,
+            backlog: VecDeque::new(),
+            busy: false,
+            cur_obj: 0,
+            cur_write: false,
+            t_arrival: Time::ZERO,
+            t_issue: Time::ZERO,
+            state: ReaderState::Idle,
+            wakes: BinaryHeap::new(),
+            wake_seq: 0,
+        }
+    }
+
+    fn read_wire(&self) -> u32 {
+        self.wire_override
+            .unwrap_or_else(|| self.mech.wire_bytes(self.payload))
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        self.local_buf.unwrap_or_else(|| {
+            let half = api.config().memory_bytes as u64 / 2;
+            Addr::new(half + api.core() as u64 * 256 * 1024)
+        })
+    }
+
+    /// Sleeps for `d` and remembers what the wake will mean.
+    fn sleep_kind(&mut self, api: &mut CoreApi<'_>, d: Time, kind: WakeKind) {
+        let due = api.now() + d;
+        self.wakes.push(Reverse((due, self.wake_seq, kind)));
+        self.wake_seq += 1;
+        api.sleep(d);
+    }
+
+    /// Draws the next inter-arrival gap and schedules the arrival timer.
+    fn schedule_next_arrival(&mut self, api: &mut CoreApi<'_>) {
+        let rate = match self.arrivals {
+            Arrivals::Closed => unreachable!("closed loops have no arrival timer"),
+            Arrivals::Poisson { ops_per_us } | Arrivals::OnOff { ops_per_us, .. } => ops_per_us,
+        };
+        let mean_ns = 1000.0 / rate;
+        let u = self
+            .arrival_rng
+            .as_mut()
+            .expect("on_start forked the arrival stream")
+            .unit();
+        // Inverse-CDF exponential; u in [0, 1) keeps the log argument in
+        // (0, 1], so the gap is finite and non-negative.
+        let gap = Time::from_ns_f64(-(1.0 - u).ln() * mean_ns);
+        match self.arrivals {
+            Arrivals::Closed => unreachable!(),
+            Arrivals::Poisson { .. } => self.sleep_kind(api, gap, WakeKind::Arrival),
+            Arrivals::OnOff { on, off, .. } => {
+                // The exponential clock ticks in *active* time; map the
+                // accumulated active time onto wall time by skipping the
+                // off windows. Monotone in active_ps, so due >= now.
+                self.active_ps += gap.as_ps();
+                let on_ps = on.as_ps();
+                let off_ps = off.as_ps();
+                let wall = self.start.as_ps()
+                    + (self.active_ps / on_ps) * (on_ps + off_ps)
+                    + self.active_ps % on_ps;
+                let d = Time::from_ps(wall).saturating_sub(api.now());
+                self.sleep_kind(api, d, WakeKind::Arrival);
+            }
+        }
+    }
+
+    /// One arrival fired: start the operation or queue it behind the one
+    /// in flight, then arm the next timer.
+    fn on_arrival(&mut self, api: &mut CoreApi<'_>) {
+        if self.remaining == Some(0) {
+            return; // Quota met; let the arrival process wind down.
+        }
+        self.schedule_next_arrival(api);
+        let now = api.now();
+        if self.busy {
+            self.backlog.push_back(now);
+            let depth = self.backlog.len() as u64;
+            api.metrics().record_queued(depth);
+        } else {
+            self.start_op(api, now);
+        }
+    }
+
+    /// Picks the next object and operation type from the choice stream.
+    fn choose(&mut self, _api: &mut CoreApi<'_>) {
+        let n = self.objects.len() as u64;
+        let rng = self
+            .choice_rng
+            .as_mut()
+            .expect("on_start forked the choice stream");
+        let idx = match self.popularity {
+            Popularity::Uniform => rng.below(n),
+            Popularity::Zipf { .. } => {
+                // Rank 1 is the hottest; map it to object 0.
+                self.zipf
+                    .as_ref()
+                    .expect("on_start built the sampler")
+                    .sample(rng)
+                    - 1
+            }
+            Popularity::HotSet { hot, fraction } => {
+                let hot = hot.min(n);
+                if hot == 0 || hot == n {
+                    rng.below(n)
+                } else if rng.chance(fraction) {
+                    rng.below(hot)
+                } else {
+                    hot + rng.below(n - hot)
+                }
+            }
+        };
+        self.cur_obj = idx as usize;
+        self.cur_write = if self.read_fraction >= 1.0 {
+            false
+        } else if self.read_fraction <= 0.0 {
+            true
+        } else {
+            !rng.chance(self.read_fraction)
+        };
+    }
+
+    fn start_op(&mut self, api: &mut CoreApi<'_>, t_arrival: Time) {
+        self.busy = true;
+        self.t_arrival = t_arrival;
+        self.choose(api);
+        self.issue_op(api);
+    }
+
+    /// (Re-)issues the current operation; retries keep the same object
+    /// and direction.
+    fn issue_op(&mut self, api: &mut CoreApi<'_>) {
+        let buf = self.buf(api);
+        self.t_issue = api.now();
+        if self.cur_write {
+            // One-sided write of the payload image from the local buffer.
+            api.issue_write(self.dst_node, self.objects[self.cur_obj], buf, self.payload);
+        } else {
+            api.issue(
+                self.mech.op(),
+                self.dst_node,
+                self.objects[self.cur_obj],
+                buf,
+                self.read_wire(),
+                0,
+            );
+        }
+        self.state = ReaderState::AwaitTransfer;
+    }
+
+    fn success(&mut self, api: &mut CoreApi<'_>) {
+        let latency = api.now() - self.t_arrival;
+        api.metrics().record_success(self.payload as u64, latency);
+        if let Some(n) = &mut self.remaining {
+            *n -= 1;
+        }
+        self.busy = false;
+        self.state = ReaderState::Idle;
+        if self.remaining == Some(0) {
+            self.backlog.clear();
+            return;
+        }
+        match self.arrivals {
+            Arrivals::Closed => {
+                let now = api.now();
+                self.start_op(api, now);
+            }
+            _ => {
+                if let Some(t) = self.backlog.pop_front() {
+                    self.start_op(api, t);
+                }
+            }
+        }
+    }
+
+    fn retry(&mut self, api: &mut CoreApi<'_>) {
+        api.metrics().record_retry();
+        if self.backoff == Time::ZERO {
+            self.issue_op(api);
+        } else {
+            self.state = ReaderState::Backoff;
+            self.sleep_kind(api, self.backoff, WakeKind::Service);
+        }
+    }
+}
+
+impl Workload for TrafficReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.choice_rng = Some(api.rng().fork(CHOICE_STREAM));
+        self.arrival_rng = Some(api.rng().fork(ARRIVAL_STREAM));
+        if let Popularity::Zipf { exponent } = self.popularity {
+            self.zipf = Some(Zipf::new(self.objects.len() as u64, exponent));
+        }
+        self.start = api.now();
+        match self.arrivals {
+            Arrivals::Closed => {
+                let now = api.now();
+                self.start_op(api, now);
+            }
+            _ => self.schedule_next_arrival(api),
+        }
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        assert_eq!(self.state, ReaderState::AwaitTransfer);
+        let transfer = api.now() - self.t_issue;
+        api.metrics().record_phase(Phase::Transfer, transfer);
+        if self.cur_write {
+            if cq.success {
+                self.success(api);
+            } else {
+                self.retry(api);
+            }
+            return;
+        }
+        match self.mech {
+            ReadMechanism::Raw => self.success(api),
+            ReadMechanism::Sabre => {
+                if !cq.success {
+                    self.retry(api);
+                } else if self.consume {
+                    self.state = ReaderState::AwaitConsume;
+                    let t = api.cpu().read_time(self.payload as usize, DataSource::Llc);
+                    api.metrics().record_phase(Phase::App, t);
+                    self.sleep_kind(api, t, WakeKind::Service);
+                } else {
+                    self.success(api);
+                }
+            }
+            ReadMechanism::PerClValidate { .. } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().strip_time(self.read_wire() as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                self.sleep_kind(api, t, WakeKind::Service);
+            }
+            ReadMechanism::ChecksumValidate { payload } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().crc_time(payload as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                self.sleep_kind(api, t, WakeKind::Service);
+            }
+        }
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        let Reverse((due, _seq, kind)) = self
+            .wakes
+            .pop()
+            .expect("a wake implies a pending sleep we recorded");
+        debug_assert_eq!(due, api.now(), "wakes deliver in schedule order");
+        match kind {
+            WakeKind::Arrival => self.on_arrival(api),
+            WakeKind::Service => match self.state {
+                ReaderState::AwaitStrip => {
+                    let buf = self.buf(api);
+                    let image = api.read_local(buf, self.read_wire() as usize);
+                    let ok = match self.mech {
+                        ReadMechanism::PerClValidate { payload } => {
+                            PerClLayout::validate_and_strip(&image, payload as usize).is_ok()
+                        }
+                        ReadMechanism::ChecksumValidate { payload } => {
+                            ChecksumLayout::validate(&image, payload as usize).is_ok()
+                        }
+                        _ => unreachable!("strip state only for software mechanisms"),
+                    };
+                    if ok {
+                        self.success(api);
+                    } else {
+                        self.retry(api);
+                    }
+                }
+                ReaderState::AwaitConsume => self.success(api),
+                ReaderState::Backoff => self.issue_op(api),
+                s => panic!("unexpected service wake in state {s:?}"),
+            },
+        }
     }
 }

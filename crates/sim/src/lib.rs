@@ -38,7 +38,7 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
-pub use rng::SimRng;
+pub use rng::{SimRng, Zipf};
 pub use server::{BandwidthServer, FifoServer};
-pub use stats::{Counter, Histogram, MeanTracker, Throughput};
+pub use stats::{Counter, Histogram, LatencyHistogram, MeanTracker, Throughput};
 pub use time::{Freq, Time};

@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+pub use rand::distr::Zipf;
+
 /// A seeded, forkable random-number generator.
 ///
 /// # Example

@@ -184,8 +184,133 @@ pub mod rngs {
     }
 }
 
+pub mod distr {
+    //! Non-uniform distributions (the shim's subset of `rand_distr`).
+
+    use super::RngCore;
+
+    /// The Zipf (zeta) distribution over ranks `1..=n`: rank `k` is drawn
+    /// with probability proportional to `1 / k^exponent`.
+    ///
+    /// Sampling uses rejection-inversion (Hörmann & Derflinger, "Rejection-
+    /// inversion to generate variates from monotone discrete
+    /// distributions"), the same scheme as Apache Commons'
+    /// `RejectionInversionZipfSampler`: O(1) per sample with no `O(n)`
+    /// table, so skewed key-popularity models can cover stores of any size.
+    /// Each sample consumes a variable (rejection-dependent) number of
+    /// uniform draws from the caller's generator, which stays fully
+    /// deterministic for a seeded generator.
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        n: u64,
+        exponent: f64,
+        h_integral_x1: f64,
+        h_integral_n: f64,
+        s: f64,
+    }
+
+    impl Zipf {
+        /// A Zipf distribution over `1..=n` with the given exponent.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero or `exponent` is not strictly positive
+        /// and finite.
+        pub fn new(n: u64, exponent: f64) -> Self {
+            assert!(n > 0, "Zipf needs at least one rank");
+            assert!(
+                exponent.is_finite() && exponent > 0.0,
+                "Zipf exponent must be positive, got {exponent}"
+            );
+            let h_integral_x1 = h_integral(1.5, exponent) - 1.0;
+            let h_integral_n = h_integral(n as f64 + 0.5, exponent);
+            let s =
+                2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+            Zipf {
+                n,
+                exponent,
+                h_integral_x1,
+                h_integral_n,
+                s,
+            }
+        }
+
+        /// Number of ranks.
+        pub fn n(&self) -> u64 {
+            self.n
+        }
+
+        /// The skew exponent.
+        pub fn exponent(&self) -> f64 {
+            self.exponent
+        }
+
+        /// Draws one rank in `1..=n` (1 is the most popular).
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.n == 1 {
+                return 1;
+            }
+            loop {
+                // u uniform in (h_integral_n, h_integral_x1].
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let u = self.h_integral_n + unit * (self.h_integral_x1 - self.h_integral_n);
+                let x = h_integral_inverse(u, self.exponent);
+                let k = (x.round() as u64).clamp(1, self.n);
+                // Accept if k is close enough to x, or by the exact
+                // rejection test against the histogram bar of k.
+                if k as f64 - x <= self.s
+                    || u >= h_integral(k as f64 + 0.5, self.exponent) - h(k as f64, self.exponent)
+                {
+                    return k;
+                }
+            }
+        }
+    }
+
+    /// `H(x) = ((x^(1-e)) - 1) / (1 - e)`, the integral of `h`; `ln x` in
+    /// the limit `e -> 1` (computed stably via `expm1`/`ln_1p`).
+    fn h_integral(x: f64, e: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - e) * log_x) * log_x
+    }
+
+    /// `h(x) = x^-e`.
+    fn h(x: f64, e: f64) -> f64 {
+        (-e * x.ln()).exp()
+    }
+
+    /// Inverse of [`h_integral`].
+    fn h_integral_inverse(u: f64, e: f64) -> f64 {
+        let mut t = u * (1.0 - e);
+        // Clamp to the domain of ln_1p (t <= -1 only from rounding).
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * u).exp()
+    }
+
+    /// `ln(1+x)/x`, stable near zero.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+        }
+    }
+
+    /// `(exp(x)-1)/x`, stable near zero.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::distr::Zipf;
     use super::rngs::StdRng;
     use super::{Rng, RngCore, SeedableRng};
 
@@ -215,5 +340,56 @@ mod tests {
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zipf_stays_in_range_and_is_deterministic() {
+        let z = Zipf::new(100, 0.99);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut a);
+            assert!((1..=100).contains(&k));
+            assert_eq!(k, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_ranks_match_skew() {
+        // With exponent e, p(k)/p(2k) = 2^e; check the empirical ratio of
+        // rank-1 to rank-2 counts against 2^e for two skew settings.
+        for (exponent, samples) in [(0.99f64, 200_000u64), (1.5, 200_000)] {
+            let z = Zipf::new(1000, exponent);
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            let mut counts = vec![0u64; 1001];
+            for _ in 0..samples {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            // Ranks are ordered: head beats the mid, mid beats the tail.
+            assert!(counts[1] > counts[10] && counts[10] > counts[100]);
+            let ratio = counts[1] as f64 / counts[2] as f64;
+            let want = 2f64.powf(exponent);
+            assert!(
+                (ratio - want).abs() / want < 0.1,
+                "exponent {exponent}: rank1/rank2 = {ratio:.3}, want ~{want:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_and_high_skew() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut r), 1);
+        // Very high skew: nearly every sample is rank 1.
+        let z = Zipf::new(64, 4.0);
+        let hits = (0..1000).filter(|_| z.sample(&mut r) == 1).count();
+        assert!(hits > 900, "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zipf_rejects_non_positive_exponent() {
+        let _ = Zipf::new(10, 0.0);
     }
 }

@@ -18,14 +18,17 @@ fn run_policy(backoff: Time) -> (f64, f64, u64, u64) {
         ScenarioBuilder::new().warmed_store(1, StoreLayout::Clean, 2048, Some(32));
     let wire = StoreLayout::Clean.object_bytes(2048) as u32;
 
-    let mut scenario = scenario.readers(0, 0..8, move |_, objects| {
-        Box::new(
-            SyncReader::endless(1, objects.to_vec(), 2048, ReadMechanism::Sabre)
-                .with_wire(wire)
-                .with_consume()
-                .with_backoff(backoff),
-        )
-    });
+    let mut scenario = scenario.readers_spec(
+        0,
+        0..8,
+        spec()
+            .store(1)
+            .payload(2048)
+            .mechanism(ReadMechanism::Sabre)
+            .wire(wire)
+            .consume()
+            .backoff(backoff),
+    );
     for (w, chunk) in store.object_entries().chunks(8).enumerate() {
         scenario = scenario.workload(
             1,

@@ -9,7 +9,7 @@
 
 use sabres::prelude::*;
 
-fn one_reader(size: u32, mech: ReadMechanism, spec: SpecMode) -> f64 {
+fn one_reader(size: u32, mech: ReadMechanism, mode: SpecMode) -> f64 {
     // Memory-resident targets: enough objects that LLC misses dominate
     // (this example has always capped the count at 8192, below
     // `raw_region`'s default clamp, so its printed numbers stay stable
@@ -17,11 +17,9 @@ fn one_reader(size: u32, mech: ReadMechanism, spec: SpecMode) -> f64 {
     let slot = (size as u64).div_ceil(64) * 64;
     let count = (16 * 1024 * 1024 / slot).min(8192);
     ScenarioBuilder::new()
-        .configure(|cfg| cfg.lightsabres.spec_mode = spec)
+        .configure(|cfg| cfg.lightsabres.spec_mode = mode)
         .raw_region_sized(1, size, count)
-        .reader(0, 0, move |targets| {
-            Box::new(SyncReader::endless(1, targets.to_vec(), size, mech))
-        })
+        .reader_spec(0, 0, spec().store(1).payload(size).mechanism(mech))
         .run_for(Time::from_us(400))
         .mean_latency_ns(0, 0)
         .expect("ops completed")

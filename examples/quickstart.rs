@@ -18,12 +18,15 @@ fn main() {
     let report = scenario
         // Four cores on node 0 read random objects atomically, in a tight
         // loop.
-        .readers(0, 0..4, move |_, objects| {
-            Box::new(
-                SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
-                    .with_wire(wire),
-            )
-        })
+        .readers_spec(
+            0,
+            0..4,
+            spec()
+                .store(1)
+                .payload(1024)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(wire),
+        )
         // One writer thread on node 1 keeps updating a few of the objects,
         // so some SABRes will observe conflicts and abort (and retry).
         .workload(

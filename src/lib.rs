@@ -27,8 +27,10 @@
 //! ## Quickstart
 //!
 //! Experiments are *declared* with [`ScenarioBuilder`](rack::scenario):
-//! configure the rack, declare data regions, place workloads, run, read
-//! the [`RunReport`](rack::scenario::RunReport):
+//! configure the rack, declare data regions, place workloads with a
+//! [`WorkloadSpec`](rack::WorkloadSpec) — mechanism, arrival process, key
+//! popularity, read/write mix — run, read the
+//! [`RunReport`](rack::scenario::RunReport):
 //!
 //! ```
 //! use sabres::prelude::*;
@@ -38,10 +40,11 @@
 //! let (scenario, store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 128, Some(100));
 //! let wire = store.slot_bytes() as u32;
 //! let report = scenario
-//!     .reader(0, 0, move |objects| {
-//!         Box::new(SyncReader::endless(1, objects.to_vec(), 128, ReadMechanism::Sabre)
-//!             .with_wire(wire))
-//!     })
+//!     .reader_spec(
+//!         0,
+//!         0,
+//!         spec().store(1).payload(128).mechanism(ReadMechanism::Sabre).wire(wire),
+//!     )
 //!     .run_for(Time::from_us(20));
 //! assert!(report.core(0, 0).ops > 0);
 //! ```
@@ -55,9 +58,7 @@
 //! let latencies = Sweep::over([64u32, 1024]).map(|&size| {
 //!     ScenarioBuilder::new()
 //!         .raw_region(1, size)
-//!         .reader(0, 0, move |targets| {
-//!             Box::new(SyncReader::endless(1, targets.to_vec(), size, ReadMechanism::Sabre))
-//!         })
+//!         .reader_spec(0, 0, spec().store(1).payload(size).mechanism(ReadMechanism::Sabre))
 //!         .run_for(Time::from_us(30))
 //!         .mean_latency_ns(0, 0)
 //!         .expect("ops completed")
@@ -91,8 +92,9 @@ pub mod prelude {
         WriterLayout,
     };
     pub use sabre_rack::{
-        Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase, PlacementPolicy,
-        ReadMechanism, RunReport, ScenarioBuilder, Sweep, Topology, Workload,
+        spec, Arrivals, Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase,
+        PlacementPolicy, Popularity, ReadMechanism, RunReport, ScenarioBuilder, Sweep, Topology,
+        Workload, WorkloadSpec,
     };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};

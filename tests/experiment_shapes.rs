@@ -312,3 +312,43 @@ fn fig_placement_nearest_beats_round_robin_where_geometry_matters() {
         "nearest keeps every reader on its shard's leaf"
     );
 }
+
+#[test]
+fn fig_tail_p99_is_monotone_in_offered_load() {
+    use ex::fig_tail::{Skew, LOADS};
+    let points = ex::fig_tail::data(Q);
+    for p in &points {
+        assert!(p.p50_ns <= p.p99_ns && p.p99_ns <= p.p999_ns, "{p:?}");
+    }
+    for mech in ex::fig_scale::Mechanism::ALL {
+        for skew in Skew::ALL {
+            let curve: Vec<&ex::fig_tail::Point> = LOADS
+                .iter()
+                .map(|&l| {
+                    points
+                        .iter()
+                        .find(|p| p.mech == mech && p.skew == skew && p.load == l)
+                        .expect("every (mech, skew, load) point present")
+                })
+                .collect();
+            // The tentpole acceptance bar: more offered load never shrinks
+            // the tail, and queue buildup grows with it.
+            for w in curve.windows(2) {
+                assert!(
+                    w[0].p99_ns <= w[1].p99_ns,
+                    "{mech:?}/{skew:?}: p99 fell from {} to {} as load rose {} -> {}",
+                    w[0].p99_ns,
+                    w[1].p99_ns,
+                    w[0].load,
+                    w[1].load
+                );
+                assert!(
+                    w[0].queued <= w[1].queued,
+                    "{mech:?}/{skew:?}: queueing fell as load rose"
+                );
+            }
+            // Saturation is visible: the heaviest load queues somewhere.
+            assert!(curve[LOADS.len() - 1].queued > 0, "{mech:?}/{skew:?}");
+        }
+    }
+}

@@ -115,15 +115,16 @@ fn att_overflow_parks_and_everything_still_completes() {
         .configure(|cfg| cfg.lightsabres.stream_buffers = 2) // tiny ATT forces parking
         .store(1, StoreLayout::Clean, 112, Some(64));
     let report = scenario
-        .readers(0, 0..8, move |_, _| {
-            Box::new(AsyncReader::new(
-                1,
-                store.object_addrs(),
-                128,
-                ReadMechanism::Sabre,
-                8,
-            ))
-        })
+        .readers_spec(
+            0,
+            0..8,
+            spec()
+                .store(1)
+                .payload(128)
+                .mechanism(ReadMechanism::Sabre)
+                .window(8)
+                .objects(store.object_addrs()),
+        )
         .run_for(Time::from_us(100));
     let parked = report.r2p2_totals(1).sabres_parked;
     assert!(parked > 0, "2-entry ATTs under 64 outstanding must park");
@@ -228,14 +229,15 @@ fn source_locking_readers_contend_but_progress() {
     // Two DrTM-style readers hammering the same two objects: CAS contention
     // must appear as retries, yet both make progress and no lock is leaked.
     let report = scenario
-        .readers(0, 0..2, |_, objects| {
-            Box::new(SourceLockingReader::iterations(
-                1,
-                objects.to_vec(),
-                480,
-                150,
-            ))
-        })
+        .readers_spec(
+            0,
+            0..2,
+            spec()
+                .store(1)
+                .payload(480)
+                .source_locking()
+                .iterations(150),
+        )
         .run_for(Time::from_us(500));
     let m = report.node(0);
     assert_eq!(m.ops, 300, "both readers must finish their 150 reads");
@@ -261,12 +263,15 @@ fn deterministic_replay_bitwise_identical() {
         let wire = store.slot_bytes() as u32;
         let entries = store.object_entries();
         let report = scenario
-            .readers(0, 0..4, move |_, objects| {
-                Box::new(
-                    SyncReader::endless(1, objects.to_vec(), 480, ReadMechanism::Sabre)
-                        .with_wire(wire),
-                )
-            })
+            .readers_spec(
+                0,
+                0..4,
+                spec()
+                    .store(1)
+                    .payload(480)
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(wire),
+            )
             .workload(
                 1,
                 0,

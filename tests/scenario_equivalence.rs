@@ -21,10 +21,12 @@ fn table1_dest_occ_legacy(iters: u64) -> (u64, Option<f64>) {
     cluster.add_workload(
         0,
         0,
-        Box::new(
-            SyncReader::endless(1, store.object_addrs(), 1024, ReadMechanism::Sabre)
-                .with_wire(wire),
-        ),
+        spec()
+            .store(1)
+            .payload(1024)
+            .mechanism(ReadMechanism::Sabre)
+            .wire(wire)
+            .build(&store.object_addrs()),
     );
     cluster.run_for(Time::from_us(20 * iters));
     let m = cluster.metrics(0, 0);
@@ -36,12 +38,15 @@ fn table1_dest_occ_scenario(iters: u64) -> (u64, Option<f64>) {
     let (scenario, _store) = ScenarioBuilder::new().store(1, StoreLayout::Clean, 1024, Some(512));
     let wire = StoreLayout::Clean.object_bytes(1024) as u32;
     let report = scenario
-        .reader(0, 0, move |objects| {
-            Box::new(
-                SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
-                    .with_wire(wire),
-            )
-        })
+        .reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(1024)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(wire),
+        )
         .run_for(Time::from_us(20 * iters));
     let m = report.core(0, 0);
     (m.ops, m.latency.mean())
@@ -85,7 +90,11 @@ fn fig7a_point_legacy(size: u32, iters: u64) -> (u64, Option<f64>) {
     cluster.add_workload(
         0,
         0,
-        Box::new(SyncReader::endless(1, targets, size, ReadMechanism::Sabre)),
+        spec()
+            .store(1)
+            .payload(size)
+            .mechanism(ReadMechanism::Sabre)
+            .build(&targets),
     );
     cluster.run_for(Time::from_us(10 * iters));
     let m = cluster.metrics(0, 0);
@@ -96,14 +105,14 @@ fn fig7a_point_scenario(size: u32, iters: u64) -> (u64, Option<f64>) {
     let report = ScenarioBuilder::new()
         .configure(|cfg| cfg.lightsabres.spec_mode = SpecMode::Speculative)
         .raw_region(1, size)
-        .reader(0, 0, move |targets| {
-            Box::new(SyncReader::endless(
-                1,
-                targets.to_vec(),
-                size,
-                ReadMechanism::Sabre,
-            ))
-        })
+        .reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(size)
+                .mechanism(ReadMechanism::Sabre),
+        )
         .run_for(Time::from_us(10 * iters));
     let m = report.core(0, 0);
     (m.ops, m.latency.mean())
@@ -156,12 +165,15 @@ fn warmup_window_changes_measurement_not_simulation() {
         let (scenario, _store) =
             ScenarioBuilder::new().store(1, StoreLayout::Clean, 1024, Some(64));
         let wire = StoreLayout::Clean.object_bytes(1024) as u32;
-        scenario.reader(0, 0, move |objects| {
-            Box::new(
-                SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
-                    .with_wire(wire),
-            )
-        })
+        scenario.reader_spec(
+            0,
+            0,
+            spec()
+                .store(1)
+                .payload(1024)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(wire),
+        )
     };
     let full = build().run_for(Time::from_us(100));
     let windowed = build()
@@ -208,17 +220,16 @@ fn rack_fingerprint_threaded(
     for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
         let shard = store_shards[i % store_shards.len()].clone();
         let wire = shard.slot_bytes() as u32;
-        scenario = scenario.reader(rnode, 0, move |_| {
-            Box::new(
-                SyncReader::endless(
-                    shard.node(),
-                    shard.object_addrs(),
-                    1024,
-                    ReadMechanism::Sabre,
-                )
-                .with_wire(wire),
-            )
-        });
+        scenario = scenario.reader_spec(
+            rnode,
+            0,
+            spec()
+                .store(shard.node() as usize)
+                .payload(1024)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(wire)
+                .objects(shard.object_addrs()),
+        );
     }
     let report = scenario.run_for(Time::from_us(60));
     report
@@ -290,12 +301,15 @@ fn table1_quadrant_is_thread_invariant() {
         let report = scenario
             .shards(2)
             .threads(threads)
-            .reader(0, 0, move |objects| {
-                Box::new(
-                    SyncReader::endless(1, objects.to_vec(), 1024, ReadMechanism::Sabre)
-                        .with_wire(wire),
-                )
-            })
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(1024)
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(wire),
+            )
             .run_for(Time::from_us(20 * 5));
         let m = report.core(0, 0);
         assert_eq!(
@@ -369,6 +383,97 @@ fn fig_placement_point_is_shard_and_thread_invariant() {
                      diverged from the serial run"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn fig_tail_point_is_shard_and_thread_invariant() {
+    // The shipped fig_tail construction (not a copy of it) on an
+    // open-loop point with queueing and skew in play — the tentpole
+    // acceptance bar: every percentile, queue counter and op count must
+    // replay bit for bit at every shards x threads setting.
+    use sabre_bench::experiments::fig_scale::Mechanism;
+    use sabre_bench::experiments::fig_tail::{measure_threaded, Skew};
+    let fingerprint = |p: sabre_bench::experiments::fig_tail::Point| {
+        (
+            p.ops,
+            p.p50_ns,
+            p.p99_ns,
+            p.p999_ns,
+            p.queued,
+            p.peak_backlog,
+        )
+    };
+    let serial = fingerprint(measure_threaded(
+        Mechanism::Sabre,
+        Skew::Zipf,
+        0.8,
+        2,
+        1,
+        Some(1),
+    ));
+    assert!(serial.0 > 0, "serial run must complete ops");
+    assert!(serial.4 > 0, "an 0.8 ops/us point must see queueing");
+    for shards in [2usize, 8] {
+        for threads in [1usize, 2, 8] {
+            let threaded = fingerprint(measure_threaded(
+                Mechanism::Sabre,
+                Skew::Zipf,
+                0.8,
+                2,
+                shards,
+                Some(threads),
+            ));
+            assert_eq!(
+                serial, threaded,
+                "{shards} shards on {threads} threads diverged from the serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn open_loop_bucket_counts_are_shard_and_thread_invariant() {
+    // Stronger than percentile equality: the merged latency histogram's
+    // full bucket dump — every count in every bucket — must be
+    // byte-identical at every shards x threads setting.
+    let dump = |shards: usize, threads: usize| {
+        let builder = ScenarioBuilder::new()
+            .nodes(8)
+            .shards(shards)
+            .threads(threads);
+        let topo = builder.config().topology.clone();
+        let (mut scenario, store_shards) =
+            builder.sharded_store(topo.store_nodes(), StoreLayout::Clean, 1024, 32);
+        for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+            let shard = store_shards[i % store_shards.len()].clone();
+            let wire = shard.slot_bytes() as u32;
+            scenario = scenario.reader_spec(
+                rnode,
+                0,
+                spec()
+                    .store(shard.node() as usize)
+                    .payload(1024)
+                    .mechanism(ReadMechanism::Sabre)
+                    .wire(wire)
+                    .objects(shard.object_addrs())
+                    .arrivals(Arrivals::Poisson { ops_per_us: 1.2 })
+                    .popularity(Popularity::Zipf { exponent: 0.99 }),
+            );
+        }
+        let report = scenario.run_for(Time::from_us(40));
+        assert!(report.rack_metrics().ops > 0, "no ops recorded");
+        report.latency_dump()
+    };
+    let serial = dump(1, 1);
+    for shards in [2usize, 8] {
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                serial,
+                dump(shards, threads),
+                "{shards} shards on {threads} threads changed a bucket count"
+            );
         }
     }
 }
