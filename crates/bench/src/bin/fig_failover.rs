@@ -1,0 +1,6 @@
+//! Regenerates fig_failover (availability under crash faults).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_failover::run(RunOpts::from_args()));
+}

@@ -2,5 +2,7 @@
 use sabre_bench::{experiments, RunOpts};
 
 fn main() {
-    print!("{}", experiments::fig_tail::run(RunOpts::from_args()));
+    let opts = RunOpts::from_args();
+    print!("{}", experiments::fig_tail::run(opts));
+    print!("{}", experiments::fig_tail::run_mix(opts));
 }

@@ -178,6 +178,113 @@ pub fn data(opts: RunOpts) -> Vec<Point> {
         .map(|&(mech, skew, load)| measure_threaded(mech, skew, load, iters, NODES, opts.threads))
 }
 
+/// Read fractions of the mix sweep: read-mostly down to write-heavy.
+pub const MIX_FRACTIONS: [f64; 3] = [0.9, 0.5, 0.1];
+
+/// The per-core offered load of the mix sweep (the moderate setting of
+/// [`LOADS`], where queueing exists but the loop is not saturated).
+pub const MIX_LOAD: f64 = 0.8;
+
+/// One mix sweep point: raw-layout traffic at [`MIX_LOAD`] with the given
+/// read fraction; the write remainder issues one-sided remote writes back
+/// to the chosen objects (see `WorkloadSpec::mix` — the software layouts
+/// embed metadata a remote writer does not maintain, so the mix sweep is
+/// a raw-layout traffic study).
+pub fn measure_mix_threaded(
+    read_fraction: f64,
+    iters: u64,
+    shards: usize,
+    threads: Option<usize>,
+) -> Point {
+    let builder = ScenarioBuilder::new()
+        .nodes(NODES)
+        .shards(shards)
+        .configure(|cfg| cfg.threads = threads);
+    let topo = builder.config().topology.clone();
+    let (builder, store_shards) = builder.sharded_store(
+        topo.store_nodes(),
+        Mechanism::Raw.layout(),
+        PAYLOAD,
+        OBJECTS_PER_SHARD,
+    );
+    let readers = topo.reader_nodes();
+    let placements: Vec<(usize, usize)> = readers
+        .iter()
+        .flat_map(|&node| (0..CORES_PER_READER_NODE).map(move |core| (node, core)))
+        .collect();
+    let reader_index: std::collections::HashMap<usize, usize> = readers
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (node, i))
+        .collect();
+    let report = builder
+        .readers_grid_spec(placements, move |node, _core, _targets| {
+            let shard = &store_shards[reader_index[&node] % store_shards.len()];
+            spec()
+                .store(shard.node() as usize)
+                .payload(PAYLOAD)
+                .mechanism(Mechanism::Raw.read_mechanism())
+                .wire(shard.slot_bytes() as u32)
+                .objects(shard.object_addrs())
+                .arrivals(Arrivals::Poisson {
+                    ops_per_us: MIX_LOAD,
+                })
+                .mix(read_fraction)
+        })
+        .run_for(Time::from_us(20 * iters));
+    let m = report.rack_metrics();
+    assert!(m.ops > 0, "mix {read_fraction}: no ops completed");
+    let (p50_ns, p99_ns, p999_ns) = report.latency_percentiles().expect("ops recorded");
+    Point {
+        mech: Mechanism::Raw,
+        skew: Skew::Uniform,
+        load: MIX_LOAD,
+        ops: m.ops,
+        p50_ns,
+        p99_ns,
+        p999_ns,
+        queued: m.queued_arrivals,
+        peak_backlog: m.peak_backlog,
+    }
+}
+
+/// Runs the read/write-mix sweep over [`MIX_FRACTIONS`].
+pub fn mix_data(opts: RunOpts) -> Vec<(f64, Point)> {
+    let iters = opts.pick(15, 3);
+    opts.sweep(MIX_FRACTIONS)
+        .map(|&f| (f, measure_mix_threaded(f, iters, NODES, opts.threads)))
+}
+
+/// Renders the mix sweep as its own table (separate from [`run`]'s, so
+/// adding rows here never re-pads the established columns of the main
+/// sweep in the golden output).
+pub fn run_mix(opts: RunOpts) -> Table {
+    let mut t = Table::new(
+        "fig_tail — tail under read/write mix (raw traffic, 0.8 ops/us/core, 8-node rack)",
+        &[
+            "read fraction",
+            "ops",
+            "p50",
+            "p99",
+            "p999",
+            "queued",
+            "peak backlog",
+        ],
+    );
+    for (fraction, p) in mix_data(opts) {
+        t.row(vec![
+            format!("{fraction:.1}"),
+            p.ops.to_string(),
+            format!("{} ns", p.p50_ns),
+            format!("{} ns", p.p99_ns),
+            format!("{} ns", p.p999_ns),
+            p.queued.to_string(),
+            p.peak_backlog.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Renders the tail-latency sweep as a table.
 pub fn run(opts: RunOpts) -> Table {
     let mut t = Table::new(

@@ -50,7 +50,13 @@ pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
     ("fig_placement", |o| {
         vec![experiments::fig_placement::run(o)]
     }),
-    ("fig_tail", |o| vec![experiments::fig_tail::run(o)]),
+    ("fig_tail", |o| {
+        vec![
+            experiments::fig_tail::run(o),
+            experiments::fig_tail::run_mix(o),
+        ]
+    }),
+    ("fig_failover", |o| vec![experiments::fig_failover::run(o)]),
 ];
 
 /// Renders every table and figure into one string (the golden-diffable

@@ -23,6 +23,9 @@
 //! * [`write_path`] — writes over RPC (FaRM never writes remote memory
 //!   one-sidedly): the [`RpcWriteServer`] applying updates at the owner and
 //!   the [`RpcWriter`] client;
+//! * [`replica`] — the [`ReplicatedStore`]: k identical copies of one
+//!   object set across store nodes, leaf-aware site selection and the
+//!   nearest-first replica views the rack's failover readers consume;
 //! * [`scenario`] — the [`ScenarioStoreExt`] extension letting
 //!   [`sabre_rack::ScenarioBuilder`] declare object-store regions.
 
@@ -30,6 +33,7 @@ pub mod costs;
 pub mod kv;
 pub mod local;
 pub mod read_path;
+pub mod replica;
 pub mod scenario;
 pub mod store;
 pub mod write_path;
@@ -38,6 +42,7 @@ pub use costs::FarmCosts;
 pub use kv::KvStore;
 pub use local::FarmLocalReader;
 pub use read_path::FarmReader;
+pub use replica::{replica_sites, ReplicatedStore};
 pub use scenario::ScenarioStoreExt;
 pub use store::{ObjectStore, StoreLayout};
 pub use write_path::{RpcWriteServer, RpcWriter};

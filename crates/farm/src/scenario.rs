@@ -29,6 +29,7 @@
 use sabre_mem::Addr;
 use sabre_rack::ScenarioBuilder;
 
+use crate::replica::ReplicatedStore;
 use crate::store::{ObjectStore, StoreLayout};
 
 /// Declares FaRM object-store regions on a [`ScenarioBuilder`].
@@ -86,6 +87,22 @@ pub trait ScenarioStoreExt: Sized {
         payload: u32,
         objects_per_shard: u64,
     ) -> (Self, Vec<ObjectStore>);
+
+    /// Declares one [`ReplicatedStore`]: `n_objects` objects of `payload`
+    /// bytes in `layout`, initialized identically at address 0 of every
+    /// node in `sites` (pick sites with
+    /// [`replica_sites`](crate::replica_sites)). Only the *first* site's
+    /// object addresses join the scenario's target list — readers address
+    /// replicas through
+    /// [`ReplicatedStore::view_for`] +
+    /// `sabre_rack::WorkloadSpec::replicas`, not the flat target list.
+    fn replicated_store(
+        self,
+        sites: &[usize],
+        layout: StoreLayout,
+        payload: u32,
+        n_objects: u64,
+    ) -> (Self, ReplicatedStore);
 }
 
 /// Memory-resident object count for a layout/payload: ≈16 MB of slots,
@@ -156,6 +173,24 @@ impl ScenarioStoreExt for ScenarioBuilder {
             "a sharded store needs at least one node"
         );
         (scenario, shards)
+    }
+
+    fn replicated_store(
+        self,
+        sites: &[usize],
+        layout: StoreLayout,
+        payload: u32,
+        n_objects: u64,
+    ) -> (Self, ReplicatedStore) {
+        let store = ReplicatedStore::new(sites, Addr::new(0), layout, payload, n_objects);
+        let handle = store.clone();
+        let scenario = self.prepare(move |cluster| {
+            for replica in store.replicas() {
+                replica.init(cluster.node_memory_mut(replica.node() as usize));
+            }
+            store.replicas()[0].object_addrs()
+        });
+        (scenario, handle)
     }
 }
 

@@ -155,6 +155,7 @@ struct NodeCtx {
     rngs: Vec<SimRng>,
     wq_seq: Vec<u64>,
     delivered_packets: u64,
+    dropped_packets: u64,
 }
 
 /// The simulated rack. See the [crate docs](crate) for an example.
@@ -185,7 +186,17 @@ impl Cluster {
                 llc: Llc::with_geometry(cfg.llc_bytes, cfg.llc_ways),
                 mem_sys: MemSystem::new(cfg.mem_timing.clone()),
                 r2p2s: (0..cfg.rmc_backends)
-                    .map(|p| R2p2::new(n as u8, p as u8, cfg.lightsabres.clone()))
+                    .map(|p| {
+                        let r2p2 = R2p2::new(n as u8, p as u8, cfg.lightsabres.clone());
+                        if cfg.fault.is_empty() {
+                            r2p2
+                        } else {
+                            // A crash can eat a registration whose data
+                            // requests outlive the outage; those are stale
+                            // traffic to discard, not protocol violations.
+                            r2p2.tolerating_stale()
+                        }
+                    })
                     .collect(),
                 r2p2_issue: vec![FifoServer::new(); cfg.rmc_backends],
                 pump_on: vec![false; cfg.rmc_backends],
@@ -202,6 +213,7 @@ impl Cluster {
                     .collect(),
                 wq_seq: vec![0; cfg.cores_per_node],
                 delivered_packets: 0,
+                dropped_packets: 0,
             })
             .collect();
         Cluster {
@@ -302,11 +314,19 @@ impl Cluster {
     }
 
     /// Packets delivered to destination pipelines so far. Together with
-    /// [`Fabric::packets_total`] this exposes the conservation invariant:
-    /// every sent packet is delivered exactly once (the difference is the
-    /// packets still queued for a future delivery instant).
+    /// [`Fabric::packets_total`] and [`Cluster::packets_dropped`] this
+    /// exposes the conservation invariant: every sent packet is delivered
+    /// or dropped exactly once (the difference is the packets still queued
+    /// for a future delivery instant).
     pub fn packets_delivered(&self) -> u64 {
         self.nodes.iter().map(|n| n.delivered_packets).sum()
+    }
+
+    /// Packets discarded by the [`ClusterConfig::fault`] plan — traffic to,
+    /// from, or across a crashed node or cut link — counted at the
+    /// destination node's window merge. Zero without a fault plan.
+    pub fn packets_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped_packets).sum()
     }
 
     /// Worker threads a run would use: the explicit
@@ -529,7 +549,16 @@ impl Cluster {
     /// The window barrier: drains every shard's outboxes and delivers the
     /// cross-node messages into destination queues in the deterministic
     /// merge order `(arrival time, source, per-source send order)`.
+    ///
+    /// This is also where the [`FaultPlan`](crate::fault::FaultPlan) bites:
+    /// a packet whose source node, destination node or link is down at the
+    /// arrival instant is counted and discarded instead of scheduled. The
+    /// decision is a pure function of the (static) plan and the packet's
+    /// `(src, dst, arrival)` tuple, so injection cannot perturb the
+    /// shard × thread bit-identity the merge order guarantees.
     fn merge_deliver(tasks: &mut [&mut ShardExec<'_>], per_shard: usize, window_end: Time) {
+        let cfg = tasks[0].cfg;
+        let faults = !cfg.fault.is_empty();
         let merged =
             ShardRouter::merge_sorted(tasks.iter_mut().flat_map(|t| t.outboxes.iter_mut()));
         for (at, dst, ev) in merged {
@@ -538,7 +567,19 @@ impl Cluster {
                 "fabric message outran the lookahead window"
             );
             let ti = dst / per_shard;
-            tasks[ti].nodes[dst - ti * per_shard].queue.schedule(at, ev);
+            let node = &mut tasks[ti].nodes[dst - ti * per_shard];
+            if faults {
+                if let Event::PacketArrive(pkt) = &ev {
+                    if cfg
+                        .fault
+                        .drops_packet(pkt.src_node as usize, pkt.dst_node as usize, at)
+                    {
+                        node.dropped_packets += 1;
+                        continue;
+                    }
+                }
+            }
+            node.queue.schedule(at, ev);
         }
     }
 

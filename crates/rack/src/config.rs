@@ -9,6 +9,8 @@ use sabre_mem::MemTimingConfig;
 use sabre_sim::{Freq, Time};
 use sabre_sw::CpuCostModel;
 
+use crate::fault::FaultPlan;
+
 /// What a node contributes to a scenario — the role split experiments
 /// declare placements against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -303,6 +305,11 @@ pub struct ClusterConfig {
     /// itself. Purely an execution knob: results are bit-identical for
     /// every value.
     pub threads: Option<usize>,
+    /// Scheduled node crashes and link outages (default: none). Injected
+    /// at the window barriers where cross-shard packets merge, so the
+    /// bit-identity guarantee over shards × threads is preserved — see
+    /// [`crate::fault`].
+    pub fault: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -327,6 +334,7 @@ impl Default for ClusterConfig {
             topology: Topology::paper_pair(),
             shards: 1,
             threads: None,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -423,6 +431,7 @@ impl ClusterConfig {
         if self.shards == 0 {
             return Err("the event loop needs at least one shard".into());
         }
+        self.fault.validate(self.nodes)?;
         self.lightsabres.validate()
     }
 }

@@ -1,0 +1,294 @@
+//! Deterministic fault injection: scheduled node crashes and link outages.
+//!
+//! A [`FaultPlan`] is a *declarative schedule* — a list of outage windows
+//! for nodes and links, fixed before the run starts — carried by
+//! [`ClusterConfig`](crate::ClusterConfig). The cluster consults it at the
+//! one place every cross-node packet already passes through: the window
+//! barrier where shard outboxes are merged and delivered (see
+//! [`cluster`](crate::cluster)). A packet is dropped iff, at its arrival
+//! instant, its source node, destination node, or the link between them is
+//! inside an outage window:
+//!
+//! * a **down destination** refuses service — inbound requests die on the
+//!   floor, so the node completes no remote work while crashed;
+//! * a **down source** loses its in-flight traffic — replies already
+//!   emitted by a node that then crashed never reach the requester;
+//! * a **down link** kills traffic both ways between its endpoints while
+//!   leaving both nodes reachable through nothing (the fabric models
+//!   logical reachability, not rerouting — a cut link is a partition of
+//!   that pair).
+//!
+//! Because the drop decision is a *pure function* of the plan and the
+//! packet's `(src, dst, arrival-time)` tuple — all of which are identical
+//! at every shard × thread setting — fault injection preserves the event
+//! loop's bit-identical replay guarantee. Dropped packets are counted per
+//! destination node ([`packets_dropped`](crate::Cluster::packets_dropped)),
+//! extending the packet-conservation invariant to
+//! `sent == delivered + dropped`.
+//!
+//! Crashed nodes keep their local state: the model is a *service* outage
+//! (power-cycled NIC, wedged OS, partitioned top-of-rack port), not disk
+//! loss. A writer on a crashed store node keeps updating local memory; it
+//! simply becomes unobservable until the outage ends. Readers detect dead
+//! replicas by timeout on the one-sided path (no completion ever arrives)
+//! and fail over — see
+//! [`FailoverReader`](crate::workloads::FailoverReader).
+
+use sabre_sim::Time;
+
+/// A half-open outage window `[from, until)`. `until == None` means the
+/// component never recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// First instant the component is down.
+    pub from: Time,
+    /// First instant the component is back up (`None`: down forever).
+    pub until: Option<Time>,
+}
+
+impl Outage {
+    /// Whether the outage covers instant `t`.
+    pub fn covers(self, t: Time) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// A deterministic schedule of node crashes and link outages; see the
+/// [module docs](self) for the injection semantics.
+///
+/// # Example
+///
+/// ```
+/// use sabre_rack::fault::FaultPlan;
+/// use sabre_sim::Time;
+///
+/// let plan = FaultPlan::new()
+///     .crash_restore(4, Time::from_us(10), Time::from_us(30))
+///     .crash(5, Time::from_us(50))
+///     .link_outage(0, 1, Time::from_us(5), Time::from_us(6));
+/// assert!(plan.node_down_at(4, Time::from_us(20)));
+/// assert!(!plan.node_down_at(4, Time::from_us(30)));
+/// assert!(plan.node_down_at(5, Time::from_us(99)), "no recovery");
+/// assert!(plan.drops_packet(0, 1, Time::from_us(5)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    node_outages: Vec<(usize, Outage)>,
+    link_outages: Vec<(usize, usize, Outage)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing ever fails.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crashes `node` at `at`, never to recover.
+    pub fn crash(mut self, node: usize, at: Time) -> Self {
+        self.node_outages.push((
+            node,
+            Outage {
+                from: at,
+                until: None,
+            },
+        ));
+        self
+    }
+
+    /// Crashes `node` at `from` and restores it at `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`from >= until`).
+    pub fn crash_restore(mut self, node: usize, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty crash window: {from:?} >= {until:?}");
+        self.node_outages.push((
+            node,
+            Outage {
+                from,
+                until: Some(until),
+            },
+        ));
+        self
+    }
+
+    /// Takes the (bidirectional) link between `a` and `b` down over
+    /// `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or the window is empty.
+    pub fn link_outage(mut self, a: usize, b: usize, from: Time, until: Time) -> Self {
+        assert!(a != b, "a link connects two distinct nodes");
+        assert!(from < until, "empty link outage: {from:?} >= {until:?}");
+        self.link_outages.push((
+            a.min(b),
+            a.max(b),
+            Outage {
+                from,
+                until: Some(until),
+            },
+        ));
+        self
+    }
+
+    /// Cuts the link between `a` and `b` at `at`, never to heal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide.
+    pub fn cut_link(mut self, a: usize, b: usize, at: Time) -> Self {
+        assert!(a != b, "a link connects two distinct nodes");
+        self.link_outages.push((
+            a.min(b),
+            a.max(b),
+            Outage {
+                from: at,
+                until: None,
+            },
+        ));
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_outages.is_empty() && self.link_outages.is_empty()
+    }
+
+    /// Whether `node` is down at instant `t`.
+    pub fn node_down_at(&self, node: usize, t: Time) -> bool {
+        self.node_outages
+            .iter()
+            .any(|&(n, o)| n == node && o.covers(t))
+    }
+
+    /// Whether the link between `a` and `b` is down at instant `t`
+    /// (link outages only — a crashed endpoint is
+    /// [`FaultPlan::node_down_at`]'s business).
+    pub fn link_down_at(&self, a: usize, b: usize, t: Time) -> bool {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.link_outages
+            .iter()
+            .any(|&(x, y, o)| x == lo && y == hi && o.covers(t))
+    }
+
+    /// Whether a `src → dst` packet arriving at instant `t` is dropped:
+    /// either endpoint crashed, or the link between them cut.
+    pub fn drops_packet(&self, src: usize, dst: usize, t: Time) -> bool {
+        self.node_down_at(src, t) || self.node_down_at(dst, t) || self.link_down_at(src, dst, t)
+    }
+
+    /// The scheduled node outages, as declared.
+    pub fn node_outages(&self) -> &[(usize, Outage)] {
+        &self.node_outages
+    }
+
+    /// Validates the plan against a rack of `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range endpoint found.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        for &(n, _) in &self.node_outages {
+            if n >= nodes {
+                return Err(format!(
+                    "fault plan crashes node {n} of a {nodes}-node rack"
+                ));
+            }
+        }
+        for &(a, b, _) in &self.link_outages {
+            if a >= nodes || b >= nodes {
+                return Err(format!(
+                    "fault plan cuts link {a}-{b} of a {nodes}-node rack"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let o = Outage {
+            from: Time::from_us(10),
+            until: Some(Time::from_us(20)),
+        };
+        assert!(!o.covers(Time::from_ns(9_999)));
+        assert!(o.covers(Time::from_us(10)));
+        assert!(o.covers(Time::from_ns(19_999)));
+        assert!(!o.covers(Time::from_us(20)));
+        let forever = Outage {
+            from: Time::from_us(10),
+            until: None,
+        };
+        assert!(forever.covers(Time::from_us(1_000_000)));
+    }
+
+    #[test]
+    fn node_and_link_queries() {
+        let plan = FaultPlan::new()
+            .crash_restore(3, Time::from_us(1), Time::from_us(2))
+            .cut_link(5, 4, Time::from_us(7));
+        assert!(plan.node_down_at(3, Time::from_us(1)));
+        assert!(!plan.node_down_at(3, Time::from_us(2)));
+        assert!(!plan.node_down_at(4, Time::from_us(1)));
+        // Link order is normalized; both directions drop.
+        assert!(plan.link_down_at(4, 5, Time::from_us(7)));
+        assert!(plan.link_down_at(5, 4, Time::from_us(7)));
+        assert!(!plan.link_down_at(4, 5, Time::from_ns(6_999)));
+        assert!(plan.drops_packet(4, 5, Time::from_us(8)));
+        assert!(plan.drops_packet(3, 0, Time::from_ns(1_500)), "src down");
+        assert!(plan.drops_packet(0, 3, Time::from_ns(1_500)), "dst down");
+        assert!(!plan.drops_packet(0, 1, Time::from_us(100)));
+    }
+
+    #[test]
+    fn a_node_can_fail_repeatedly() {
+        let plan = FaultPlan::new()
+            .crash_restore(2, Time::from_us(1), Time::from_us(2))
+            .crash_restore(2, Time::from_us(5), Time::from_us(6));
+        assert!(plan.node_down_at(2, Time::from_ns(1_500)));
+        assert!(!plan.node_down_at(2, Time::from_us(3)));
+        assert!(plan.node_down_at(2, Time::from_ns(5_500)));
+    }
+
+    #[test]
+    fn empty_plan_drops_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.drops_packet(0, 1, Time::from_us(1)));
+        assert!(plan.validate(2).is_ok());
+    }
+
+    #[test]
+    fn validation_checks_endpoints() {
+        assert!(FaultPlan::new()
+            .crash(7, Time::from_us(1))
+            .validate(8)
+            .is_ok());
+        assert!(FaultPlan::new()
+            .crash(8, Time::from_us(1))
+            .validate(8)
+            .is_err());
+        assert!(FaultPlan::new()
+            .cut_link(0, 9, Time::from_us(1))
+            .validate(8)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty crash window")]
+    fn empty_crash_window_rejected() {
+        let _ = FaultPlan::new().crash_restore(0, Time::from_us(2), Time::from_us(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct nodes")]
+    fn self_link_rejected() {
+        let _ = FaultPlan::new().cut_link(3, 3, Time::from_us(1));
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod scenario;
 pub mod spec;
@@ -53,6 +54,7 @@ pub mod workloads;
 
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, NodeRole, PlacementFn, PlacementPolicy, Topology};
+pub use fault::FaultPlan;
 pub use metrics::{CoreMetrics, Phase};
 pub use scenario::{NodeReport, RunReport, ScenarioBuilder, Sweep};
 pub use spec::{spec, Arrivals, Popularity, WorkloadSpec};

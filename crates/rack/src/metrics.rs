@@ -52,6 +52,14 @@ pub struct CoreMetrics {
     pub queued_arrivals: u64,
     /// Deepest arrival backlog observed (operations waiting to start).
     pub peak_backlog: u64,
+    /// Operations re-issued at another replica after a failover timeout
+    /// fired (replicated readers only; see
+    /// [`FailoverReader`](crate::workloads::FailoverReader)).
+    pub failovers: u64,
+    /// Times the reader migrated its preferred replica binding — to a
+    /// fallback after the bound replica died, or back to a nearer replica
+    /// once a probe found it live again.
+    pub migrations: u64,
     phases: [MeanTracker; 4],
 }
 
@@ -74,6 +82,17 @@ impl CoreMetrics {
     pub fn record_queued(&mut self, depth: u64) {
         self.queued_arrivals += 1;
         self.peak_backlog = self.peak_backlog.max(depth);
+    }
+
+    /// Records one failover: a timeout fired and the operation was
+    /// re-issued at the next replica.
+    pub fn record_failover(&mut self) {
+        self.failovers += 1;
+    }
+
+    /// Records one replica-binding migration.
+    pub fn record_migration(&mut self) {
+        self.migrations += 1;
     }
 
     /// Median end-to-end latency in whole ns (deterministic bucket edge).
@@ -142,6 +161,8 @@ impl CoreMetrics {
         self.latency_hist.merge(&other.latency_hist);
         self.queued_arrivals += other.queued_arrivals;
         self.peak_backlog = self.peak_backlog.max(other.peak_backlog);
+        self.failovers += other.failovers;
+        self.migrations += other.migrations;
     }
 }
 

@@ -223,6 +223,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules node crashes and link outages for the run
+    /// ([`ClusterConfig::fault`]): the plan is injected at window barriers,
+    /// so every shard × thread setting still replays bit-identically. See
+    /// [`crate::fault`] for the failure model.
+    pub fn fault(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.cfg.fault = plan;
+        self
+    }
+
     /// Registers a region-preparation step: it receives the fresh cluster
     /// before any workload starts and returns the target addresses it laid
     /// out (possibly none). Targets of every preparation, in declaration

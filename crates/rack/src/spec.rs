@@ -51,7 +51,9 @@ use sabre_mem::Addr;
 use sabre_sim::Time;
 
 use crate::workload::{ReadMechanism, Workload};
-use crate::workloads::{AsyncReader, SourceLockingReader, SyncReader, TrafficReader};
+use crate::workloads::{
+    AsyncReader, FailoverReader, SourceLockingReader, SyncReader, TrafficReader,
+};
 
 /// The arrival process driving a reader: when operations *want* to start.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +131,9 @@ pub struct WorkloadSpec {
     iterations: Option<u64>,
     window: Option<usize>,
     source_locking: bool,
+    replicas: Option<Vec<(usize, Vec<Addr>)>>,
+    failover_timeout: Time,
+    migrate: bool,
 }
 
 impl Default for WorkloadSpec {
@@ -156,6 +161,9 @@ impl WorkloadSpec {
             iterations: None,
             window: None,
             source_locking: false,
+            replicas: None,
+            failover_timeout: Time::from_us(10),
+            migrate: true,
         }
     }
 
@@ -265,6 +273,36 @@ impl WorkloadSpec {
         self
     }
 
+    /// Read a *replicated* object through a failover reader instead of a
+    /// single store node. Each entry is `(store node, object addresses)`
+    /// in preference order (nearest first — the farm layer's
+    /// `ReplicatedStore::view_for` computes exactly this); index `i` of
+    /// every address vector names the same logical object.
+    /// Replaces [`WorkloadSpec::store`], which becomes optional. Only the
+    /// closed-loop uniform read-only shape supports replicas.
+    pub fn replicas(mut self, replicas: Vec<(usize, Vec<Addr>)>) -> Self {
+        self.replicas = Some(replicas);
+        self
+    }
+
+    /// How long a replicated read waits before abandoning the attempt and
+    /// failing over to the next replica (default 10 µs). Only meaningful
+    /// with [`WorkloadSpec::replicas`].
+    pub fn failover_timeout(mut self, timeout: Time) -> Self {
+        self.failover_timeout = timeout;
+        self
+    }
+
+    /// Whether the failover reader *migrates* its replica binding
+    /// (default `true` — adaptive). `false` selects the static
+    /// round-robin policy: every operation starts at the next replica in
+    /// rotation with no memory of failures. Only meaningful with
+    /// [`WorkloadSpec::replicas`].
+    pub fn migrate(mut self, migrate: bool) -> Self {
+        self.migrate = migrate;
+        self
+    }
+
     fn is_plain_closed_loop(&self) -> bool {
         self.arrivals == Arrivals::Closed
             && self.popularity == Popularity::Uniform
@@ -285,6 +323,40 @@ impl WorkloadSpec {
             Some(objs) => objs.clone(),
             None => targets.to_vec(),
         };
+        let payload = self
+            .payload
+            .expect("WorkloadSpec needs an object size: call .payload(bytes)");
+
+        if let Some(replicas) = &self.replicas {
+            assert!(
+                self.is_plain_closed_loop(),
+                "replicated readers support only the closed-loop uniform read-only shape"
+            );
+            assert!(
+                self.window.is_none() && !self.source_locking,
+                "replicated readers ignore window/source-locking"
+            );
+            let replicas = replicas
+                .iter()
+                .map(|(node, addrs)| {
+                    assert!(*node <= u8::MAX as usize, "replica node out of range");
+                    (*node as u8, addrs.clone())
+                })
+                .collect();
+            return Box::new(FailoverReader::assemble(
+                replicas,
+                payload,
+                self.mech,
+                self.local_buf,
+                self.iterations,
+                self.consume,
+                self.backoff,
+                self.wire,
+                self.failover_timeout,
+                self.migrate,
+            ));
+        }
+
         assert!(
             !objects.is_empty(),
             "WorkloadSpec needs objects: declare a region or call .objects(..)"
@@ -294,9 +366,6 @@ impl WorkloadSpec {
             .expect("WorkloadSpec needs a target node: call .store(node)");
         assert!(store <= u8::MAX as usize, "store node out of range");
         let dst = store as u8;
-        let payload = self
-            .payload
-            .expect("WorkloadSpec needs an object size: call .payload(bytes)");
 
         if self.source_locking {
             assert!(

@@ -764,6 +764,336 @@ impl Workload for SourceLockingReader {
     }
 }
 
+/// What a pending [`FailoverReader`] wake means: the failover timer armed
+/// for one specific attempt (identified by its `wq_id`, so a timer that
+/// outlives its attempt is recognized as stale and ignored), or a service
+/// sleep (strip/consume/backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FailoverWake {
+    Timeout(u64),
+    Service,
+}
+
+/// Successful operations between replica probes: after this many, a
+/// migrating reader re-tries the most-preferred suspected replica to
+/// detect recovery (costing at most one timeout if it is still down).
+const PROBE_EVERY: u64 = 64;
+
+/// A closed-loop reader over a *replicated* object: the same object image
+/// lives on several store nodes, and the reader fails over between them.
+///
+/// Every attempt arms a failover timer
+/// ([`WorkloadSpec::failover_timeout`](crate::spec::WorkloadSpec::failover_timeout)).
+/// A one-sided read whose
+/// packets a [`FaultPlan`](crate::FaultPlan) dropped never completes; when
+/// the timer fires first, the reader abandons the attempt, counts a
+/// [`failover`](crate::CoreMetrics::failovers), and re-issues the *same*
+/// object at the next replica. Completions of abandoned attempts (a
+/// false timeout under load) are matched by `wq_id` and discarded.
+///
+/// Two replica-selection policies, compared by the `fig_failover`
+/// experiment:
+///
+/// * **Static round-robin** (`migrate = false`): each new operation starts
+///   at the next replica in rotation, with no memory of past failures —
+///   during an outage every k-th operation eats a timeout.
+/// * **Adaptive** (`migrate = true`): the reader *binds* to the most
+///   preferred (nearest) replica, re-binds to the next live one on
+///   failure (a [`migration`](crate::CoreMetrics::migrations)), and every
+///   `PROBE_EVERY` (64) successes probes a suspected more-preferred replica
+///   so it migrates back after recovery.
+///
+/// Unlike [`SyncReader`], latency is measured across the whole operation
+/// — failover timeouts and atomicity retries included — which is what
+/// makes the p99-under-crashes comparison meaningful.
+#[derive(Debug)]
+pub struct FailoverReader {
+    /// `(store node, object addresses)` in preference order; index `i`
+    /// of every address vector names the same logical object.
+    replicas: Vec<(u8, Vec<Addr>)>,
+    payload: u32,
+    mech: ReadMechanism,
+    local_buf: Option<Addr>,
+    remaining: Option<u64>,
+    consume: bool,
+    backoff: Time,
+    wire_override: Option<u32>,
+    timeout: Time,
+    migrate: bool,
+    // Runtime state.
+    suspected: Vec<bool>,
+    /// Adaptive mode's current binding (preference index).
+    bound: usize,
+    /// Static mode's round-robin cursor.
+    rr: u64,
+    cur_obj: usize,
+    cur_replica: usize,
+    /// `wq_id` of the live attempt; `None` once completed or abandoned.
+    inflight: Option<u64>,
+    /// Operation start — kept across failovers and retries.
+    t0: Time,
+    t_issue: Time,
+    successes_since_probe: u64,
+    state: ReaderState,
+    wakes: BinaryHeap<Reverse<(Time, u64, FailoverWake)>>,
+    wake_seq: u64,
+}
+
+impl FailoverReader {
+    /// Builds the reader from spec fields; see `WorkloadSpec::build`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty, the replicas disagree on object
+    /// count, the object set is empty, or the timeout is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        replicas: Vec<(u8, Vec<Addr>)>,
+        payload: u32,
+        mech: ReadMechanism,
+        local_buf: Option<Addr>,
+        remaining: Option<u64>,
+        consume: bool,
+        backoff: Time,
+        wire_override: Option<u32>,
+        timeout: Time,
+        migrate: bool,
+    ) -> Self {
+        assert!(!replicas.is_empty(), "a failover reader needs replicas");
+        let objects = replicas[0].1.len();
+        assert!(objects > 0, "a failover reader needs objects");
+        assert!(
+            replicas.iter().all(|(_, addrs)| addrs.len() == objects),
+            "every replica must hold every object"
+        );
+        assert!(timeout > Time::ZERO, "failover timeout must be positive");
+        let k = replicas.len();
+        FailoverReader {
+            replicas,
+            payload,
+            mech,
+            local_buf,
+            remaining,
+            consume,
+            backoff,
+            wire_override,
+            timeout,
+            migrate,
+            suspected: vec![false; k],
+            bound: 0,
+            rr: 0,
+            cur_obj: 0,
+            cur_replica: 0,
+            inflight: None,
+            t0: Time::ZERO,
+            t_issue: Time::ZERO,
+            successes_since_probe: 0,
+            state: ReaderState::Idle,
+            wakes: BinaryHeap::new(),
+            wake_seq: 0,
+        }
+    }
+
+    fn wire(&self) -> u32 {
+        self.wire_override
+            .unwrap_or_else(|| self.mech.wire_bytes(self.payload))
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        self.local_buf.unwrap_or_else(|| {
+            let half = api.config().memory_bytes as u64 / 2;
+            Addr::new(half + api.core() as u64 * 256 * 1024)
+        })
+    }
+
+    /// Sleeps for `d` and remembers what the wake will mean.
+    fn sleep_kind(&mut self, api: &mut CoreApi<'_>, d: Time, kind: FailoverWake) {
+        let due = api.now() + d;
+        self.wakes.push(Reverse((due, self.wake_seq, kind)));
+        self.wake_seq += 1;
+        api.sleep(d);
+    }
+
+    /// Starts the next operation: fresh object, fresh latency baseline,
+    /// policy-chosen starting replica.
+    fn issue_next(&mut self, api: &mut CoreApi<'_>) {
+        if self.remaining == Some(0) {
+            self.state = ReaderState::Idle;
+            return;
+        }
+        let objects = self.replicas[0].1.len() as u64;
+        self.cur_obj = api.rng().below(objects) as usize;
+        self.cur_replica = if self.migrate {
+            self.bound
+        } else {
+            let r = (self.rr % self.replicas.len() as u64) as usize;
+            self.rr += 1;
+            r
+        };
+        self.t0 = api.now();
+        self.issue_attempt(api);
+    }
+
+    /// (Re-)issues the current object at `cur_replica` and arms the
+    /// failover timer for this attempt.
+    fn issue_attempt(&mut self, api: &mut CoreApi<'_>) {
+        let (node, ref addrs) = self.replicas[self.cur_replica];
+        let addr = addrs[self.cur_obj];
+        let buf = self.buf(api);
+        self.t_issue = api.now();
+        let wq_id = api.issue(self.mech.op(), node, addr, buf, self.wire(), 0);
+        self.inflight = Some(wq_id);
+        let timeout = self.timeout;
+        self.sleep_kind(api, timeout, FailoverWake::Timeout(wq_id));
+        self.state = ReaderState::AwaitTransfer;
+    }
+
+    /// The failover timer of the live attempt fired: suspect the replica,
+    /// move to the next one, re-issue the same object.
+    fn failover(&mut self, api: &mut CoreApi<'_>) {
+        self.inflight = None;
+        api.metrics().record_failover();
+        self.suspected[self.cur_replica] = true;
+        let k = self.replicas.len();
+        let next = if self.migrate {
+            match (0..k).find(|&i| !self.suspected[i]) {
+                Some(i) => i,
+                None => {
+                    // Everything looks dead: forget the suspicions and
+                    // cycle, so recovery is always eventually observed.
+                    self.suspected.fill(false);
+                    (self.cur_replica + 1) % k
+                }
+            }
+        } else {
+            (self.cur_replica + 1) % k
+        };
+        if self.migrate && next != self.bound {
+            self.bound = next;
+            api.metrics().record_migration();
+        }
+        self.cur_replica = next;
+        self.issue_attempt(api);
+    }
+
+    fn success(&mut self, api: &mut CoreApi<'_>) {
+        let latency = api.now() - self.t0;
+        api.metrics().record_success(self.payload as u64, latency);
+        if let Some(n) = &mut self.remaining {
+            *n -= 1;
+        }
+        if self.migrate {
+            self.successes_since_probe += 1;
+            if self.successes_since_probe >= PROBE_EVERY {
+                self.successes_since_probe = 0;
+                // Probe: re-bind to the most preferred suspected replica,
+                // if it beats the current binding. Still down → one
+                // timeout and the next failover rebinds.
+                if let Some(i) = (0..self.bound).find(|&i| self.suspected[i]) {
+                    self.suspected[i] = false;
+                    self.bound = i;
+                    api.metrics().record_migration();
+                }
+            }
+        }
+        self.issue_next(api);
+    }
+
+    /// Atomicity conflict: retry the same object at the same replica.
+    fn retry(&mut self, api: &mut CoreApi<'_>) {
+        api.metrics().record_retry();
+        if self.backoff == Time::ZERO {
+            self.issue_attempt(api);
+        } else {
+            self.state = ReaderState::Backoff;
+            let backoff = self.backoff;
+            self.sleep_kind(api, backoff, FailoverWake::Service);
+        }
+    }
+}
+
+impl Workload for FailoverReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.issue_next(api);
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        if self.inflight != Some(cq.wq_id) {
+            return; // Late completion of an attempt we already abandoned.
+        }
+        self.inflight = None;
+        assert_eq!(self.state, ReaderState::AwaitTransfer);
+        let transfer = api.now() - self.t_issue;
+        api.metrics().record_phase(Phase::Transfer, transfer);
+        match self.mech {
+            ReadMechanism::Raw => self.success(api),
+            ReadMechanism::Sabre => {
+                if !cq.success {
+                    self.retry(api);
+                } else if self.consume {
+                    self.state = ReaderState::AwaitConsume;
+                    let t = api.cpu().read_time(self.payload as usize, DataSource::Llc);
+                    api.metrics().record_phase(Phase::App, t);
+                    self.sleep_kind(api, t, FailoverWake::Service);
+                } else {
+                    self.success(api);
+                }
+            }
+            ReadMechanism::PerClValidate { .. } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().strip_time(self.wire() as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                self.sleep_kind(api, t, FailoverWake::Service);
+            }
+            ReadMechanism::ChecksumValidate { payload } => {
+                self.state = ReaderState::AwaitStrip;
+                let t = api.cpu().crc_time(payload as usize);
+                api.metrics().record_phase(Phase::Strip, t);
+                self.sleep_kind(api, t, FailoverWake::Service);
+            }
+        }
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        let Reverse((due, _seq, kind)) = self
+            .wakes
+            .pop()
+            .expect("a wake implies a pending sleep we recorded");
+        debug_assert_eq!(due, api.now(), "wakes deliver in schedule order");
+        match kind {
+            FailoverWake::Timeout(wq_id) => {
+                if self.inflight == Some(wq_id) {
+                    self.failover(api);
+                }
+                // Else: the attempt completed before its timer; stale.
+            }
+            FailoverWake::Service => match self.state {
+                ReaderState::AwaitStrip => {
+                    let buf = self.buf(api);
+                    let image = api.read_local(buf, self.wire() as usize);
+                    let ok = match self.mech {
+                        ReadMechanism::PerClValidate { payload } => {
+                            PerClLayout::validate_and_strip(&image, payload as usize).is_ok()
+                        }
+                        ReadMechanism::ChecksumValidate { payload } => {
+                            ChecksumLayout::validate(&image, payload as usize).is_ok()
+                        }
+                        _ => unreachable!("strip state only for software mechanisms"),
+                    };
+                    if ok {
+                        self.success(api);
+                    } else {
+                        self.retry(api);
+                    }
+                }
+                ReaderState::AwaitConsume => self.success(api),
+                ReaderState::Backoff => self.issue_attempt(api),
+                s => panic!("unexpected service wake in state {s:?}"),
+            },
+        }
+    }
+}
+
 /// Stream ids for [`TrafficReader`]'s forked RNGs. Forks are
 /// consumption-insensitive, so the arrival-time stream is identical across
 /// mechanisms and object-choice patterns (and vice versa).

@@ -155,6 +155,9 @@ pub struct R2p2Stats {
     pub sabres_registered: u64,
     /// Registrations parked because the ATT was full.
     pub sabres_parked: u64,
+    /// Stale data requests discarded in fault-tolerant mode: their
+    /// registration died with a crash, so there is no SABRe to serve.
+    pub stale_dropped: u64,
 }
 
 impl R2p2Stats {
@@ -165,6 +168,7 @@ impl R2p2Stats {
         self.writes += other.writes;
         self.sabres_registered += other.sabres_registered;
         self.sabres_parked += other.sabres_parked;
+        self.stale_dropped += other.stale_dropped;
     }
 }
 
@@ -182,6 +186,12 @@ pub struct R2p2 {
     parked: VecDeque<ParkedSabre>,
     routes: HashMap<u8, Route>,
     stats: R2p2Stats,
+    /// Discard (rather than panic on) data requests whose registration is
+    /// neither live nor parked. Off by default: in a fault-free rack such
+    /// a request is a wiring bug. A rack with a fault plan turns it on,
+    /// because a crash can swallow the registration packet of a burst
+    /// whose data requests outlive the outage.
+    tolerate_stale: bool,
 }
 
 impl R2p2 {
@@ -198,7 +208,17 @@ impl R2p2 {
             parked: VecDeque::new(),
             routes: HashMap::new(),
             stats: R2p2Stats::default(),
+            tolerate_stale: false,
         }
+    }
+
+    /// Makes the pipeline discard stale SABRe data requests (counted in
+    /// [`R2p2Stats::stale_dropped`]) instead of panicking — the recovery
+    /// semantics of a crash-prone rack, where an outage can eat a
+    /// registration whose data requests arrive after service resumes.
+    pub fn tolerating_stale(mut self) -> Self {
+        self.tolerate_stale = true;
+        self
     }
 
     /// The embedded LightSABRes engine (stats and tests).
@@ -331,14 +351,16 @@ impl R2p2 {
                     Err(SabreError::UnknownId) => {
                         // The registration is parked; count the request for
                         // replay (in-order fabric guarantees reg-first).
-                        let parked =
-                            self.parked
-                                .iter_mut()
-                                .find(|p| p.id == id)
-                                .unwrap_or_else(|| {
-                                    panic!("data request for unregistered, unparked SABRe {id}")
-                                });
-                        parked.requests += 1;
+                        if let Some(parked) = self.parked.iter_mut().find(|p| p.id == id) {
+                            parked.requests += 1;
+                        } else if self.tolerate_stale {
+                            // The registration died in an outage; the SABRe
+                            // can never be served. Stale traffic, not a bug.
+                            self.stats.stale_dropped += 1;
+                            return false;
+                        } else {
+                            panic!("data request for unregistered, unparked SABRe {id}");
+                        }
                     }
                     Err(e) => panic!("SABRe protocol violation for {id}: {e}"),
                 }

@@ -21,7 +21,19 @@
 //!   samples, throughput?}` records) — how `BENCH_baseline.json` is
 //!   (re)generated;
 //! * `SABRES_BENCH_QUICK=1` shrinks the pass count and calibration budget
-//!   for CI smoke runs.
+//!   for CI smoke runs;
+//! * with `SABRES_BENCH_BASELINE=<path>` set, the run becomes a
+//!   **regression gate**: each finished benchmark is compared against the
+//!   matching record of the baseline JSON, and the process exits non-zero
+//!   if any median exceeds `baseline × 2 + N × MAD + 100 ns` (the ratio
+//!   and floor absorb host-to-host variance, the MAD term scales with the
+//!   baseline's own measured noise; `N` defaults to 8 and is overridable
+//!   via `SABRES_BENCH_GATE_MAD`). Benches absent from the baseline pass
+//!   ungated, so adding a benchmark never requires regenerating it first.
+//!
+//! Relative `<path>`s are resolved by searching upward from the current
+//! directory, because cargo runs bench binaries from the package root
+//! while the committed baseline lives at the workspace root.
 
 use std::time::{Duration, Instant};
 
@@ -134,6 +146,84 @@ struct BenchResult {
     throughput: Option<Throughput>,
 }
 
+/// Default MAD multiple of the regression gate
+/// (`SABRES_BENCH_GATE_MAD` overrides it).
+const GATE_MAD_DEFAULT: f64 = 8.0;
+
+/// Relative headroom of the gate: a median may grow to this multiple of
+/// the baseline before the MAD term even matters — absorbs host-to-host
+/// clock and cache differences.
+const GATE_RATIO: f64 = 2.0;
+
+/// Absolute gate floor in nanoseconds, so timer-resolution jitter on
+/// sub-10 ns kernels can never trip the gate.
+const GATE_FLOOR_NS: f64 = 100.0;
+
+/// Extracts a `"key": "string"` field from one JSON record, undoing the
+/// `\\`/`\"` escapes [`Criterion::to_json`] writes.
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a `"key": number` field from one JSON record.
+fn json_num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Resolves a baseline/JSON path: absolute paths and paths that exist
+/// from the current directory pass through; otherwise ancestors are
+/// searched, because cargo runs bench binaries from the *package* root
+/// while `BENCH_baseline.json` is committed at the workspace root.
+fn resolve_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() || p.exists() {
+        return p.to_path_buf();
+    }
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let candidate = d.join(p);
+        if candidate.exists() {
+            return candidate;
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    p.to_path_buf()
+}
+
+/// Parses a results document [`Criterion::to_json`] wrote (one record per
+/// line); lines without the expected fields are skipped, so a truncated
+/// or hand-edited baseline degrades to a smaller gate, never a crash.
+fn parse_results(json: &str) -> Vec<BenchResult> {
+    json.lines()
+        .filter_map(|line| {
+            Some(BenchResult {
+                group: json_str_field(line, "group")?,
+                bench: json_str_field(line, "bench")?,
+                median_ns: json_num_field(line, "median_ns")?,
+                mad_ns: json_num_field(line, "mad_ns")?,
+                samples: json_num_field(line, "samples").unwrap_or(0.0) as usize,
+                throughput: None,
+            })
+        })
+        .collect()
+}
+
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
@@ -213,20 +303,91 @@ impl Criterion {
     }
 
     /// Prints the closing summary; with `SABRES_BENCH_JSON=<path>` set,
-    /// also writes every result as JSON to `<path>`.
+    /// also writes every result as JSON to `<path>`, and with
+    /// `SABRES_BENCH_BASELINE=<path>` set, enforces the regression gate
+    /// against that baseline (exiting non-zero on any regression).
     pub fn final_summary(&mut self) {
-        let Ok(path) = std::env::var("SABRES_BENCH_JSON") else {
+        if let Ok(path) = std::env::var("SABRES_BENCH_JSON") {
+            if !path.is_empty() {
+                let resolved = resolve_path(&path);
+                if let Err(e) = std::fs::write(&resolved, self.to_json()) {
+                    eprintln!("warning: could not write {}: {e}", resolved.display());
+                } else {
+                    eprintln!("bench results written to {}", resolved.display());
+                }
+            }
+        }
+        self.enforce_baseline();
+    }
+
+    /// The regression gate: compares every finished benchmark against the
+    /// `SABRES_BENCH_BASELINE` document and exits non-zero on any median
+    /// beyond the gate. A gate explicitly requested but unreadable is a
+    /// CI misconfiguration, and also fails the run.
+    fn enforce_baseline(&self) {
+        let Ok(path) = std::env::var("SABRES_BENCH_BASELINE") else {
             return;
         };
         if path.is_empty() {
             return;
         }
-        let json = self.to_json();
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("warning: could not write {path}: {e}");
+        let resolved = resolve_path(&path);
+        let text = match std::fs::read_to_string(&resolved) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "error: could not read bench baseline {}: {e}",
+                    resolved.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        let mad_factor = std::env::var("SABRES_BENCH_GATE_MAD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(GATE_MAD_DEFAULT);
+        let failures = self.gate_against(&text, mad_factor);
+        if failures.is_empty() {
+            eprintln!(
+                "bench baseline gate: {} benches within the gate of {}",
+                self.results.len(),
+                resolved.display()
+            );
         } else {
-            eprintln!("bench results written to {path}");
+            for f in &failures {
+                eprintln!("bench regression: {f}");
+            }
+            eprintln!(
+                "bench baseline gate failed: {} regression(s) vs {}",
+                failures.len(),
+                resolved.display()
+            );
+            std::process::exit(1);
         }
+    }
+
+    /// The gate decisions against a baseline document: one message per
+    /// benchmark whose median exceeds
+    /// `baseline × GATE_RATIO + mad_factor × MAD + GATE_FLOOR_NS`.
+    /// Benches missing from the baseline pass ungated.
+    fn gate_against(&self, baseline: &str, mad_factor: f64) -> Vec<String> {
+        let baseline = parse_results(baseline);
+        self.results
+            .iter()
+            .filter_map(|r| {
+                let b = baseline
+                    .iter()
+                    .find(|b| b.group == r.group && b.bench == r.bench)?;
+                let allowed = b.median_ns * GATE_RATIO + mad_factor * b.mad_ns + GATE_FLOOR_NS;
+                (r.median_ns > allowed).then(|| {
+                    format!(
+                        "{}/{}: {:.1} ns/iter exceeds the gate of {:.1} ns \
+                         (baseline {:.1} ±{:.1} MAD)",
+                        r.group, r.bench, r.median_ns, allowed, b.median_ns, b.mad_ns
+                    )
+                })
+            })
+            .collect()
     }
 
     /// The collected results as a JSON document.
@@ -315,6 +476,74 @@ mod tests {
         let mut even = vec![4.0, 1.0, 9.0, 6.0];
         assert_eq!(median_in_place(&mut even), 5.0);
         assert_eq!(median_in_place(&mut []), 0.0);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_parser() {
+        let mut c = Criterion::default();
+        c.results.push(BenchResult {
+            group: "g \"q\"".into(),
+            bench: "b".into(),
+            median_ns: 123.5,
+            mad_ns: 4.5,
+            samples: 7,
+            throughput: Some(Throughput::Bytes(64)),
+        });
+        let parsed = parse_results(&c.to_json());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].group, "g \"q\"");
+        assert_eq!(parsed[0].bench, "b");
+        assert_eq!(parsed[0].median_ns, 123.5);
+        assert_eq!(parsed[0].mad_ns, 4.5);
+        assert_eq!(parsed[0].samples, 7);
+    }
+
+    #[test]
+    fn gate_passes_within_headroom_and_fails_beyond_it() {
+        let baseline = "{\"group\": \"g\", \"bench\": \"b\", \
+                        \"median_ns\": 1000.0, \"mad_ns\": 10.0, \"samples\": 7}";
+        // allowed = 1000 * 2 + 8 * 10 + 100 = 2180 ns
+        let mut c = Criterion::default();
+        let mut result = BenchResult {
+            group: "g".into(),
+            bench: "b".into(),
+            median_ns: 2180.0,
+            mad_ns: 0.0,
+            samples: 7,
+            throughput: None,
+        };
+        c.results.push(result.clone());
+        assert!(c.gate_against(baseline, GATE_MAD_DEFAULT).is_empty());
+        result.median_ns = 2181.0;
+        c.results[0] = result.clone();
+        let failures = c.gate_against(baseline, GATE_MAD_DEFAULT);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("g/b"), "{failures:?}");
+        // A bench the baseline has never seen passes ungated.
+        result.bench = "new".into();
+        c.results[0] = result;
+        assert!(c.gate_against(baseline, GATE_MAD_DEFAULT).is_empty());
+    }
+
+    #[test]
+    fn relative_paths_resolve_through_ancestors() {
+        // Cargo runs this test from the crate root; the baseline at the
+        // workspace root (three levels up) is only reachable by walking up.
+        let ws = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(3)
+            .expect("workspace root");
+        assert_eq!(
+            resolve_path("Cargo.toml"),
+            std::path::PathBuf::from("Cargo.toml")
+        );
+        assert_eq!(
+            resolve_path("BENCH_baseline.json"),
+            ws.join("BENCH_baseline.json")
+        );
+        // Absolute paths pass through untouched, even when missing.
+        let abs = ws.join("no-such-baseline.json");
+        assert_eq!(resolve_path(abs.to_str().expect("utf8 path")), abs);
     }
 
     #[test]

@@ -83,16 +83,16 @@ pub mod prelude {
     pub use sabre_core::{CcMode, LightSabres, LightSabresConfig, SpecMode};
     pub use sabre_fabric::RackTopology;
     pub use sabre_farm::{
-        FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore, RpcWriteServer, RpcWriter,
-        ScenarioStoreExt, StoreLayout,
+        replica_sites, FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore,
+        ReplicatedStore, RpcWriteServer, RpcWriter, ScenarioStoreExt, StoreLayout,
     };
     pub use sabre_mem::{Addr, BlockAddr, NodeMemory, BLOCK_BYTES};
     pub use sabre_rack::workloads::{
-        pattern_payload, verify_payload, AsyncReader, SourceLockingReader, SyncReader, Writer,
-        WriterLayout,
+        pattern_payload, verify_payload, AsyncReader, FailoverReader, SourceLockingReader,
+        SyncReader, Writer, WriterLayout,
     };
     pub use sabre_rack::{
-        spec, Arrivals, Cluster, ClusterConfig, CoreApi, NodeReport, NodeRole, Phase,
+        spec, Arrivals, Cluster, ClusterConfig, CoreApi, FaultPlan, NodeReport, NodeRole, Phase,
         PlacementPolicy, Popularity, ReadMechanism, RunReport, ScenarioBuilder, Sweep, Topology,
         Workload, WorkloadSpec,
     };

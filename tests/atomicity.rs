@@ -13,13 +13,19 @@
 //!
 //! Two layers of adversity:
 //!
+//! Three layers of adversity:
+//!
 //! * the paper-shaped two-node races ([`race`]), one per mechanism/mode;
 //! * the multi-node **torture sweep**: 64 seeded schedules across 2–8-node
 //!   racks (fully sharded event loop, one shard per node), rotating
 //!   through every SABRes mechanism — OCC, no-speculation, destination
 //!   locking, per-CL versions — with seed-derived payloads, writer
 //!   partitions and placements, plus a raw-read control proving the same
-//!   schedules do tear without a mechanism.
+//!   schedules do tear without a mechanism;
+//! * the **kill-a-node quadrant**: the same racing writers replayed per
+//!   replica of a [`ReplicatedStore`] while a [`FaultPlan`] crashes one
+//!   replica site mid-run — readers fail over on a timeout and the
+//!   invariant must hold on every image any surviving replica serves.
 
 use std::sync::{Arc, Mutex};
 
@@ -31,6 +37,23 @@ struct Outcome {
     verified: u64,
     torn: u64,
     aborts: u64,
+    /// Attempts abandoned to a failover timer (kill-a-node quadrant only).
+    failovers: u64,
+}
+
+/// Validates an image under `mech`; `Some(payload)` when the mechanism
+/// declares the read atomic.
+fn extract_atomic(mech: ReadMechanism, payload: usize, image: &[u8]) -> Option<Vec<u8>> {
+    match mech {
+        ReadMechanism::Sabre => Some(CleanLayout::payload_of(image, payload).to_vec()),
+        ReadMechanism::PerClValidate { .. } => PerClLayout::validate_and_strip(image, payload).ok(),
+        ReadMechanism::ChecksumValidate { .. } => {
+            sabres::sw::ChecksumLayout::validate(image, payload)
+                .ok()
+                .map(<[u8]>::to_vec)
+        }
+        ReadMechanism::Raw => unreachable!("raw reads claim no atomicity"),
+    }
 }
 
 /// A reader that cross-checks every "atomic" completion against the
@@ -71,19 +94,7 @@ impl CheckedReader {
     /// Validates the image under the mechanism; `Some(payload)` when the
     /// mechanism declares the read atomic.
     fn extract(&self, image: &[u8]) -> Option<Vec<u8>> {
-        let payload = self.store.payload() as usize;
-        match self.mech {
-            ReadMechanism::Sabre => Some(CleanLayout::payload_of(image, payload).to_vec()),
-            ReadMechanism::PerClValidate { .. } => {
-                PerClLayout::validate_and_strip(image, payload).ok()
-            }
-            ReadMechanism::ChecksumValidate { .. } => {
-                sabres::sw::ChecksumLayout::validate(image, payload)
-                    .ok()
-                    .map(<[u8]>::to_vec)
-            }
-            ReadMechanism::Raw => unreachable!("raw reads claim no atomicity"),
-        }
+        extract_atomic(self.mech, self.store.payload() as usize, image)
     }
 }
 
@@ -175,11 +186,7 @@ fn race(
     }
     scenario.run_for(Time::from_us(120));
     let o = outcome.lock().expect("outcome poisoned");
-    Outcome {
-        verified: o.verified,
-        torn: o.torn,
-        aborts: o.aborts,
-    }
+    o.clone()
 }
 
 fn assert_sound(mech: ReadMechanism, o: &Outcome) {
@@ -423,11 +430,7 @@ fn torture_race_threaded(tm: TortureMech, nodes: usize, seed: u64, threads: usiz
     }
     scenario.run_for(Time::from_us(30));
     let o = outcome.lock().expect("outcome poisoned");
-    Outcome {
-        verified: o.verified,
-        torn: o.torn,
-        aborts: o.aborts,
-    }
+    o.clone()
 }
 
 #[test]
@@ -557,11 +560,7 @@ fn fat_tree_nearest_race(tm: Option<TortureMech>, seed: u64) -> Outcome {
     }
     scenario.run_for(Time::from_us(30));
     let o = outcome.lock().expect("outcome poisoned");
-    Outcome {
-        verified: o.verified,
-        torn: o.torn,
-        aborts: o.aborts,
-    }
+    o.clone()
 }
 
 #[test]
@@ -654,5 +653,324 @@ fn torture_raw_reads_still_tear_on_every_rack_size() {
             "raw reads never tore on a {nodes}-node rack — the torture \
              schedules are not generating real races there"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The kill-a-node quadrant
+// ---------------------------------------------------------------------
+
+/// Failover timer of the crash quadrant's readers: comfortably above any
+/// healthy transfer latency, so only reads lost to the outage trip it.
+const CRASH_TIMEOUT: Time = Time::from_us(10);
+
+/// Replication factor of the crash quadrant, capped by the rack's store
+/// count (the 2-node rack replays the schedules with a single replica:
+/// no survivor to fail over to, but still never a torn read).
+const CRASH_REPLICATION: usize = 3;
+
+/// A checked reader over a replicated placement: rotates the starting
+/// replica per operation, fails over (round-robin) when the failover
+/// timer fires before the transfer completes, and cross-checks every
+/// "atomic" completion against the writer pattern — [`CheckedReader`]'s
+/// invariant, now required to hold on whatever image whatever surviving
+/// replica serves across a mid-run crash. `raw` strips the mechanism and
+/// counts torn images instead (the control).
+struct CheckedFailoverReader {
+    mech: ReadMechanism,
+    replicas: Vec<ObjectStore>,
+    outcome: Arc<Mutex<Outcome>>,
+    raw: bool,
+    ops: u64,
+    start: usize,
+    cur_obj: u64,
+    cur_replica: usize,
+    inflight: Option<u64>,
+    /// Armed timeout wq-ids in firing order (every timer shares one
+    /// duration, so wakes fire in arming order).
+    pending: std::collections::VecDeque<u64>,
+}
+
+impl CheckedFailoverReader {
+    fn new(
+        mech: ReadMechanism,
+        replicas: Vec<ObjectStore>,
+        start: usize,
+        outcome: Arc<Mutex<Outcome>>,
+        raw: bool,
+    ) -> Self {
+        assert!(!replicas.is_empty(), "a replicated placement needs sites");
+        CheckedFailoverReader {
+            mech,
+            replicas,
+            outcome,
+            raw,
+            ops: 0,
+            start,
+            cur_obj: 0,
+            cur_replica: start,
+            inflight: None,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn wire(&self) -> u32 {
+        self.replicas[0].slot_bytes() as u32
+    }
+
+    fn buf(&self, api: &CoreApi<'_>) -> Addr {
+        Addr::new(api.config().memory_bytes as u64 / 2 + api.core() as u64 * 64 * 1024)
+    }
+
+    /// Starts the next operation: fresh object, next round-robin replica.
+    fn issue_next(&mut self, api: &mut CoreApi<'_>) {
+        self.ops += 1;
+        self.cur_replica = (self.start + self.ops as usize) % self.replicas.len();
+        self.cur_obj = api.rng().below(self.replicas[0].n_objects());
+        self.issue_attempt(api);
+    }
+
+    /// Issues the current object at the current replica and arms the
+    /// failover timer.
+    fn issue_attempt(&mut self, api: &mut CoreApi<'_>) {
+        let store = &self.replicas[self.cur_replica];
+        let addr = store.object_addr(self.cur_obj);
+        let (buf, wire) = (self.buf(api), self.wire());
+        let wq = api.issue(self.mech.op(), store.node(), addr, buf, wire, 0);
+        self.inflight = Some(wq);
+        self.pending.push_back(wq);
+        api.sleep(CRASH_TIMEOUT);
+    }
+}
+
+impl Workload for CheckedFailoverReader {
+    fn on_start(&mut self, api: &mut CoreApi<'_>) {
+        self.issue_next(api);
+    }
+
+    fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        if self.inflight != Some(cq.wq_id) {
+            // A late completion of an attempt already abandoned to its
+            // failover timer.
+            return;
+        }
+        self.inflight = None;
+        let image = api.read_local(self.buf(api), self.wire() as usize);
+        let payload = self.replicas[0].payload() as usize;
+        let mut o = self.outcome.lock().expect("outcome poisoned");
+        if self.raw {
+            if verify_payload(self.cur_obj, CleanLayout::payload_of(&image, payload)).is_some() {
+                o.verified += 1;
+            } else {
+                o.torn += 1;
+            }
+        } else if cq.success {
+            match extract_atomic(self.mech, payload, &image) {
+                Some(payload) => {
+                    if verify_payload(self.cur_obj, &payload).is_some() {
+                        o.verified += 1;
+                    } else {
+                        o.torn += 1;
+                    }
+                }
+                None => o.aborts += 1,
+            }
+        } else {
+            o.aborts += 1;
+        }
+        drop(o);
+        self.issue_next(api);
+    }
+
+    fn on_wake(&mut self, api: &mut CoreApi<'_>) {
+        let wq = self
+            .pending
+            .pop_front()
+            .expect("wake without an armed timer");
+        if self.inflight == Some(wq) {
+            // The live attempt's timer fired: its replica is (or was)
+            // down. Re-issue the same object at the next replica.
+            self.inflight = None;
+            self.outcome.lock().expect("outcome poisoned").failovers += 1;
+            self.cur_replica = (self.cur_replica + 1) % self.replicas.len();
+            self.issue_attempt(api);
+        }
+        // Anything else is a stale timer of an attempt that completed.
+    }
+}
+
+/// One seed-derived kill-a-node schedule: the torture harness's racing
+/// writers, replayed identically per replica of a [`ReplicatedStore`],
+/// while the fault plan crashes the first replica site for the middle
+/// third of the run. Readers rotate replicas per operation and fail over
+/// on [`CRASH_TIMEOUT`]; `tm` [`None`] runs the raw-read control.
+fn crash_race_threaded(
+    tm: Option<TortureMech>,
+    nodes: usize,
+    seed: u64,
+    threads: usize,
+) -> Outcome {
+    let payload = [208u32, 480, 1008][(seed % 3) as usize];
+    let (mech, layout, writer_layout, cc_mode, spec_mode) = match tm {
+        Some(tm) => tm.setup(payload),
+        None => (
+            ReadMechanism::Raw,
+            StoreLayout::Clean,
+            WriterLayout::Clean,
+            CcMode::Occ,
+            SpecMode::Speculative,
+        ),
+    };
+    let builder = ScenarioBuilder::new()
+        .configure(move |cfg| {
+            cfg.lightsabres.cc_mode = cc_mode;
+            cfg.lightsabres.spec_mode = spec_mode;
+        })
+        .seed(seed)
+        .nodes(nodes)
+        .shards(nodes)
+        .threads(threads);
+    let topo = builder.config().topology.clone();
+    let rack = builder.config().fabric.topology;
+    let store_nodes = topo.store_nodes();
+    let k = CRASH_REPLICATION.min(store_nodes.len());
+    let sites = replica_sites(&store_nodes, k, rack);
+    let builder = builder.fault(FaultPlan::new().crash_restore(
+        sites[0],
+        Time::from_us(10),
+        Time::from_us(20),
+    ));
+    let (mut scenario, store) = builder.replicated_store(&sites, layout, payload, 12);
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
+    for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+        for core in 0..2 {
+            let replicas = store.replicas().to_vec();
+            let outcome = Arc::clone(&outcome);
+            let start = (2 * i + core) % k;
+            scenario = scenario.reader(rnode, core, move |_| {
+                Box::new(CheckedFailoverReader::new(
+                    mech,
+                    replicas,
+                    start,
+                    outcome,
+                    tm.is_none(),
+                ))
+            });
+        }
+    }
+    // Identical writer partitions per site: each replica replays the same
+    // deterministic update schedule, so every replica is independently
+    // consistent and a reader may verify whichever one serves it.
+    let chunk = [3usize, 4, 6][((seed / 3) % 3) as usize];
+    for replica in store.replicas() {
+        for (w, entries) in replica.object_entries().chunks(chunk).enumerate() {
+            let mut writer = Writer::new(entries.to_vec(), payload, writer_layout, Time::ZERO);
+            if cc_mode == CcMode::Locking {
+                writer = writer.respecting_reader_locks();
+            }
+            scenario = scenario.workload(replica.node() as usize, w, Box::new(writer));
+        }
+    }
+    scenario.run_for(Time::from_us(30));
+    let o = outcome.lock().expect("outcome poisoned");
+    o.clone()
+}
+
+#[test]
+fn torture_kill_a_node_never_tears_on_surviving_replicas() {
+    // 32 seeded kill-a-node schedules, node counts cycling 2..=8,
+    // mechanisms rotating so each of the four gets 8 genuinely different
+    // crash schedules. No mechanism may deliver a torn image as atomic —
+    // before, during, or after the outage, from any replica.
+    let results = Sweep::over(0u64..32).map(|&seed| {
+        let nodes = 2 + (seed as usize % 7);
+        let tm = TortureMech::ALL[(seed % 4) as usize];
+        (
+            tm,
+            nodes,
+            seed,
+            crash_race_threaded(Some(tm), nodes, seed, 1),
+        )
+    });
+    let mut per_mech: std::collections::HashMap<TortureMech, Outcome> =
+        std::collections::HashMap::new();
+    for (tm, nodes, seed, o) in &results {
+        assert_eq!(
+            o.torn, 0,
+            "{tm:?} on {nodes} nodes with a crash (seed {seed}): {} torn objects \
+             delivered as atomic (of {} verified, {} aborts, {} failovers)",
+            o.torn, o.verified, o.aborts, o.failovers
+        );
+        assert!(
+            o.verified > 10,
+            "{tm:?} on {nodes} nodes with a crash (seed {seed}): too few successes: {o:?}"
+        );
+        let e = per_mech.entry(*tm).or_default();
+        e.verified += o.verified;
+        e.torn += o.torn;
+        e.aborts += o.aborts;
+        e.failovers += o.failovers;
+    }
+    for tm in TortureMech::ALL {
+        let o = &per_mech[&tm];
+        assert!(
+            o.aborts > 0,
+            "{tm:?}: no conflicts in any of its crash schedules — the quadrant \
+             is not racing: {o:?}"
+        );
+        assert!(
+            o.failovers > 0,
+            "{tm:?}: no failovers in any of its crash schedules — the crash \
+             never bit: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn torture_kill_a_node_raw_control_still_tears() {
+    // The control: the same crash schedules with the mechanism stripped
+    // out must produce torn reads, or the quadrant above proves nothing.
+    let mut torn = 0u64;
+    let mut failovers = 0u64;
+    for seed in 0..4u64 {
+        let o = crash_race_threaded(None, 8, seed, 1);
+        torn += o.torn;
+        failovers += o.failovers;
+    }
+    assert!(
+        torn > 0,
+        "raw reads never tore on the kill-a-node quadrant — it is not \
+         generating real races"
+    );
+    assert!(
+        failovers > 0,
+        "the raw control never failed over — the crash never bit"
+    );
+}
+
+#[test]
+fn torture_kill_a_node_outcomes_are_thread_invariant() {
+    // A crash-laden 8-node schedule per mechanism, replayed at worker-
+    // thread counts {1, 2, 8}: the outage, every failover, and every
+    // conflict must be untouched by how shards map onto OS threads.
+    for (tm, seed) in [
+        (TortureMech::Occ, 12u64),
+        (TortureMech::NoSpec, 13),
+        (TortureMech::Locking, 14),
+        (TortureMech::PerCl, 15),
+    ] {
+        let serial = crash_race_threaded(Some(tm), 8, seed, 1);
+        assert!(
+            serial.verified > 0,
+            "{tm:?} (seed {seed}): no progress in the serial run"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                crash_race_threaded(Some(tm), 8, seed, threads),
+                "{tm:?} (seed {seed}): {threads} worker threads changed the \
+                 crash schedule"
+            );
+        }
     }
 }

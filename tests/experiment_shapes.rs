@@ -352,3 +352,54 @@ fn fig_tail_p99_is_monotone_in_offered_load() {
         }
     }
 }
+
+#[test]
+fn fig_tail_mix_rows_are_live_and_ordered() {
+    // The read/write-mix sweep ("tail under conflict"): every fraction
+    // completes operations and reports ordered percentiles.
+    let points = ex::fig_tail::mix_data(Q);
+    assert_eq!(points.len(), ex::fig_tail::MIX_FRACTIONS.len());
+    for (fraction, p) in &points {
+        assert!(p.ops > 0, "mix {fraction}: no ops");
+        assert!(
+            p.p50_ns <= p.p99_ns && p.p99_ns <= p.p999_ns,
+            "mix {fraction}: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn fig_failover_adaptive_beats_static_under_a_crash() {
+    use ex::fig_failover::Policy;
+    let points = ex::fig_failover::data(Q);
+    for mech in ex::fig_scale::Mechanism::ALL {
+        let get = |policy: Policy| {
+            points
+                .iter()
+                .find(|p| p.mech == mech && p.policy == policy)
+                .expect("every (mechanism, policy) point present")
+        };
+        let (stat, adap) = (get(Policy::Static), get(Policy::Adaptive));
+        // The crash must bite both policies...
+        assert!(stat.failovers > 0, "{mech:?}: static never failed over");
+        assert!(adap.failovers > 0, "{mech:?}: adaptive never failed over");
+        // ...but only adaptive remembers: it re-binds away from the dead
+        // replica (and probes back), so it completes more operations at a
+        // lower p99 than static round-robin, which re-eats the timeout on
+        // every rotation through the outage.
+        assert_eq!(stat.migrations, 0, "{mech:?}: static must not migrate");
+        assert!(adap.migrations > 0, "{mech:?}: adaptive never migrated");
+        assert!(
+            adap.ops > stat.ops,
+            "{mech:?}: adaptive completed {} ops vs static's {}",
+            adap.ops,
+            stat.ops
+        );
+        assert!(
+            adap.p99_ns < stat.p99_ns,
+            "{mech:?}: adaptive p99 {} ns vs static's {} ns",
+            adap.p99_ns,
+            stat.p99_ns
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Fault determinism: crash/recovery injection must not perturb the
+//! sharded loop's contracts.
+//!
+//! Two invariants:
+//!
+//! * a crash-laden scenario — outage, dropped packets, failover timers,
+//!   replica migrations and all — replays **bit-identically** at every
+//!   shards × threads setting, because drops are a pure function of the
+//!   static [`FaultPlan`] evaluated at the destination's delivery point;
+//! * the packet-conservation invariant extends to faults: every packet
+//!   the fabric accepted is either delivered exactly once or dropped by
+//!   the fault plan — `sent == delivered + dropped` at quiescence.
+
+use sabres::prelude::*;
+
+use sabre_bench::experiments::fig_failover::{measure_threaded, Point, Policy};
+use sabre_bench::experiments::fig_scale::Mechanism;
+
+/// Everything observable about one fig_failover point: op count, float
+/// mean, integer p99, and both fault counters.
+fn fingerprint(p: Point) -> (u64, f64, u64, u64, u64) {
+    (p.ops, p.latency_ns, p.p99_ns, p.failovers, p.migrations)
+}
+
+#[test]
+fn crash_laden_fig_failover_is_shard_and_thread_invariant() {
+    // The shipped fig_failover construction (not a copy of it), with the
+    // mid-run store crash in play, replayed at shards {1, 2, 8} × threads
+    // {1, 2, 8} for both replica-selection policies: every op count,
+    // latency bit, failover and migration must match the serial run.
+    for policy in [Policy::Adaptive, Policy::Static] {
+        let serial = fingerprint(measure_threaded(Mechanism::Sabre, policy, 2, 1, Some(1)));
+        assert!(serial.0 > 0, "{policy:?}: serial run must complete ops");
+        assert!(serial.3 > 0, "{policy:?}: the crash must force failovers");
+        for shards in [2usize, 8] {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    serial,
+                    fingerprint(measure_threaded(
+                        Mechanism::Sabre,
+                        policy,
+                        2,
+                        shards,
+                        Some(threads)
+                    )),
+                    "{policy:?}: {shards} shards on {threads} threads diverged \
+                     from the serial crash schedule"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropped_packets_extend_the_conservation_invariant() {
+    // A finite replicated workload across a mid-run crash: once every
+    // reader drains, every packet the fabric accepted was either
+    // delivered exactly once or dropped by the fault plan — none linger,
+    // none are double-counted.
+    let builder = ScenarioBuilder::new().nodes(6).shards(2);
+    let topo = builder.config().topology.clone();
+    let rack = builder.config().fabric.topology;
+    let store_nodes = topo.store_nodes();
+    let sites = replica_sites(&store_nodes, 2.min(store_nodes.len()), rack);
+    let builder = builder.fault(FaultPlan::new().crash_restore(
+        sites[0],
+        Time::from_us(10),
+        Time::from_us(20),
+    ));
+    let (mut scenario, store) = builder.replicated_store(&sites, StoreLayout::Clean, 1024, 32);
+    let readers = topo.reader_nodes();
+    for &rnode in &readers {
+        scenario = scenario.reader_spec(
+            rnode,
+            0,
+            spec()
+                .replicas(store.view_for(rnode, rack))
+                .payload(1024)
+                .mechanism(ReadMechanism::Sabre)
+                .wire(store.slot_bytes() as u32)
+                .iterations(40)
+                .failover_timeout(Time::from_us(10)),
+        );
+    }
+    let report = scenario.run_for(Time::from_us(400));
+    let m = report.rack_metrics();
+    assert_eq!(
+        m.ops,
+        40 * readers.len() as u64,
+        "every reader must finish its iterations despite the outage"
+    );
+    assert!(m.failovers > 0, "the outage must force failovers");
+    let cluster = report.cluster();
+    let sent = cluster.fabric().packets_total();
+    let delivered = cluster.packets_delivered();
+    let dropped = cluster.packets_dropped();
+    assert!(sent > 0, "the run must generate traffic");
+    assert!(dropped > 0, "the outage must drop packets");
+    assert_eq!(
+        sent,
+        delivered + dropped,
+        "every packet must be delivered exactly once or dropped by the plan"
+    );
+}
