@@ -1,0 +1,7 @@
+//! Regenerates fig_protocols (read protocols head-to-head under racing
+//! writers on the 8-node rack).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_protocols::run(RunOpts::from_args()));
+}

@@ -12,7 +12,7 @@
 
 use sabre_farm::{ScenarioStoreExt, StoreLayout};
 use sabre_rack::workloads::{Writer, WriterLayout};
-use sabre_rack::{spec, ReadMechanism, ScenarioBuilder};
+use sabre_rack::{spec, ScenarioBuilder};
 use sabre_sim::Time;
 
 use crate::table::fmt_gbps;
@@ -45,11 +45,7 @@ fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f
     // resident."
     let (scenario, store) = ScenarioBuilder::new().warmed_store(1, layout, size, Some(N_OBJECTS));
 
-    let mech = match layout {
-        StoreLayout::Clean => ReadMechanism::Sabre,
-        StoreLayout::PerCl => ReadMechanism::PerClValidate { payload: size },
-        StoreLayout::Checksum => ReadMechanism::ChecksumValidate { payload: size },
-    };
+    let mech = layout.mechanism(size);
     let readers = scenario.config().cores_per_node;
     let wire = layout.object_bytes(size as usize) as u32;
     let mut scenario = scenario.readers_spec(
@@ -66,7 +62,8 @@ fn measure(size: u32, writers: usize, layout: StoreLayout, duration: Time) -> (f
         let wl = match layout {
             StoreLayout::Clean => WriterLayout::Clean,
             StoreLayout::PerCl => WriterLayout::PerCl,
-            StoreLayout::Checksum => unimplemented!("no checksum writers in Fig. 8"),
+            StoreLayout::Checksum => WriterLayout::Checksum,
+            StoreLayout::WfRegister => WriterLayout::WfRegister,
         };
         // CREW: partition the objects across writers round-robin so every
         // writer owns ⌈100/N⌉ or ⌊100/N⌋ objects (a contiguous-chunk split

@@ -57,6 +57,9 @@ pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
         ]
     }),
     ("fig_failover", |o| vec![experiments::fig_failover::run(o)]),
+    ("fig_protocols", |o| {
+        vec![experiments::fig_protocols::run(o)]
+    }),
 ];
 
 /// Renders every table and figure into one string (the golden-diffable

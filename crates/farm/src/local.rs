@@ -79,7 +79,9 @@ impl FarmLocalReader {
                 sabre_sim::Time::from_ns_f64(nominal.as_ns() * self.costs.local_strip_exposed)
             }
             StoreLayout::Checksum => api.cpu().crc_time(self.payload()),
-            StoreLayout::Clean => Time::ZERO,
+            // Clean and wait-free register need no post-processing: the
+            // payload is contiguous in the (published) slot.
+            StoreLayout::Clean | StoreLayout::WfRegister => Time::ZERO,
         };
         self.costs.lookup + read + strip
     }
@@ -124,6 +126,16 @@ impl Workload for FarmLocalReader {
                 // Local optimistic read: version must be even (no writer).
                 let v = CleanLayout::version_of(&image);
                 (!v.is_locked()).then(|| CleanLayout::payload_of(&image, self.payload()).to_vec())
+            }
+            StoreLayout::WfRegister => {
+                // Follow the publish word to the current slot; the local
+                // snapshot is instantaneous, so it is always consistent.
+                use sabre_sw::WfRegisterLayout;
+                let (_, slot) = WfRegisterLayout::published_of(&image);
+                let start = WfRegisterLayout::HEADER_BYTES
+                    + slot as usize * WfRegisterLayout::slot_bytes(self.payload())
+                    + WfRegisterLayout::SLOT_HEADER_BYTES;
+                Some(image[start..start + self.payload()].to_vec())
             }
         };
         match clean {

@@ -153,6 +153,9 @@ impl FarmReader {
             StoreLayout::Clean => {
                 Some(CleanLayout::payload_of(&image, self.payload() as usize).to_vec())
             }
+            StoreLayout::WfRegister => Some(
+                sabre_sw::WfRegisterLayout::payload_of(&image, self.payload() as usize).to_vec(),
+            ),
         }
     }
 
@@ -177,7 +180,7 @@ impl Workload for FarmReader {
         let transfer = api.now() - self.t0;
         api.metrics().record_phase(Phase::Transfer, transfer);
         match self.kv.store().layout() {
-            StoreLayout::Clean => {
+            StoreLayout::Clean | StoreLayout::WfRegister => {
                 if !cq.success {
                     self.retry(api);
                     return;
@@ -228,9 +231,11 @@ impl Workload for FarmReader {
                 None => self.retry(api),
             },
             State::Consume => {
-                if self.kv.store().layout() == StoreLayout::Clean && self.verify {
-                    let image = api.read_local(self.buf(api), self.wire() as usize);
-                    self.check_pattern(CleanLayout::payload_of(&image, self.payload() as usize));
+                let layout = self.kv.store().layout();
+                if matches!(layout, StoreLayout::Clean | StoreLayout::WfRegister) && self.verify {
+                    if let Some(payload) = self.validate(api) {
+                        self.check_pattern(&payload);
+                    }
                 }
                 self.success(api);
             }

@@ -3,7 +3,7 @@
 use sabre_mem::{Addr, NodeMemory};
 use sabre_rack::workloads::pattern_payload;
 use sabre_sw::layout::{CleanLayout, PerClLayout};
-use sabre_sw::ChecksumLayout;
+use sabre_sw::{ChecksumLayout, WfRegisterLayout};
 
 /// Which object layout the store uses — the choice the paper's evaluation
 /// toggles between its baseline and SABRe configurations.
@@ -16,6 +16,12 @@ pub enum StoreLayout {
     PerCl,
     /// Pilaf checksums.
     Checksum,
+    /// The wait-free multi-version register (Ianni et al.): a publish-word
+    /// header block plus [`WfRegisterLayout::SLOTS`] version slots. Reads
+    /// transfer only the header + the published slot, so the wire size is
+    /// much smaller than the footprint. (Oh-RAM reads need no layout of
+    /// their own — they run over [`StoreLayout::Clean`] objects.)
+    WfRegister,
 }
 
 impl StoreLayout {
@@ -26,12 +32,18 @@ impl StoreLayout {
             StoreLayout::Clean => CleanLayout::object_bytes(payload),
             StoreLayout::PerCl => PerClLayout::object_bytes(payload),
             StoreLayout::Checksum => ChecksumLayout::object_bytes(payload),
+            StoreLayout::WfRegister => WfRegisterLayout::object_bytes(payload),
         }
     }
 
-    /// Bytes a one-sided read of one object must transfer.
+    /// Bytes a one-sided read of one object must transfer. Equal to the
+    /// footprint for all layouts except the wait-free register, which
+    /// keeps multiple versions in memory but ships only one.
     pub fn wire_bytes(self, payload: usize) -> usize {
-        self.object_bytes(payload)
+        match self {
+            StoreLayout::WfRegister => WfRegisterLayout::wire_bytes(payload),
+            _ => self.object_bytes(payload),
+        }
     }
 
     /// The matching reader mechanism for [`sabre_rack`] workloads.
@@ -40,6 +52,7 @@ impl StoreLayout {
             StoreLayout::Clean => sabre_rack::ReadMechanism::Sabre,
             StoreLayout::PerCl => sabre_rack::ReadMechanism::PerClValidate { payload },
             StoreLayout::Checksum => sabre_rack::ReadMechanism::ChecksumValidate { payload },
+            StoreLayout::WfRegister => sabre_rack::ReadMechanism::WfRegister { payload },
         }
     }
 }
@@ -105,9 +118,17 @@ impl ObjectStore {
         self.n_objects
     }
 
-    /// Footprint of one object slot in bytes (block multiple).
+    /// Footprint of one object slot in bytes (block multiple). This is the
+    /// object *spacing*; the read transfer size is
+    /// [`ObjectStore::wire_bytes`], which differs for the wait-free
+    /// register layout.
     pub fn slot_bytes(&self) -> u64 {
         self.layout.object_bytes(self.payload as usize) as u64
+    }
+
+    /// Bytes a one-sided read of one object transfers.
+    pub fn wire_bytes(&self) -> u64 {
+        self.layout.wire_bytes(self.payload as usize) as u64
     }
 
     /// Total region size in bytes.
@@ -156,6 +177,7 @@ impl ObjectStore {
                 StoreLayout::Clean => CleanLayout::init(mem, addr, &payload),
                 StoreLayout::PerCl => PerClLayout::init(mem, addr, &payload),
                 StoreLayout::Checksum => ChecksumLayout::init(mem, addr, &payload),
+                StoreLayout::WfRegister => WfRegisterLayout::init(mem, addr, &payload),
             }
         }
     }
@@ -176,6 +198,26 @@ mod tests {
         // 8 KB payload: clean = 8256; per-CL = 9408.
         assert_eq!(StoreLayout::Clean.object_bytes(8192), 8256);
         assert_eq!(StoreLayout::PerCl.object_bytes(8192), 9408);
+        // Wait-free register: footprint is 4 slots + header, but the wire
+        // carries only the header + one slot.
+        assert_eq!(StoreLayout::WfRegister.object_bytes(128), 64 + 4 * 192);
+        assert_eq!(StoreLayout::WfRegister.wire_bytes(128), 64 + 192);
+        assert_eq!(StoreLayout::Clean.wire_bytes(128), 192);
+    }
+
+    #[test]
+    fn wf_register_init_round_trip() {
+        use sabre_sw::WfRegisterLayout;
+        let store = ObjectStore::new(0, Addr::new(0), StoreLayout::WfRegister, 100, 4);
+        assert_eq!(store.wire_bytes(), 64 + 128);
+        let mut mem = NodeMemory::new(store.region_bytes() as usize);
+        store.init(&mut mem);
+        for i in 0..4 {
+            let base = store.object_addr(i);
+            assert_eq!(WfRegisterLayout::unpack(mem.read_u64(base)), (0, 0));
+            let slot0 = WfRegisterLayout::slot_addr(base, 0, 100);
+            assert_eq!(verify_payload(i, &mem.read_vec(slot0 + 8, 100)), Some(0));
+        }
     }
 
     #[test]

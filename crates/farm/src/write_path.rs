@@ -68,9 +68,8 @@ impl RpcWriteServer {
         match self.kv.store().layout() {
             StoreLayout::Clean => WriterLayout::Clean,
             StoreLayout::PerCl => WriterLayout::PerCl,
-            StoreLayout::Checksum => {
-                unimplemented!("RPC writes to checksum stores are not modeled")
-            }
+            StoreLayout::Checksum => WriterLayout::Checksum,
+            StoreLayout::WfRegister => WriterLayout::WfRegister,
         }
     }
 
@@ -79,12 +78,15 @@ impl RpcWriteServer {
             self.phase = ServerPhase::Idle;
             return;
         };
-        let base = self.kv.store().object_addr(req.obj);
+        let layout = self.layout();
+        let va = layout.version_addr(self.kv.store().object_addr(req.obj));
         let v = VersionWord::new(u64::from_le_bytes(
-            api.read_local(base, 8).try_into().expect("8 bytes"),
+            api.read_local(va, 8).try_into().expect("8 bytes"),
         ));
         self.locked_version = v.raw();
-        api.store_local_u64(base, v.locked().raw());
+        if layout.takes_lock() {
+            api.store_local_u64(va, v.locked().raw());
+        }
         self.phase = ServerPhase::Writing { chunk: 0 };
         api.sleep(api.config().writer_store_interval);
     }
@@ -136,7 +138,11 @@ impl Workload for RpcWriteServer {
                 api.sleep(api.config().writer_store_interval);
             }
             ServerPhase::Publishing => {
-                api.store_local_u64(base, self.locked_version + 2);
+                let layout = self.layout();
+                api.store_local_u64(
+                    layout.version_addr(base),
+                    layout.publish_word(self.locked_version),
+                );
                 self.applied += 1;
                 self.seq += 1;
                 self.queue.pop_front();

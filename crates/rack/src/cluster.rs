@@ -802,7 +802,9 @@ impl<'a> ShardExec<'a> {
             | PacketKind::CasReq { .. }
             | PacketKind::UnlockReq { .. }
             | PacketKind::SabreReg { .. }
-            | PacketKind::SabreReadReq { .. } => {
+            | PacketKind::SabreReadReq { .. }
+            | PacketKind::WfReadReq { .. }
+            | PacketKind::OhReadReq { .. } => {
                 let pipe = pkt.dst_pipe as usize;
                 if self.node_mut(node).r2p2s[pipe].on_packet(&pkt) {
                     self.schedule_pump(pkt.dst_node, pkt.dst_pipe);

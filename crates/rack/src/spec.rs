@@ -476,6 +476,49 @@ mod tests {
     }
 
     #[test]
+    fn spec_replays_legacy_sync_reader_builder_chain_bit_for_bit() {
+        // The full deprecated builder chain — iterations + explicit buffer
+        // + consume + backoff + wire override — against its spec spelling.
+        let buf = Addr::new(3 << 20);
+        let legacy = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader(0, 0, move |targets| {
+                #[allow(deprecated)]
+                let r = crate::workloads::SyncReader::iterations(
+                    1,
+                    targets.to_vec(),
+                    256,
+                    ReadMechanism::Sabre,
+                    buf,
+                    200,
+                )
+                .with_consume()
+                .with_backoff(Time::from_ns(100))
+                .with_wire(320);
+                Box::new(r)
+            })
+            .run_for(Time::from_us(40));
+        let specced = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 64)
+            .reader_spec(
+                0,
+                0,
+                spec()
+                    .store(1)
+                    .payload(256)
+                    .mechanism(ReadMechanism::Sabre)
+                    .local_buf(buf)
+                    .iterations(200)
+                    .consume()
+                    .backoff(Time::from_ns(100))
+                    .wire(320),
+            )
+            .run_for(Time::from_us(40));
+        assert!(specced.core(0, 0).ops > 0);
+        assert_eq!(fingerprint(&legacy), fingerprint(&specced));
+    }
+
+    #[test]
     fn spec_window_replays_legacy_async_reader_bit_for_bit() {
         let legacy = ScenarioBuilder::with_config(small())
             .raw_region_sized(1, 512, 64)
@@ -520,6 +563,29 @@ mod tests {
         let specced = ScenarioBuilder::with_config(small())
             .raw_region_sized(1, 256, 16)
             .reader_spec(0, 0, spec().store(1).payload(256).source_locking())
+            .run_for(Time::from_us(40));
+        assert!(specced.core(0, 0).ops > 0);
+        assert_eq!(fingerprint(&legacy), fingerprint(&specced));
+    }
+
+    #[test]
+    fn spec_source_locking_iterations_replays_legacy_reader_bit_for_bit() {
+        let legacy = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 16)
+            .reader(0, 0, |targets| {
+                #[allow(deprecated)]
+                let r =
+                    crate::workloads::SourceLockingReader::iterations(1, targets.to_vec(), 256, 25);
+                Box::new(r)
+            })
+            .run_for(Time::from_us(40));
+        let specced = ScenarioBuilder::with_config(small())
+            .raw_region_sized(1, 256, 16)
+            .reader_spec(
+                0,
+                0,
+                spec().store(1).payload(256).source_locking().iterations(25),
+            )
             .run_for(Time::from_us(40));
         assert!(specced.core(0, 0).ops > 0);
         assert_eq!(fingerprint(&legacy), fingerprint(&specced));

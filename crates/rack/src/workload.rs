@@ -33,6 +33,21 @@ pub enum ReadMechanism {
         /// Clean payload bytes of the object.
         payload: u32,
     },
+    /// The wait-free multi-version register (Ianni et al.): the store
+    /// serves the published version slot via a server-side capture, so the
+    /// reader never aborts — zero retries by construction.
+    WfRegister {
+        /// Clean payload bytes of the object.
+        payload: u32,
+    },
+    /// Oh-RAM's one-and-a-half-round read (Hadjistasi et al.): the store
+    /// serves a consistent snapshot under server-side OCC (no locking);
+    /// the reader relays a confirm write before the next read but delivers
+    /// immediately — 1.5 rounds instead of SABRes' effective two.
+    OhRam {
+        /// Clean payload bytes of the object.
+        payload: u32,
+    },
 }
 
 impl ReadMechanism {
@@ -40,6 +55,8 @@ impl ReadMechanism {
     pub fn op(self) -> OpKind {
         match self {
             ReadMechanism::Sabre => OpKind::Sabre,
+            ReadMechanism::WfRegister { .. } => OpKind::WfRead,
+            ReadMechanism::OhRam { .. } => OpKind::OhRead,
             _ => OpKind::Read,
         }
     }
@@ -56,6 +73,13 @@ impl ReadMechanism {
             ReadMechanism::PerClValidate { .. } => PerClLayout::wire_bytes(payload as usize) as u32,
             ReadMechanism::ChecksumValidate { .. } => {
                 ChecksumLayout::object_bytes(payload as usize) as u32
+            }
+            ReadMechanism::WfRegister { .. } => {
+                sabre_sw::WfRegisterLayout::wire_bytes(payload as usize) as u32
+            }
+            // Oh-RAM reads run over clean-layout objects: header + payload.
+            ReadMechanism::OhRam { .. } => {
+                sabre_sw::layout::CleanLayout::object_bytes(payload as usize) as u32
             }
         }
     }
@@ -125,6 +149,25 @@ mod tests {
         assert_eq!(
             ReadMechanism::PerClValidate { payload: 64 }.op(),
             OpKind::Read
+        );
+        assert_eq!(
+            ReadMechanism::WfRegister { payload: 64 }.op(),
+            OpKind::WfRead
+        );
+        assert_eq!(ReadMechanism::OhRam { payload: 64 }.op(), OpKind::OhRead);
+    }
+
+    #[test]
+    fn captured_read_wire_sizes() {
+        // WfRegister: header block + one block-rounded slot.
+        assert_eq!(
+            ReadMechanism::WfRegister { payload: 1024 }.wire_bytes(1024),
+            64 + 1088
+        );
+        // Oh-RAM: the clean object (16 B header + payload, block-rounded).
+        assert_eq!(
+            ReadMechanism::OhRam { payload: 1024 }.wire_bytes(1024),
+            1088
         );
     }
 }

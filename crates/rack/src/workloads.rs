@@ -4,14 +4,14 @@
 //! one-sided soNUMA operations in a tight loop").
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use sabre_mem::{Addr, BLOCK_BYTES};
 use sabre_sim::{SimRng, Time, Zipf};
 use sabre_sonuma::CqEntry;
 use sabre_sw::cost::DataSource;
 use sabre_sw::layout::{CleanLayout, PerClLayout};
-use sabre_sw::{ChecksumLayout, VersionWord};
+use sabre_sw::{crc64_ecma, tag_board_addr, ChecksumLayout, VersionWord, WfRegisterLayout};
 
 use crate::cluster::CoreApi;
 use crate::metrics::Phase;
@@ -96,6 +96,44 @@ pub fn update_chunks(
             }
             out
         }
+        WriterLayout::Checksum => {
+            let start = base + ChecksumLayout::HEADER_BYTES as u64;
+            let mut out = Vec::new();
+            let mut off = 0usize;
+            while off < payload.len() {
+                let addr = start + off as u64;
+                let room = BLOCK_BYTES - addr.block_offset();
+                let end = (off + room).min(payload.len());
+                out.push((addr, payload[off..end].to_vec()));
+                off = end;
+            }
+            // The CRC of the finished payload lands last, just before the
+            // version word (at +8) publishes the update.
+            out.push((base, crc64_ecma(&payload).to_le_bytes().to_vec()));
+            out
+        }
+        WriterLayout::WfRegister => {
+            // Write the *next* slot in rotation; readers keep snapshotting
+            // the published one undisturbed. The slot's own seq word goes
+            // last so a capture of a half-written slot is recognizably
+            // stale, and the publish word (stored by the caller) flips
+            // readers over atomically.
+            let (pub_seq, slot) = WfRegisterLayout::unpack(locked_version);
+            let next_slot = (slot + 1) % WfRegisterLayout::SLOTS;
+            let slot_base = WfRegisterLayout::slot_addr(base, next_slot, payload.len());
+            let start = slot_base + WfRegisterLayout::SLOT_HEADER_BYTES as u64;
+            let mut out = Vec::new();
+            let mut off = 0usize;
+            while off < payload.len() {
+                let addr = start + off as u64;
+                let room = BLOCK_BYTES - addr.block_offset();
+                let end = (off + room).min(payload.len());
+                out.push((addr, payload[off..end].to_vec()));
+                off = end;
+            }
+            out.push((slot_base, (pub_seq + 1).to_le_bytes().to_vec()));
+            out
+        }
     }
 }
 
@@ -129,6 +167,9 @@ pub struct SyncReader {
     /// Explicit transfer size (store-backed readers pass the store's slot
     /// footprint; defaults to the mechanism's natural wire size).
     wire_override: Option<u32>,
+    /// Outstanding Oh-RAM confirm writes (fire-and-forget; completions are
+    /// matched by `wq_id` and discarded).
+    confirm_inflight: HashSet<u64>,
     cur_obj: usize,
     t0: Time,
     state: ReaderState,
@@ -161,6 +202,7 @@ impl SyncReader {
             consume,
             backoff,
             wire_override,
+            confirm_inflight: HashSet::new(),
             cur_obj: 0,
             t0: Time::ZERO,
             state: ReaderState::Idle,
@@ -282,6 +324,16 @@ impl SyncReader {
             api.sleep(self.backoff);
         }
     }
+
+    /// Relays Oh-RAM's confirm write — the "half round" that follows the
+    /// query/response exchange. Fire-and-forget: the read is delivered
+    /// before the ack comes back, so it never adds to read latency.
+    fn confirm(&mut self, api: &mut CoreApi<'_>) {
+        let buf = self.buf(api);
+        let tag = tag_board_addr(api.config().memory_bytes as u64);
+        let wq = api.issue_write(self.dst_node, tag, buf, 8);
+        self.confirm_inflight.insert(wq);
+    }
 }
 
 impl Workload for SyncReader {
@@ -290,11 +342,21 @@ impl Workload for SyncReader {
     }
 
     fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        if self.confirm_inflight.remove(&cq.wq_id) {
+            return; // Oh-RAM confirm ack; the read already completed.
+        }
         assert_eq!(self.state, ReaderState::AwaitTransfer);
         let transfer = api.now() - self.t0;
         api.metrics().record_phase(Phase::Transfer, transfer);
         match self.mech {
             ReadMechanism::Raw => self.success(api),
+            // Wait-free register: the capture always delivers a consistent
+            // published version — nothing to validate, nothing to retry.
+            ReadMechanism::WfRegister { .. } => self.success(api),
+            ReadMechanism::OhRam { .. } => {
+                self.confirm(api);
+                self.success(api);
+            }
             ReadMechanism::Sabre => {
                 if !cq.success {
                     self.retry(api);
@@ -458,6 +520,44 @@ pub enum WriterLayout {
     Clean,
     /// FaRM per-cache-line versions layout.
     PerCl,
+    /// Pilaf-style checksummed layout: `[crc64 | version | payload]`.
+    Checksum,
+    /// Wait-free multi-version register: the writer fills the next slot in
+    /// rotation, then flips the publish word — it never locks, so readers
+    /// never wait and never abort.
+    WfRegister,
+}
+
+impl WriterLayout {
+    /// Address of the word the update protocol locks and publishes
+    /// through. The checksummed layout keeps its version behind the CRC;
+    /// everyone else leads with it.
+    pub fn version_addr(self, base: Addr) -> Addr {
+        match self {
+            WriterLayout::Checksum => base + 8,
+            _ => base,
+        }
+    }
+
+    /// Whether an update begins by storing the locked (odd) version. The
+    /// wait-free register never locks: the word at `base` is a *publish
+    /// word* (`seq × slots + slot`), and writing in-place slots are
+    /// invisible to readers until it flips.
+    pub fn takes_lock(self) -> bool {
+        !matches!(self, WriterLayout::WfRegister)
+    }
+
+    /// The word that publishes a finished update, given the version read
+    /// at lock time.
+    pub fn publish_word(self, locked_version: u64) -> u64 {
+        match self {
+            WriterLayout::WfRegister => {
+                let (seq, slot) = WfRegisterLayout::unpack(locked_version);
+                WfRegisterLayout::pack(seq + 1, (slot + 1) % WfRegisterLayout::SLOTS)
+            }
+            _ => locked_version + 2,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -566,12 +666,14 @@ impl Writer {
                 return;
             }
         }
+        let va = self.layout.version_addr(self.base());
         let v = VersionWord::new(u64::from_le_bytes(
-            api.read_local(self.base(), 8).try_into().expect("8 bytes"),
+            api.read_local(va, 8).try_into().expect("8 bytes"),
         ));
-        let locked = v.locked();
         self.locked_version = v.raw();
-        api.store_local_u64(self.base(), locked.raw());
+        if self.layout.takes_lock() {
+            api.store_local_u64(va, v.locked().raw());
+        }
         self.phase = WriterPhase::Writing { chunk: 0 };
         api.sleep(api.config().writer_store_interval);
     }
@@ -599,8 +701,12 @@ impl Workload for Writer {
                 }
             }
             WriterPhase::Publishing => {
-                // Publish: version becomes even (old + 2).
-                api.store_local_u64(self.base(), self.locked_version + 2);
+                // Publish: even version + 2, or the next slot's publish
+                // word for the wait-free register.
+                api.store_local_u64(
+                    self.layout.version_addr(self.base()),
+                    self.layout.publish_word(self.locked_version),
+                );
                 self.updates += 1;
                 self.seq += 1;
                 self.cur = (self.cur + 1) % self.objects.len();
@@ -1027,6 +1133,16 @@ impl Workload for FailoverReader {
         api.metrics().record_phase(Phase::Transfer, transfer);
         match self.mech {
             ReadMechanism::Raw => self.success(api),
+            ReadMechanism::WfRegister { .. } => self.success(api),
+            ReadMechanism::OhRam { .. } => {
+                // Relay the confirm write to the replica that answered;
+                // its ack is discarded by the `inflight` filter above.
+                let node = self.replicas[self.cur_replica].0;
+                let buf = self.buf(api);
+                let tag = tag_board_addr(api.config().memory_bytes as u64);
+                api.issue_write(node, tag, buf, 8);
+                self.success(api);
+            }
             ReadMechanism::Sabre => {
                 if !cq.success {
                     self.retry(api);
@@ -1144,6 +1260,9 @@ pub struct TrafficReader {
     consume: bool,
     backoff: Time,
     wire_override: Option<u32>,
+    /// Outstanding Oh-RAM confirm writes (fire-and-forget; completions are
+    /// matched by `wq_id` and discarded).
+    confirm_inflight: HashSet<u64>,
     // Runtime state, inert until `on_start`.
     choice_rng: Option<SimRng>,
     arrival_rng: Option<SimRng>,
@@ -1230,6 +1349,7 @@ impl TrafficReader {
             consume,
             backoff,
             wire_override,
+            confirm_inflight: HashSet::new(),
             choice_rng: None,
             arrival_rng: None,
             zipf: None,
@@ -1438,6 +1558,9 @@ impl Workload for TrafficReader {
     }
 
     fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        if self.confirm_inflight.remove(&cq.wq_id) {
+            return; // Oh-RAM confirm ack; the read already completed.
+        }
         assert_eq!(self.state, ReaderState::AwaitTransfer);
         let transfer = api.now() - self.t_issue;
         api.metrics().record_phase(Phase::Transfer, transfer);
@@ -1451,6 +1574,14 @@ impl Workload for TrafficReader {
         }
         match self.mech {
             ReadMechanism::Raw => self.success(api),
+            ReadMechanism::WfRegister { .. } => self.success(api),
+            ReadMechanism::OhRam { .. } => {
+                let buf = self.buf(api);
+                let tag = tag_board_addr(api.config().memory_bytes as u64);
+                let wq = api.issue_write(self.dst_node, tag, buf, 8);
+                self.confirm_inflight.insert(wq);
+                self.success(api);
+            }
             ReadMechanism::Sabre => {
                 if !cq.success {
                     self.retry(api);

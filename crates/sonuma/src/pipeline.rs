@@ -225,6 +225,26 @@ impl SourcePipeline {
                     },
                 ));
             }
+            OpKind::WfRead | OpKind::OhRead => {
+                // A captured read maps to a single R2P2, which assembles
+                // the consistent image server-side and streams it back as
+                // plain ReadReplys (one per block of the wire image).
+                let dst_pipe = (transfer % self.dest_pipes as u32) as u8;
+                let kind = if wq.op == OpKind::WfRead {
+                    PacketKind::WfReadReq {
+                        transfer,
+                        base: wq.remote_addr,
+                        size_bytes: wq.size_bytes,
+                    }
+                } else {
+                    PacketKind::OhReadReq {
+                        transfer,
+                        base: wq.remote_addr,
+                        size_bytes: wq.size_bytes,
+                    }
+                };
+                pkts.push(mk(dst_pipe, kind));
+            }
             OpKind::Sabre => {
                 // A SABRe maps to a single R2P2 (§5.1).
                 let dst_pipe = (transfer % self.dest_pipes as u32) as u8;
@@ -486,6 +506,42 @@ mod tests {
         let rep = pkts[0].reply_to(PacketKind::UnlockAck { transfer: 0 });
         let (_, done) = p.on_reply(&rep);
         assert!(done.expect("completes").success);
+    }
+
+    #[test]
+    fn captured_reads_send_one_request_and_complete_on_replies() {
+        for op in [OpKind::WfRead, OpKind::OhRead] {
+            let mut p = SourcePipeline::new(0, 0, 4);
+            let mut wq = read_wq(128);
+            wq.op = op;
+            let pkts = p.start_transfer(&wq, None);
+            assert_eq!(pkts.len(), 1, "a captured read is a single request");
+            match (op, pkts[0].kind) {
+                (OpKind::WfRead, PacketKind::WfReadReq { size_bytes, .. })
+                | (OpKind::OhRead, PacketKind::OhReadReq { size_bytes, .. }) => {
+                    assert_eq!(size_bytes, 128)
+                }
+                (_, ref k) => panic!("wrong request kind {k:?}"),
+            }
+            // The store streams the image back as plain ReadReplys.
+            for i in 0..2 {
+                let rep = pkts[0].reply_to(PacketKind::ReadReply {
+                    transfer: 0,
+                    block_index: i,
+                    data: Block([i as u8; BLOCK_BYTES]),
+                });
+                let (w, done) = p.on_reply(&rep);
+                assert_eq!(
+                    w.expect("payload lands in the local buffer").addr,
+                    Addr::new((1 << 20) + i as u64 * 64)
+                );
+                assert_eq!(done.is_some(), i == 1);
+                if let Some(done) = done {
+                    assert!(done.success, "captured reads never fail");
+                    assert_eq!(done.op, op);
+                }
+            }
+        }
     }
 
     #[test]

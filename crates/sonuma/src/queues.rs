@@ -19,6 +19,13 @@ pub enum OpKind {
     /// Remote unlock releasing a write lock acquired by
     /// [`OpKind::LockCas`].
     Unlock,
+    /// Wait-free register read (Ianni et al.): the store serves the
+    /// published version slot via a server-side capture; never aborts.
+    WfRead,
+    /// Oh-RAM one-and-a-half-round read (Hadjistasi et al.): the store
+    /// serves a consistent snapshot under server-side OCC; the reader
+    /// relays a confirm write before delivering.
+    OhRead,
 }
 
 /// A Work Queue entry: one remote operation scheduled by a core.

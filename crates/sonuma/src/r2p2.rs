@@ -14,6 +14,7 @@ use sabre_core::{
     Action, IssueKind, LightSabres, LightSabresConfig, RegisterError, SabreError, SabreId, SlotId,
 };
 use sabre_mem::{Addr, BlockAddr, BlockRange};
+use sabre_sw::{CaptureKind, CaptureStep, ObjectCapture};
 
 use crate::wire::{Block, NodeId, Packet, PacketKind, PipeId};
 
@@ -32,6 +33,8 @@ pub enum ReadKind {
     SabreData,
     /// A SABRe header re-read (OCC revalidation).
     SabreValidate,
+    /// A block of a server-side object capture (WfRegister / Oh-RAM).
+    Capture,
 }
 
 /// An action the assembly layer must perform for the R2P2.
@@ -125,6 +128,10 @@ enum Pending {
     SabreLock {
         slot: SlotId,
     },
+    CaptureRead {
+        capture: u64,
+        block: BlockAddr,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +139,13 @@ struct Route {
     node: NodeId,
     pipe: PipeId,
     transfer: u32,
+}
+
+/// A live server-side object capture and where its image streams back to.
+#[derive(Debug)]
+struct CaptureCtx {
+    capture: ObjectCapture,
+    route: Route,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +172,11 @@ pub struct R2p2Stats {
     /// Stale data requests discarded in fault-tolerant mode: their
     /// registration died with a crash, so there is no SABRe to serve.
     pub stale_dropped: u64,
+    /// Captured reads (WfRegister / Oh-RAM requests) serviced.
+    pub captured_reads: u64,
+    /// Times a capture restarted because a writer raced the snapshot —
+    /// server-side memory re-reads, invisible to the reader.
+    pub capture_restarts: u64,
 }
 
 impl R2p2Stats {
@@ -169,6 +188,8 @@ impl R2p2Stats {
         self.sabres_registered += other.sabres_registered;
         self.sabres_parked += other.sabres_parked;
         self.stale_dropped += other.stale_dropped;
+        self.captured_reads += other.captured_reads;
+        self.capture_restarts += other.capture_restarts;
     }
 }
 
@@ -184,6 +205,9 @@ pub struct R2p2 {
     ready: VecDeque<R2p2Action>,
     /// SABRes waiting for a free ATT entry (in arrival order).
     parked: VecDeque<ParkedSabre>,
+    /// Live object captures (WfRegister / Oh-RAM), keyed by capture id.
+    captures: HashMap<u64, CaptureCtx>,
+    next_capture: u64,
     routes: HashMap<u8, Route>,
     stats: R2p2Stats,
     /// Discard (rather than panic on) data requests whose registration is
@@ -206,6 +230,8 @@ impl R2p2 {
             pending: HashMap::new(),
             ready: VecDeque::new(),
             parked: VecDeque::new(),
+            captures: HashMap::new(),
+            next_capture: 0,
             routes: HashMap::new(),
             stats: R2p2Stats::default(),
             tolerate_stale: false,
@@ -326,6 +352,22 @@ impl R2p2 {
                 });
                 true
             }
+            PacketKind::WfReadReq {
+                transfer,
+                base,
+                size_bytes,
+            } => {
+                self.start_capture(CaptureKind::WfRegister, pkt, transfer, base, size_bytes);
+                true
+            }
+            PacketKind::OhReadReq {
+                transfer,
+                base,
+                size_bytes,
+            } => {
+                self.start_capture(CaptureKind::OhRam, pkt, transfer, base, size_bytes);
+                true
+            }
             PacketKind::SabreReg {
                 transfer,
                 base,
@@ -367,6 +409,50 @@ impl R2p2 {
                 true
             }
             _ => panic!("R2P2 received a reply-side packet: {pkt:?}"),
+        }
+    }
+
+    /// Starts a server-side object capture for a WfRegister / Oh-RAM read
+    /// and queues its first memory reads.
+    fn start_capture(
+        &mut self,
+        kind: CaptureKind,
+        pkt: &Packet,
+        transfer: u32,
+        base: Addr,
+        size_bytes: u32,
+    ) {
+        self.stats.captured_reads += 1;
+        let id = self.next_capture;
+        self.next_capture += 1;
+        let (capture, step) = ObjectCapture::new(kind, base, size_bytes);
+        self.captures.insert(
+            id,
+            CaptureCtx {
+                capture,
+                route: Route {
+                    node: pkt.src_node,
+                    pipe: pkt.src_pipe,
+                    transfer,
+                },
+            },
+        );
+        self.queue_capture_step(id, step);
+    }
+
+    /// Queues the memory reads a capture step asks for (delivery steps are
+    /// handled where they arise, in [`R2p2::on_mem_reply`]).
+    fn queue_capture_step(&mut self, id: u64, step: CaptureStep) {
+        let CaptureStep::Read(blocks) = step else {
+            unreachable!("delivery steps are converted to replies inline");
+        };
+        for block in blocks {
+            let token = self.token(Pending::CaptureRead { capture: id, block });
+            self.ready.push_back(R2p2Action::MemRead {
+                token,
+                block,
+                kind: ReadKind::Capture,
+            });
         }
     }
 
@@ -515,6 +601,42 @@ impl R2p2 {
                 self.extend_with_completions(&mut out, actions);
                 out
             }
+            Pending::CaptureRead { capture, block } => {
+                let ctx = self
+                    .captures
+                    .get_mut(&capture)
+                    .unwrap_or_else(|| panic!("reply for dead capture {capture}"));
+                match ctx.capture.on_block(block, data.0) {
+                    CaptureStep::Read(blocks) => {
+                        // More to collect (or a restart). The pump is
+                        // rescheduled by the caller after every reply, so
+                        // queueing suffices.
+                        self.queue_capture_step(capture, CaptureStep::Read(blocks));
+                        vec![]
+                    }
+                    CaptureStep::Deliver(image) => {
+                        let ctx = self.captures.remove(&capture).expect("live capture");
+                        self.stats.capture_restarts += ctx.capture.restarts();
+                        image
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, b)| {
+                                R2p2Action::Send(Packet {
+                                    src_node: self.node,
+                                    src_pipe: self.pipe,
+                                    dst_node: ctx.route.node,
+                                    dst_pipe: ctx.route.pipe,
+                                    kind: PacketKind::ReadReply {
+                                        transfer: ctx.route.transfer,
+                                        block_index: i as u32,
+                                        data: Block(b),
+                                    },
+                                })
+                            })
+                            .collect()
+                    }
+                }
+            }
             Pending::WriteApply { .. } => panic!("write token completed as a read"),
             Pending::SabreLock { .. } => panic!("lock token completed as a read"),
             Pending::CasApply { .. } | Pending::UnlockApply { .. } => {
@@ -610,9 +732,13 @@ impl R2p2 {
         }
     }
 
-    /// Delivers a coherence invalidation to the engine's stream buffers.
+    /// Delivers a coherence invalidation to the engine's stream buffers
+    /// and to every live object capture.
     pub fn on_invalidation(&mut self, block: BlockAddr) {
         self.engine.on_invalidation(block);
+        for ctx in self.captures.values_mut() {
+            ctx.capture.on_invalidation(block);
+        }
     }
 
     fn extend_with_completions(&mut self, out: &mut Vec<R2p2Action>, actions: Vec<Action>) {
@@ -830,6 +956,98 @@ mod tests {
             panic!()
         };
         assert_eq!(rep.kind, PacketKind::UnlockAck { transfer: 5 });
+    }
+
+    #[test]
+    fn wf_capture_serves_header_then_slot_as_read_replies() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        // Wire = header block + one 2-block slot (payload ≤ 120 B).
+        r.on_packet(&req(PacketKind::WfReadReq {
+            transfer: 11,
+            base: Addr::new(0),
+            size_bytes: 192,
+        }));
+        assert_eq!(r.stats().captured_reads, 1);
+        // First issue: the header block.
+        let R2p2Action::MemRead { token, block, kind } = r.next_issue().unwrap() else {
+            panic!("expected MemRead")
+        };
+        assert_eq!(kind, ReadKind::Capture);
+        assert_eq!(block, BlockAddr::from_index(0));
+        assert!(r.next_issue().is_none(), "slot blocks wait for the header");
+        // Publish word names slot 1 → slot base = 64 + 1*128 = 192.
+        let out = r.on_mem_reply(token, block_with_version(1));
+        assert!(out.is_empty(), "header reply only queues the slot reads");
+        let mut tokens = Vec::new();
+        let mut blocks = Vec::new();
+        while let Some(a) = r.next_issue() {
+            let R2p2Action::MemRead { token, block, .. } = a else {
+                panic!("expected MemRead, got {a:?}")
+            };
+            tokens.push(token);
+            blocks.push(block);
+        }
+        assert_eq!(
+            blocks,
+            vec![BlockAddr::from_index(3), BlockAddr::from_index(4)]
+        );
+        assert!(r
+            .on_mem_reply(tokens[0], Block([5; BLOCK_BYTES]))
+            .is_empty());
+        let out = r.on_mem_reply(tokens[1], Block([6; BLOCK_BYTES]));
+        assert_eq!(out.len(), 3, "header + 2 slot blocks stream back");
+        for (i, a) in out.iter().enumerate() {
+            let R2p2Action::Send(p) = a else {
+                panic!("expected Send")
+            };
+            assert_eq!(p.dst_node, 0);
+            assert_eq!(p.dst_pipe, 1);
+            match p.kind {
+                PacketKind::ReadReply {
+                    transfer,
+                    block_index,
+                    ..
+                } => {
+                    assert_eq!(transfer, 11);
+                    assert_eq!(block_index, i as u32);
+                }
+                ref k => panic!("expected ReadReply, got {k:?}"),
+            }
+        }
+        assert_eq!(r.stats().capture_restarts, 0);
+    }
+
+    #[test]
+    fn ohram_capture_restarts_on_conflicting_invalidation() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.on_packet(&req(PacketKind::OhReadReq {
+            transfer: 12,
+            base: Addr::new(0),
+            size_bytes: 128,
+        }));
+        let t0 = match r.next_issue().unwrap() {
+            R2p2Action::MemRead { token, .. } => token,
+            a => panic!("{a:?}"),
+        };
+        let t1 = match r.next_issue().unwrap() {
+            R2p2Action::MemRead { token, .. } => token,
+            a => panic!("{a:?}"),
+        };
+        assert!(r.on_mem_reply(t0, block_with_version(2)).is_empty());
+        // A writer dirties block 1 before its read lands: restart.
+        r.on_invalidation(BlockAddr::from_index(1));
+        assert!(r.on_mem_reply(t1, Block::ZERO).is_empty());
+        assert_eq!(r.stats().capture_restarts, 0, "counted at delivery");
+        // The restarted pass runs clean and delivers both blocks.
+        let mut out = Vec::new();
+        while let Some(a) = r.next_issue() {
+            let R2p2Action::MemRead { token, .. } = a else {
+                panic!("expected MemRead, got {a:?}")
+            };
+            out = r.on_mem_reply(token, block_with_version(2));
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(r.stats().capture_restarts, 1);
     }
 
     #[test]

@@ -150,6 +150,28 @@ pub enum PacketKind {
         /// Source transfer id.
         transfer: u32,
     },
+    /// Wait-free register read request: the destination R2P2 captures the
+    /// published version slot server-side and streams it back as
+    /// [`PacketKind::ReadReply`]s — one round trip, no client retry.
+    WfReadReq {
+        /// Source transfer id.
+        transfer: u32,
+        /// Object base address at the destination.
+        base: Addr,
+        /// Total wire bytes (header block + one slot).
+        size_bytes: u32,
+    },
+    /// Oh-RAM read request: the destination R2P2 captures a consistent
+    /// snapshot of the object under server-side OCC and streams it back as
+    /// [`PacketKind::ReadReply`]s; the reader then relays a confirm write.
+    OhReadReq {
+        /// Source transfer id.
+        transfer: u32,
+        /// Object base address at the destination.
+        base: Addr,
+        /// Total wire bytes.
+        size_bytes: u32,
+    },
     /// An RPC request (FaRM sends writes to the data owner over RPCs). The
     /// payload is opaque to the transport.
     RpcReq {
@@ -181,6 +203,7 @@ impl PacketKind {
             PacketKind::CasReply { .. } | PacketKind::UnlockAck { .. } => 4,
             PacketKind::UnlockReq { .. } => 8,
             PacketKind::SabreReg { .. } => 16,
+            PacketKind::WfReadReq { .. } | PacketKind::OhReadReq { .. } => 16,
             PacketKind::SabreValidation { .. } => 4,
             PacketKind::RpcReq { bytes, .. } | PacketKind::RpcReply { bytes, .. } => *bytes as u64,
         }

@@ -1,0 +1,396 @@
+//! Server-side atomic object capture for the alternative read protocols.
+//!
+//! [`ObjectCapture`] is the sans-IO state machine an R2P2 service pipeline
+//! runs to assemble a consistent object image before streaming it back to
+//! the reader in one burst. It is shared by two mechanisms:
+//!
+//! - **WfRegister** (Ianni et al.): read the header block, decode the
+//!   publish word, then read exactly the published slot while watching it
+//!   for invalidations. The writer only reuses a slot after
+//!   `SLOTS - 1` further publishes, so a restart is rare and the loop
+//!   terminates; the *reader-visible* abort rate is zero by construction —
+//!   restarts happen inside the store and cost memory reads, not network
+//!   round trips.
+//! - **OhRam** (Hadjistasi et al.): read every block of the object while
+//!   watching the whole range; deliver when the snapshot saw no
+//!   invalidation and the version word is unlocked. Server-side OCC
+//!   without any server-side locking — the client then relays a confirm
+//!   write (the protocol's half round) without waiting for its ack.
+//!
+//! The capture watches [`sabre_mem::NodeMemory`] invalidations from the moment the
+//! relevant range is known — for WfRegister that is the same instant the
+//! publish word's block is consumed, so there is no window between
+//! "snapshot the pointer" and "watch the slot" for a writer to slip
+//! through.
+
+use sabre_mem::{Addr, BlockAddr, BlockRange, BLOCK_BYTES};
+
+/// Which protocol drives a capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// Wait-free multi-version register: header first, then one slot.
+    WfRegister,
+    /// Oh-RAM one-and-a-half-round read: the whole object under OCC.
+    OhRam,
+}
+
+/// What the service pipeline must do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureStep {
+    /// Issue memory reads for these blocks and feed each reply back via
+    /// [`ObjectCapture::on_block`].
+    Read(Vec<BlockAddr>),
+    /// The image is consistent: stream these blocks (wire order) to the
+    /// reader.
+    Deliver(Vec<[u8; BLOCK_BYTES]>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    /// WfRegister only: waiting for the header block naming the slot.
+    Header,
+    /// Collecting the watched range (the published slot, or the whole
+    /// object for OhRam).
+    Collect {
+        range: BlockRange,
+        /// `collected[i]` is the data for `range.first() + i`.
+        collected: Vec<Option<[u8; BLOCK_BYTES]>>,
+        missing: usize,
+        dirty: bool,
+    },
+}
+
+/// A server-side capture of one object read. Sans-IO: the caller owns the
+/// memory reads and invalidation feed.
+#[derive(Debug, Clone)]
+pub struct ObjectCapture {
+    kind: CaptureKind,
+    base: Addr,
+    wire_bytes: u32,
+    state: State,
+    header: Option<[u8; BLOCK_BYTES]>,
+    restarts: u64,
+}
+
+impl ObjectCapture {
+    /// Starts a capture of the object at `base` transferring `wire_bytes`,
+    /// returning the machine and its first step.
+    pub fn new(kind: CaptureKind, base: Addr, wire_bytes: u32) -> (Self, CaptureStep) {
+        let mut cap = ObjectCapture {
+            kind,
+            base,
+            wire_bytes,
+            state: State::Header,
+            header: None,
+            restarts: 0,
+        };
+        let step = cap.start();
+        (cap, step)
+    }
+
+    /// Times the capture restarted because a writer raced the snapshot.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    fn start(&mut self) -> CaptureStep {
+        match self.kind {
+            CaptureKind::WfRegister => {
+                self.state = State::Header;
+                self.header = None;
+                CaptureStep::Read(vec![self.base.block()])
+            }
+            CaptureKind::OhRam => {
+                let range = BlockRange::covering(self.base, self.wire_bytes as u64);
+                self.collect(range)
+            }
+        }
+    }
+
+    fn collect(&mut self, range: BlockRange) -> CaptureStep {
+        let blocks: Vec<BlockAddr> = range.iter().collect();
+        self.state = State::Collect {
+            range,
+            collected: vec![None; blocks.len()],
+            missing: blocks.len(),
+            dirty: false,
+        };
+        CaptureStep::Read(blocks)
+    }
+
+    /// Feeds one completed memory read back into the capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not one the capture asked for.
+    pub fn on_block(&mut self, block: BlockAddr, data: [u8; BLOCK_BYTES]) -> CaptureStep {
+        match &mut self.state {
+            State::Header => {
+                assert_eq!(block, self.base.block(), "unexpected header block");
+                let word = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+                self.header = Some(data);
+                // The slot region spans the wire minus the header block; the
+                // published slot index scales it from the first slot's base.
+                let slot_bytes = self.wire_bytes as u64 - BLOCK_BYTES as u64;
+                let slot = word % crate::WfRegisterLayout::SLOTS;
+                let slot_base = self.base + BLOCK_BYTES as u64 + slot * slot_bytes;
+                // Watching starts here, in the same event that consumed the
+                // publish word — any write to the slot after this memory
+                // read raises an invalidation we will see.
+                self.collect(BlockRange::covering(slot_base, slot_bytes))
+            }
+            State::Collect {
+                range,
+                collected,
+                missing,
+                dirty,
+            } => {
+                let idx = block
+                    .distance_from(range.first())
+                    .filter(|&d| d < collected.len() as u64)
+                    .expect("block outside capture range") as usize;
+                if collected[idx].is_none() {
+                    *missing -= 1;
+                }
+                collected[idx] = Some(data);
+                if *missing > 0 {
+                    return CaptureStep::Read(vec![]);
+                }
+                let torn = *dirty || Self::version_locked(self.kind, collected);
+                if torn {
+                    self.restarts += 1;
+                    return self.start();
+                }
+                let mut image = Vec::with_capacity(collected.len() + 1);
+                if let Some(h) = self.header.take() {
+                    image.push(h);
+                }
+                image.extend(collected.iter().map(|b| b.expect("all collected")));
+                CaptureStep::Deliver(image)
+            }
+        }
+    }
+
+    /// OhRam reads the version word live with the object, so a writer
+    /// caught mid-update (locked, odd version) forces a restart even when
+    /// the lock store predates the capture and raised no invalidation.
+    /// WfRegister slots carry a plain sequence word — never locked.
+    fn version_locked(kind: CaptureKind, collected: &[Option<[u8; BLOCK_BYTES]>]) -> bool {
+        match kind {
+            CaptureKind::WfRegister => false,
+            CaptureKind::OhRam => {
+                let first = collected[0].expect("all collected");
+                let version = u64::from_le_bytes(first[..8].try_into().expect("8 bytes"));
+                version & 1 == 1
+            }
+        }
+    }
+
+    /// Notes a store to `block`. A write landing inside the watched range
+    /// dirties the snapshot; for WfRegister, a write to the *header* block
+    /// (a newer publish) leaves the captured slot intact and is ignored.
+    pub fn on_invalidation(&mut self, block: BlockAddr) {
+        if let State::Collect { range, dirty, .. } = &mut self.state {
+            if range.contains(block) {
+                *dirty = true;
+            }
+        }
+    }
+}
+
+/// The scratch block OhRam confirm writes land on: the last block of the
+/// store node's memory, far above any object or reader buffer. The confirm
+/// carries the read's tag one-sidedly back to the store (completing the
+/// protocol's write-back half round) without touching live data.
+pub fn tag_board_addr(memory_bytes: u64) -> Addr {
+    Addr::new(memory_bytes - BLOCK_BYTES as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WfRegisterLayout;
+    use sabre_mem::NodeMemory;
+
+    fn feed(cap: &mut ObjectCapture, mem: &NodeMemory, blocks: Vec<BlockAddr>) -> CaptureStep {
+        let mut step = CaptureStep::Read(blocks);
+        loop {
+            match step {
+                CaptureStep::Read(blocks) if blocks.is_empty() => {
+                    panic!("capture stalled with no reads outstanding")
+                }
+                CaptureStep::Read(blocks) => {
+                    let mut next = CaptureStep::Read(vec![]);
+                    for b in blocks {
+                        next = cap.on_block(b, mem.read_block(b));
+                    }
+                    step = next;
+                }
+                CaptureStep::Deliver(image) => return CaptureStep::Deliver(image),
+            }
+        }
+    }
+
+    fn wf_image(cap_and_mem: (&mut ObjectCapture, &NodeMemory), first: Vec<BlockAddr>) -> Vec<u8> {
+        let (cap, mem) = cap_and_mem;
+        match feed(cap, mem, first) {
+            CaptureStep::Deliver(blocks) => blocks.concat(),
+            step => panic!("expected delivery, got {step:?}"),
+        }
+    }
+
+    #[test]
+    fn wf_clean_capture_delivers_published_slot() {
+        let mut mem = NodeMemory::new(1 << 16);
+        let payload = vec![7u8; 100];
+        WfRegisterLayout::init(&mut mem, Addr::new(0), &payload);
+        let wire = WfRegisterLayout::wire_bytes(100) as u32;
+        let (mut cap, step) = ObjectCapture::new(CaptureKind::WfRegister, Addr::new(0), wire);
+        let first = match step {
+            CaptureStep::Read(b) => b,
+            step => panic!("expected header read, got {step:?}"),
+        };
+        assert_eq!(first, vec![Addr::new(0).block()]);
+        let image = wf_image((&mut cap, &mem), first);
+        assert_eq!(image.len() as u32, wire);
+        assert_eq!(WfRegisterLayout::published_of(&image), (0, 0));
+        assert_eq!(WfRegisterLayout::slot_seq_of(&image), 0);
+        assert_eq!(WfRegisterLayout::payload_of(&image, 100), &payload[..]);
+        assert_eq!(cap.restarts(), 0);
+    }
+
+    #[test]
+    fn wf_restarts_when_published_slot_is_overwritten_mid_capture() {
+        let mut mem = NodeMemory::new(1 << 16);
+        let payload = vec![1u8; 100];
+        WfRegisterLayout::init(&mut mem, Addr::new(0), &payload);
+        let wire = WfRegisterLayout::wire_bytes(100) as u32;
+        let (mut cap, step) = ObjectCapture::new(CaptureKind::WfRegister, Addr::new(0), wire);
+        let CaptureStep::Read(hdr) = step else {
+            panic!("expected read")
+        };
+        let step = cap.on_block(hdr[0], mem.read_block(hdr[0]));
+        let CaptureStep::Read(slot_blocks) = step else {
+            panic!("expected slot read")
+        };
+        // A (pathological) writer lapped all the way around and rewrote
+        // slot 0 while the capture was reading it.
+        let slot0 = WfRegisterLayout::slot_addr(Addr::new(0), 0, 100);
+        mem.write_u64(slot0, 4);
+        mem.write(slot0 + 8, &[2u8; 100]);
+        mem.write_u64(Addr::new(0), WfRegisterLayout::pack(4, 0));
+        cap.on_invalidation(slot0.block());
+        cap.on_invalidation(Addr::new(0).block());
+        let mut step = CaptureStep::Read(vec![]);
+        for &b in &slot_blocks {
+            step = cap.on_block(b, mem.read_block(b));
+        }
+        // Dirty snapshot: the capture restarts from the header.
+        let CaptureStep::Read(retry) = step else {
+            panic!("expected restart, got delivery of a torn image")
+        };
+        assert_eq!(retry, vec![Addr::new(0).block()]);
+        assert_eq!(cap.restarts(), 1);
+        let image = wf_image((&mut cap, &mem), retry);
+        assert_eq!(WfRegisterLayout::published_of(&image), (4, 0));
+        assert_eq!(WfRegisterLayout::slot_seq_of(&image), 4);
+        assert_eq!(
+            WfRegisterLayout::payload_of(&image, 100),
+            &vec![2u8; 100][..]
+        );
+    }
+
+    #[test]
+    fn wf_ignores_publishes_of_other_slots() {
+        let mut mem = NodeMemory::new(1 << 16);
+        let payload = vec![3u8; 100];
+        WfRegisterLayout::init(&mut mem, Addr::new(0), &payload);
+        let wire = WfRegisterLayout::wire_bytes(100) as u32;
+        let (mut cap, step) = ObjectCapture::new(CaptureKind::WfRegister, Addr::new(0), wire);
+        let CaptureStep::Read(hdr) = step else {
+            panic!("expected read")
+        };
+        let step = cap.on_block(hdr[0], mem.read_block(hdr[0]));
+        let CaptureStep::Read(slot_blocks) = step else {
+            panic!("expected slot read")
+        };
+        // Writer publishes seq 1 into slot 1 mid-capture: slot 0 is
+        // untouched, so the in-flight snapshot of (0, slot 0) stays
+        // consistent and must deliver without a restart.
+        let slot1 = WfRegisterLayout::slot_addr(Addr::new(0), 1, 100);
+        mem.write_u64(slot1, 1);
+        mem.write(slot1 + 8, &[9u8; 100]);
+        mem.write_u64(Addr::new(0), WfRegisterLayout::pack(1, 1));
+        cap.on_invalidation(slot1.block());
+        cap.on_invalidation(Addr::new(0).block());
+        let image = wf_image((&mut cap, &mem), slot_blocks);
+        assert_eq!(WfRegisterLayout::published_of(&image), (0, 0));
+        assert_eq!(WfRegisterLayout::slot_seq_of(&image), 0);
+        assert_eq!(WfRegisterLayout::payload_of(&image, 100), &payload[..]);
+        assert_eq!(cap.restarts(), 0);
+    }
+
+    #[test]
+    fn ohram_clean_capture_delivers_whole_object() {
+        let mut mem = NodeMemory::new(1 << 16);
+        // Clean layout shape: [version 2 | lock 0 | payload at +16].
+        mem.write_u64(Addr::new(0), 2);
+        mem.write(Addr::new(16), &[5u8; 100]);
+        let wire = 128u32;
+        let (mut cap, step) = ObjectCapture::new(CaptureKind::OhRam, Addr::new(0), wire);
+        let CaptureStep::Read(blocks) = step else {
+            panic!("expected read")
+        };
+        assert_eq!(blocks.len(), 2);
+        let image = match feed(&mut cap, &mem, blocks) {
+            CaptureStep::Deliver(b) => b.concat(),
+            step => panic!("expected delivery, got {step:?}"),
+        };
+        assert_eq!(image.len(), 128);
+        assert_eq!(&image[16..116], &vec![5u8; 100][..]);
+        assert_eq!(cap.restarts(), 0);
+    }
+
+    #[test]
+    fn ohram_restarts_on_locked_version_and_on_dirty_snapshot() {
+        let mut mem = NodeMemory::new(1 << 16);
+        mem.write_u64(Addr::new(0), 3); // odd: writer mid-update
+        let (mut cap, step) = ObjectCapture::new(CaptureKind::OhRam, Addr::new(0), 128);
+        let CaptureStep::Read(blocks) = step else {
+            panic!("expected read")
+        };
+        let mut step = CaptureStep::Read(vec![]);
+        for &b in &blocks {
+            step = cap.on_block(b, mem.read_block(b));
+        }
+        let CaptureStep::Read(retry) = step else {
+            panic!("locked version must not deliver")
+        };
+        assert_eq!(cap.restarts(), 1);
+        // Writer finishes (even version) but dirties the second block
+        // mid-recapture: restart again.
+        mem.write_u64(Addr::new(0), 4);
+        let step = cap.on_block(retry[0], mem.read_block(retry[0]));
+        assert_eq!(step, CaptureStep::Read(vec![]));
+        cap.on_invalidation(retry[1]);
+        let step = cap.on_block(retry[1], mem.read_block(retry[1]));
+        let CaptureStep::Read(retry2) = step else {
+            panic!("dirty snapshot must not deliver")
+        };
+        assert_eq!(cap.restarts(), 2);
+        // Quiescent now: delivers.
+        match feed(&mut cap, &mem, retry2) {
+            CaptureStep::Deliver(image) => {
+                assert_eq!(u64::from_le_bytes(image[0][..8].try_into().unwrap()), 4);
+            }
+            step => panic!("expected delivery, got {step:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_board_sits_on_the_last_block() {
+        let addr = tag_board_addr(1 << 20);
+        assert_eq!(addr.raw(), (1 << 20) - 64);
+        assert_eq!(addr.block_offset(), 0);
+    }
+}

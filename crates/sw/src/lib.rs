@@ -18,14 +18,23 @@
 //!   roundtrip before the data read (and the lease variant).
 //! * [`cost`] — the calibrated CPU cost model (cycles per byte for strip /
 //!   CRC / copy / read) used by the latency breakdowns of Figs. 1 and 9a.
+//! * [`wf_register`] — the wait-free multi-version register layout
+//!   (Ianni et al.): readers never abort, writers rotate version slots.
+//! * [`capture`] — the server-side [`ObjectCapture`] state machine the
+//!   R2P2 service pipeline runs for the WfRegister and Oh-RAM read
+//!   protocols (assemble a consistent image, then stream it in one burst).
 
+pub mod capture;
 pub mod checksum;
 pub mod cost;
 pub mod layout;
 pub mod locking;
 pub mod version;
+pub mod wf_register;
 
+pub use capture::{tag_board_addr, CaptureKind, CaptureStep, ObjectCapture};
 pub use checksum::{crc64_ecma, crc64_ecma_scalar, ChecksumLayout};
 pub use cost::CpuCostModel;
 pub use layout::{AtomicityViolation, CleanLayout, PerClLayout};
 pub use version::{ReaderLockWord, VersionWord};
+pub use wf_register::WfRegisterLayout;

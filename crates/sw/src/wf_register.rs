@@ -1,0 +1,180 @@
+//! The wait-free multi-version register layout (Ianni et al.'s (1,N)
+//! multi-word register, adapted to one-sided object reads).
+//!
+//! Each object keeps [`WfRegisterLayout::SLOTS`] complete versions of its
+//! payload plus a header block holding one *publish word* that names the
+//! current version. The writer cycles through the slots: it writes the next
+//! full version into the slot *after* the published one, then publishes
+//! with a single atomic store of the packed `(seq, slot)` word. Readers
+//! snapshot the publish word, then copy the named slot — which the writer
+//! will not touch again until it has published `SLOTS - 1` newer versions —
+//! so a reader always observes a complete, consistent version and never
+//! aborts. The cost is footprint (`SLOTS` copies in memory) while the wire
+//! transfer stays one header block + one slot.
+//!
+//! ```text
+//! offset 0:               publish word (u64: seq * SLOTS + slot), padded
+//!                         to one block so the publish store is atomic
+//! offset 64 + i*slot:     slot i = [seq u64 | payload…], block-rounded
+//! ```
+
+use sabre_mem::{Addr, NodeMemory, BLOCK_BYTES};
+
+/// The wait-free register object layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WfRegisterLayout;
+
+impl WfRegisterLayout {
+    /// Versions kept per object. The writer reuses a slot only after
+    /// publishing `SLOTS - 1` newer versions, so a reader that snapshots
+    /// the publish word and then copies the named slot races nothing
+    /// unless the writer laps it `SLOTS - 1` times mid-copy.
+    pub const SLOTS: u64 = 4;
+
+    /// The header block holding the publish word (padded to a whole block
+    /// so publishing is a single atomic store).
+    pub const HEADER_BYTES: usize = BLOCK_BYTES;
+
+    /// Bytes of slot header (the sequence word) preceding each slot's
+    /// payload.
+    pub const SLOT_HEADER_BYTES: usize = 8;
+
+    /// Footprint of one version slot: seq word + payload, block-rounded.
+    pub fn slot_bytes(payload: usize) -> usize {
+        (Self::SLOT_HEADER_BYTES + payload).div_ceil(BLOCK_BYTES) * BLOCK_BYTES
+    }
+
+    /// Total in-memory footprint: header block + all slots.
+    pub fn object_bytes(payload: usize) -> usize {
+        Self::HEADER_BYTES + Self::SLOTS as usize * Self::slot_bytes(payload)
+    }
+
+    /// Bytes a read transfers: the header block + exactly one slot (the
+    /// store serves the published version, not the whole slot array).
+    pub fn wire_bytes(payload: usize) -> usize {
+        Self::HEADER_BYTES + Self::slot_bytes(payload)
+    }
+
+    /// Packs a publish word from a version sequence number and the slot
+    /// holding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= SLOTS`.
+    pub fn pack(seq: u64, slot: u64) -> u64 {
+        assert!(slot < Self::SLOTS, "slot {slot} out of range");
+        seq * Self::SLOTS + slot
+    }
+
+    /// Splits a publish word into `(seq, slot)`.
+    pub fn unpack(word: u64) -> (u64, u64) {
+        (word / Self::SLOTS, word % Self::SLOTS)
+    }
+
+    /// Base address of slot `slot` of an object at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= SLOTS`.
+    pub fn slot_addr(base: Addr, slot: u64, payload: usize) -> Addr {
+        assert!(slot < Self::SLOTS, "slot {slot} out of range");
+        base + Self::HEADER_BYTES as u64 + slot * Self::slot_bytes(payload) as u64
+    }
+
+    /// Initializes an object at `base`: seq 0 in slot 0 published, every
+    /// slot pre-filled with the initial payload (so even a reader racing
+    /// the very first update finds a complete version).
+    pub fn init(mem: &mut NodeMemory, base: Addr, payload: &[u8]) {
+        mem.write_u64(base, Self::pack(0, 0));
+        for slot in 0..Self::SLOTS {
+            let sb = Self::slot_addr(base, slot, payload.len());
+            mem.write_u64(sb, 0);
+            mem.write(sb + Self::SLOT_HEADER_BYTES as u64, payload);
+        }
+    }
+
+    /// The `(seq, slot)` published in a wire image (header block + slot).
+    pub fn published_of(image: &[u8]) -> (u64, u64) {
+        Self::unpack(u64::from_le_bytes(image[..8].try_into().expect("8 bytes")))
+    }
+
+    /// The sequence word embedded in the transferred slot. A correctly
+    /// captured image always satisfies `slot_seq_of == published_of().0`.
+    pub fn slot_seq_of(image: &[u8]) -> u64 {
+        u64::from_le_bytes(
+            image[Self::HEADER_BYTES..Self::HEADER_BYTES + 8]
+                .try_into()
+                .expect("8 bytes"),
+        )
+    }
+
+    /// The payload of a wire image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is shorter than header + seq word +
+    /// `payload_len`.
+    pub fn payload_of(image: &[u8], payload_len: usize) -> &[u8] {
+        let start = Self::HEADER_BYTES + Self::SLOT_HEADER_BYTES;
+        &image[start..start + payload_len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        // 1 KB payload: slot = 1088 (17 blocks), object = 64 + 4*1088,
+        // wire = 64 + 1088.
+        assert_eq!(WfRegisterLayout::slot_bytes(1024), 1088);
+        assert_eq!(WfRegisterLayout::object_bytes(1024), 64 + 4 * 1088);
+        assert_eq!(WfRegisterLayout::wire_bytes(1024), 64 + 1088);
+        // Tiny payloads still get a whole block per slot.
+        assert_eq!(WfRegisterLayout::slot_bytes(8), 64);
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        for seq in [0u64, 1, 7, 1 << 40] {
+            for slot in 0..WfRegisterLayout::SLOTS {
+                assert_eq!(
+                    WfRegisterLayout::unpack(WfRegisterLayout::pack(seq, slot)),
+                    (seq, slot)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn init_publishes_slot_zero_everywhere() {
+        let mut mem = NodeMemory::new(1 << 16);
+        let payload: Vec<u8> = (0..200u8).collect();
+        WfRegisterLayout::init(&mut mem, Addr::new(0), &payload);
+        assert_eq!(WfRegisterLayout::unpack(mem.read_u64(Addr::new(0))), (0, 0));
+        for slot in 0..WfRegisterLayout::SLOTS {
+            let sb = WfRegisterLayout::slot_addr(Addr::new(0), slot, 200);
+            assert_eq!(mem.read_u64(sb), 0);
+            assert_eq!(mem.read_vec(sb + 8, 200), payload);
+        }
+    }
+
+    #[test]
+    fn wire_image_accessors() {
+        let payload = vec![9u8; 100];
+        let mut image = vec![0u8; WfRegisterLayout::wire_bytes(100)];
+        image[..8].copy_from_slice(&WfRegisterLayout::pack(5, 1).to_le_bytes());
+        image[64..72].copy_from_slice(&5u64.to_le_bytes());
+        image[72..172].copy_from_slice(&payload);
+        assert_eq!(WfRegisterLayout::published_of(&image), (5, 1));
+        assert_eq!(WfRegisterLayout::slot_seq_of(&image), 5);
+        assert_eq!(WfRegisterLayout::payload_of(&image, 100), &payload[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_bounds_checked() {
+        let _ = WfRegisterLayout::slot_addr(Addr::new(0), WfRegisterLayout::SLOTS, 64);
+    }
+}

@@ -98,5 +98,7 @@ pub mod prelude {
     };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};
-    pub use sabre_sw::{CleanLayout, CpuCostModel, PerClLayout, VersionWord};
+    pub use sabre_sw::{
+        tag_board_addr, CleanLayout, CpuCostModel, PerClLayout, VersionWord, WfRegisterLayout,
+    };
 }

@@ -18,10 +18,11 @@
 //! * the paper-shaped two-node races ([`race`]), one per mechanism/mode;
 //! * the multi-node **torture sweep**: 64 seeded schedules across 2–8-node
 //!   racks (fully sharded event loop, one shard per node), rotating
-//!   through every SABRes mechanism — OCC, no-speculation, destination
-//!   locking, per-CL versions — with seed-derived payloads, writer
-//!   partitions and placements, plus a raw-read control proving the same
-//!   schedules do tear without a mechanism;
+//!   through every read mechanism — OCC, no-speculation, destination
+//!   locking, per-CL versions, the wait-free register, and Oh-RAM — with
+//!   seed-derived payloads, writer partitions and placements, plus a
+//!   raw-read control proving the same schedules do tear without a
+//!   mechanism;
 //! * the **kill-a-node quadrant**: the same racing writers replayed per
 //!   replica of a [`ReplicatedStore`] while a [`FaultPlan`] crashes one
 //!   replica site mid-run — readers fail over on a timeout and the
@@ -52,6 +53,22 @@ fn extract_atomic(mech: ReadMechanism, payload: usize, image: &[u8]) -> Option<V
                 .ok()
                 .map(<[u8]>::to_vec)
         }
+        // The wait-free register ships `[header | one slot]`; the capture
+        // guarantees the slot is the published version, whole. The slot's
+        // own seq word must agree with the publish word it was read under.
+        ReadMechanism::WfRegister { .. } => {
+            use sabres::sw::WfRegisterLayout;
+            let (pub_seq, _) = WfRegisterLayout::published_of(image);
+            assert_eq!(
+                WfRegisterLayout::slot_seq_of(image),
+                pub_seq,
+                "wait-free capture delivered a slot from another version"
+            );
+            Some(WfRegisterLayout::payload_of(image, payload).to_vec())
+        }
+        // Oh-RAM ships the clean object under a server-side consistent
+        // capture; nothing to validate client-side.
+        ReadMechanism::OhRam { .. } => Some(CleanLayout::payload_of(image, payload).to_vec()),
         ReadMechanism::Raw => unreachable!("raw reads claim no atomicity"),
     }
 }
@@ -63,6 +80,8 @@ struct CheckedReader {
     store: ObjectStore,
     outcome: Arc<Mutex<Outcome>>,
     cur_obj: u64,
+    /// Outstanding Oh-RAM confirm writes, discarded by `wq_id`.
+    confirm_inflight: std::collections::HashSet<u64>,
 }
 
 impl CheckedReader {
@@ -72,11 +91,15 @@ impl CheckedReader {
             store,
             outcome,
             cur_obj: 0,
+            confirm_inflight: std::collections::HashSet::new(),
         }
     }
 
     fn wire(&self) -> u32 {
-        self.store.slot_bytes() as u32
+        // The transfer footprint, not the in-memory spacing: the wait-free
+        // register stores four version slots but ships only the published
+        // one.
+        self.store.wire_bytes() as u32
     }
 
     fn buf(&self, api: &CoreApi<'_>) -> Addr {
@@ -104,6 +127,9 @@ impl Workload for CheckedReader {
     }
 
     fn on_completion(&mut self, api: &mut CoreApi<'_>, cq: CqEntry) {
+        if self.confirm_inflight.remove(&cq.wq_id) {
+            return; // Oh-RAM confirm ack; the read already completed.
+        }
         let mut o = self.outcome.lock().expect("outcome poisoned");
         if cq.success {
             let image = api.read_local(self.buf(api), self.wire() as usize);
@@ -122,6 +148,13 @@ impl Workload for CheckedReader {
             o.aborts += 1;
         }
         drop(o);
+        if matches!(self.mech, ReadMechanism::OhRam { .. }) {
+            // Relay Oh-RAM's fire-and-forget confirm (the half round).
+            let buf = self.buf(api);
+            let tag = tag_board_addr(api.config().memory_bytes as u64);
+            let wq = api.issue_write(self.store.node(), tag, buf, 8);
+            self.confirm_inflight.insert(wq);
+        }
         self.issue(api);
     }
 }
@@ -323,7 +356,7 @@ fn raw_reads_do_tear_under_conflict() {
 // The multi-node torture sweep
 // ---------------------------------------------------------------------
 
-/// The SABRes-family mechanisms the sweep rotates through.
+/// The read mechanisms the sweep rotates through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum TortureMech {
     /// Destination OCC, speculative (the paper's configuration).
@@ -334,15 +367,29 @@ enum TortureMech {
     Locking,
     /// FaRM per-cache-line versions validated on the reader CPU.
     PerCl,
+    /// The wait-free multi-version register (server-side slot capture).
+    WfRegister,
+    /// Oh-RAM's one-and-a-half-round read (server-side clean capture).
+    OhRam,
 }
 
 impl TortureMech {
-    const ALL: [TortureMech; 4] = [
+    const ALL: [TortureMech; 6] = [
         TortureMech::Occ,
         TortureMech::NoSpec,
         TortureMech::Locking,
         TortureMech::PerCl,
+        TortureMech::WfRegister,
+        TortureMech::OhRam,
     ];
+
+    /// Whether readers of this mechanism never abort by construction: the
+    /// server-side captures resolve every conflict before replying, so
+    /// the client-visible abort count must be exactly zero — the inverse
+    /// of the "did it race" check the abort-based mechanisms get.
+    fn is_abort_free(self) -> bool {
+        matches!(self, TortureMech::WfRegister | TortureMech::OhRam)
+    }
 
     /// The mechanism's full configuration: reader mechanism, store/writer
     /// layouts, engine concurrency-control and speculation modes.
@@ -373,6 +420,20 @@ impl TortureMech {
                 ReadMechanism::PerClValidate { payload },
                 StoreLayout::PerCl,
                 WriterLayout::PerCl,
+                CcMode::Occ,
+                SpecMode::Speculative,
+            ),
+            TortureMech::WfRegister => (
+                ReadMechanism::WfRegister { payload },
+                StoreLayout::WfRegister,
+                WriterLayout::WfRegister,
+                CcMode::Occ,
+                SpecMode::Speculative,
+            ),
+            TortureMech::OhRam => (
+                ReadMechanism::OhRam { payload },
+                StoreLayout::Clean,
+                WriterLayout::Clean,
                 CcMode::Occ,
                 SpecMode::Speculative,
             ),
@@ -436,10 +497,10 @@ fn torture_race_threaded(tm: TortureMech, nodes: usize, seed: u64, threads: usiz
 #[test]
 fn torture_no_sabre_mechanism_ever_tears_across_rack_sizes() {
     // 64 seeded schedules, node counts cycling 2..=8, mechanisms rotating
-    // so each of the four gets 16 genuinely different schedules.
+    // so each of the six gets 10+ genuinely different schedules.
     let results = Sweep::over(0u64..64).map(|&seed| {
         let nodes = 2 + (seed as usize % 7);
-        let tm = TortureMech::ALL[(seed % 4) as usize];
+        let tm = TortureMech::ALL[(seed % 6) as usize];
         (tm, nodes, seed, torture_race(tm, nodes, seed))
     });
     let mut per_mech: std::collections::HashMap<TortureMech, Outcome> =
@@ -462,11 +523,18 @@ fn torture_no_sabre_mechanism_ever_tears_across_rack_sizes() {
     }
     for tm in TortureMech::ALL {
         let o = &per_mech[&tm];
-        assert!(
-            o.aborts > 0,
-            "{tm:?}: no conflicts in any of its 16 schedules — the torture \
-             harness is not racing: {o:?}"
-        );
+        if tm.is_abort_free() {
+            assert_eq!(
+                o.aborts, 0,
+                "{tm:?}: aborted despite being wait-free by construction: {o:?}"
+            );
+        } else {
+            assert!(
+                o.aborts > 0,
+                "{tm:?}: no conflicts in any of its schedules — the torture \
+                 harness is not racing: {o:?}"
+            );
+        }
     }
 }
 
@@ -482,6 +550,8 @@ fn torture_outcomes_are_thread_invariant_on_the_eight_node_rack() {
         (TortureMech::NoSpec, 9),
         (TortureMech::Locking, 10),
         (TortureMech::PerCl, 11),
+        (TortureMech::WfRegister, 16),
+        (TortureMech::OhRam, 17),
     ] {
         let serial = torture_race_threaded(tm, 8, seed, 1);
         assert!(
@@ -715,7 +785,7 @@ impl CheckedFailoverReader {
     }
 
     fn wire(&self) -> u32 {
-        self.replicas[0].slot_bytes() as u32
+        self.replicas[0].wire_bytes() as u32
     }
 
     fn buf(&self, api: &CoreApi<'_>) -> Addr {
@@ -779,6 +849,15 @@ impl Workload for CheckedFailoverReader {
             o.aborts += 1;
         }
         drop(o);
+        if matches!(self.mech, ReadMechanism::OhRam { .. }) {
+            // Relay the confirm to whichever replica answered; its ack is
+            // discarded by the `inflight` filter (fire-and-forget, and the
+            // replica may well crash before acking).
+            let node = self.replicas[self.cur_replica].node();
+            let buf = self.buf(api);
+            let tag = tag_board_addr(api.config().memory_bytes as u64);
+            api.issue_write(node, tag, buf, 8);
+        }
         self.issue_next(api);
     }
 
@@ -879,12 +958,12 @@ fn crash_race_threaded(
 #[test]
 fn torture_kill_a_node_never_tears_on_surviving_replicas() {
     // 32 seeded kill-a-node schedules, node counts cycling 2..=8,
-    // mechanisms rotating so each of the four gets 8 genuinely different
+    // mechanisms rotating so each of the six gets 5+ genuinely different
     // crash schedules. No mechanism may deliver a torn image as atomic —
     // before, during, or after the outage, from any replica.
     let results = Sweep::over(0u64..32).map(|&seed| {
         let nodes = 2 + (seed as usize % 7);
-        let tm = TortureMech::ALL[(seed % 4) as usize];
+        let tm = TortureMech::ALL[(seed % 6) as usize];
         (
             tm,
             nodes,
@@ -913,11 +992,18 @@ fn torture_kill_a_node_never_tears_on_surviving_replicas() {
     }
     for tm in TortureMech::ALL {
         let o = &per_mech[&tm];
-        assert!(
-            o.aborts > 0,
-            "{tm:?}: no conflicts in any of its crash schedules — the quadrant \
-             is not racing: {o:?}"
-        );
+        if tm.is_abort_free() {
+            assert_eq!(
+                o.aborts, 0,
+                "{tm:?}: aborted despite being wait-free by construction: {o:?}"
+            );
+        } else {
+            assert!(
+                o.aborts > 0,
+                "{tm:?}: no conflicts in any of its crash schedules — the \
+                 quadrant is not racing: {o:?}"
+            );
+        }
         assert!(
             o.failovers > 0,
             "{tm:?}: no failovers in any of its crash schedules — the crash \
@@ -958,6 +1044,8 @@ fn torture_kill_a_node_outcomes_are_thread_invariant() {
         (TortureMech::NoSpec, 13),
         (TortureMech::Locking, 14),
         (TortureMech::PerCl, 15),
+        (TortureMech::WfRegister, 18),
+        (TortureMech::OhRam, 19),
     ] {
         let serial = crash_race_threaded(Some(tm), 8, seed, 1);
         assert!(

@@ -512,3 +512,72 @@ fn node_count_sweep_is_parallel_invariant() {
         "a sweep over rack sizes must not depend on worker threads"
     );
 }
+
+#[test]
+fn fig_protocols_point_is_shard_and_thread_invariant() {
+    // The shipped fig_protocols construction (not a copy of it) on its
+    // busiest point — the wait-free register under Zipf skew with racing
+    // writers on every shard, so server-side captures, writer invalidation
+    // restarts and open-loop queueing are all in play — must replay bit
+    // for bit at every shards x threads setting.
+    use sabre_bench::experiments::fig_protocols::{measure_threaded, Protocol};
+    use sabre_bench::experiments::fig_tail::Skew;
+    let fingerprint = |p: sabre_bench::experiments::fig_protocols::Point| {
+        (
+            p.ops,
+            p.p50_ns,
+            p.p99_ns,
+            p.hops_per_op.to_bits(),
+            p.retries,
+        )
+    };
+    let serial = fingerprint(measure_threaded(
+        Protocol::WfRegister,
+        Skew::Zipf,
+        0.8,
+        2,
+        1,
+        Some(1),
+    ));
+    assert!(serial.0 > 0, "serial run must complete ops");
+    for shards in [2usize, 8] {
+        for threads in [1usize, 2, 8] {
+            let threaded = fingerprint(measure_threaded(
+                Protocol::WfRegister,
+                Skew::Zipf,
+                0.8,
+                2,
+                shards,
+                Some(threads),
+            ));
+            assert_eq!(
+                serial, threaded,
+                "{shards} shards on {threads} threads diverged from the serial run"
+            );
+        }
+    }
+    // And the Oh-RAM path (confirm writes in flight at merge time) too.
+    let serial = fingerprint(measure_threaded(
+        Protocol::OhRam,
+        Skew::Zipf,
+        0.8,
+        2,
+        1,
+        Some(1),
+    ));
+    assert!(serial.0 > 0, "serial Oh-RAM run must complete ops");
+    for (shards, threads) in [(2usize, 2usize), (8, 8)] {
+        let threaded = fingerprint(measure_threaded(
+            Protocol::OhRam,
+            Skew::Zipf,
+            0.8,
+            2,
+            shards,
+            Some(threads),
+        ));
+        assert_eq!(
+            serial, threaded,
+            "Oh-RAM: {shards} shards on {threads} threads diverged from the serial run"
+        );
+    }
+}
