@@ -1,0 +1,7 @@
+//! Regenerates fig_recovery (whole-leaf outage, replica catch-up, and the
+//! staleness window on the 8-node rack).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_recovery::run(RunOpts::from_args()));
+}

@@ -22,6 +22,7 @@ pub mod fig9b;
 pub mod fig_failover;
 pub mod fig_placement;
 pub mod fig_protocols;
+pub mod fig_recovery;
 pub mod fig_scale;
 pub mod fig_tail;
 pub mod table1;

@@ -60,6 +60,7 @@ pub const ALL_FIGURES: &[(&str, FigureFn)] = &[
     ("fig_protocols", |o| {
         vec![experiments::fig_protocols::run(o)]
     }),
+    ("fig_recovery", |o| vec![experiments::fig_recovery::run(o)]),
 ];
 
 /// Renders every table and figure into one string (the golden-diffable

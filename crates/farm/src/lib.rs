@@ -33,6 +33,7 @@ pub mod costs;
 pub mod kv;
 pub mod local;
 pub mod read_path;
+pub mod recovery;
 pub mod replica;
 pub mod scenario;
 pub mod store;
@@ -42,6 +43,7 @@ pub use costs::FarmCosts;
 pub use kv::KvStore;
 pub use local::FarmLocalReader;
 pub use read_path::FarmReader;
+pub use recovery::{RecoveringWriter, ReplicaState, WriteLog};
 pub use replica::{replica_sites, ReplicatedStore};
 pub use scenario::ScenarioStoreExt;
 pub use store::{ObjectStore, StoreLayout};

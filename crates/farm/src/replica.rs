@@ -7,9 +7,18 @@
 //! local [`Writer`](sabre_rack::workloads::Writer) over the same objects
 //! with identical parameters, so the deterministic (object, sequence)
 //! update schedules coincide and each replica is independently a valid —
-//! and never-torn — image of the store. A crashed site merely stops
-//! *serving*; its local writer keeps the image current, which is exactly
-//! why failover back to a recovered replica needs no catch-up protocol.
+//! and never-torn — image of the store.
+//!
+//! Under *software* crash semantics a crashed site merely stops
+//! *serving*; its local writer keeps the image current and failover back
+//! needs no catch-up. Whole-machine outages (a dead fat-tree leaf, a
+//! power-cycled chassis) are different: the site's writer genuinely
+//! freezes and the restored image is stale. For those, place a
+//! [`RecoveringWriter`](crate::recovery::RecoveringWriter) per site
+//! instead — it logs every update in a per-site
+//! [`WriteLog`](crate::recovery::WriteLog) and, on restoration, pulls a
+//! live peer's log over the fabric and replays the missed range before
+//! rejoining the serving set (see [`crate::recovery`]).
 //!
 //! Readers do not pick one site: [`ReplicatedStore::view_for`] hands the
 //! rack's `FailoverReader` (via

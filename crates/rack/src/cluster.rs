@@ -187,15 +187,17 @@ impl Cluster {
                 mem_sys: MemSystem::new(cfg.mem_timing.clone()),
                 r2p2s: (0..cfg.rmc_backends)
                     .map(|p| {
-                        let r2p2 = R2p2::new(n as u8, p as u8, cfg.lightsabres.clone());
-                        if cfg.fault.is_empty() {
-                            r2p2
-                        } else {
+                        let mut r2p2 = R2p2::new(n as u8, p as u8, cfg.lightsabres.clone());
+                        if !cfg.fault.is_empty() {
                             // A crash can eat a registration whose data
                             // requests outlive the outage; those are stale
                             // traffic to discard, not protocol violations.
-                            r2p2.tolerating_stale()
+                            r2p2 = r2p2.tolerating_stale();
                         }
+                        if cfg.serve_stale {
+                            r2p2 = r2p2.serving_stale();
+                        }
+                        r2p2
                     })
                     .collect(),
                 r2p2_issue: vec![FifoServer::new(); cfg.rmc_backends],
@@ -804,7 +806,8 @@ impl<'a> ShardExec<'a> {
             | PacketKind::SabreReg { .. }
             | PacketKind::SabreReadReq { .. }
             | PacketKind::WfReadReq { .. }
-            | PacketKind::OhReadReq { .. } => {
+            | PacketKind::OhReadReq { .. }
+            | PacketKind::CatchUpReq { .. } => {
                 let pipe = pkt.dst_pipe as usize;
                 if self.node_mut(node).r2p2s[pipe].on_packet(&pkt) {
                     self.schedule_pump(pkt.dst_node, pkt.dst_pipe);
@@ -815,7 +818,9 @@ impl<'a> ShardExec<'a> {
             | PacketKind::WriteAck { .. }
             | PacketKind::CasReply { .. }
             | PacketKind::UnlockAck { .. }
-            | PacketKind::SabreValidation { .. } => {
+            | PacketKind::SabreValidation { .. }
+            | PacketKind::CatchUpReply { .. }
+            | PacketKind::ReadRefused { .. } => {
                 let pipe = pkt.dst_pipe as usize;
                 let (write, done) = self.node_mut(node).pipelines[pipe].on_reply(&pkt);
                 if let Some(w) = write {
@@ -1275,6 +1280,19 @@ impl CoreApi<'_> {
     /// Stores a 64-bit word locally (version updates).
     pub fn store_local_u64(&mut self, addr: Addr, value: u64) {
         self.store_local(addr, &value.to_le_bytes());
+    }
+
+    /// Flips the epoch/seq guard on every request pipeline of this core's
+    /// node. While any recovering writer holds the guard, reads addressed
+    /// to this replica are refused (or served stale under
+    /// [`ClusterConfig::serve_stale`]); catch-up pulls are always served.
+    /// The guard nests — each `set_catching_up(true)` must be paired with
+    /// a `set_catching_up(false)`.
+    pub fn set_catching_up(&mut self, on: bool) {
+        let node = self.node;
+        for r2p2 in &mut self.exec.node_mut(node).r2p2s {
+            r2p2.set_catching_up(on);
+        }
     }
 }
 

@@ -310,6 +310,13 @@ pub struct ClusterConfig {
     /// bit-identity guarantee over shards × threads is preserved — see
     /// [`crate::fault`].
     pub fault: FaultPlan,
+    /// Serve reads from a replica that is still catching up after an
+    /// outage (counted per pipeline as
+    /// [`sabre_sonuma::r2p2::R2p2Stats::stale_served`]) instead of refusing
+    /// them — availability over freshness. Default `false`: the epoch/seq
+    /// guard refuses reads until the replica has replayed its missed
+    /// writes, and refused readers retry at the next replica.
+    pub serve_stale: bool,
 }
 
 impl Default for ClusterConfig {
@@ -335,6 +342,7 @@ impl Default for ClusterConfig {
             shards: 1,
             threads: None,
             fault: FaultPlan::default(),
+            serve_stale: false,
         }
     }
 }

@@ -34,7 +34,8 @@
 //! and fail over — see
 //! [`FailoverReader`](crate::workloads::FailoverReader).
 
-use sabre_sim::Time;
+use sabre_fabric::RackTopology;
+use sabre_sim::{SimRng, Time};
 
 /// A half-open outage window `[from, until)`. `until == None` means the
 /// component never recovers.
@@ -75,6 +76,9 @@ impl Outage {
 pub struct FaultPlan {
     node_outages: Vec<(usize, Outage)>,
     link_outages: Vec<(usize, usize, Outage)>,
+    /// Correlated whole-leaf outages, as declared (the member-node windows
+    /// they expand into live in `node_outages`).
+    leaf_outages: Vec<(usize, Outage)>,
 }
 
 impl FaultPlan {
@@ -150,6 +154,35 @@ impl FaultPlan {
         self
     }
 
+    /// Takes a whole fat-tree leaf down over `[from, until)`: every node
+    /// attached to `leaf` crashes for the window, which also severs the
+    /// leaf's uplink bundle (no member can send or receive, so no traffic
+    /// crosses the uplinks either way). The correlated outage is recorded
+    /// as such ([`FaultPlan::leaf_outages`]) and *expanded* into per-member
+    /// node windows, so the drop decision at the merge point is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is not a fat tree or the window is empty.
+    pub fn leaf_outage(mut self, rack: RackTopology, leaf: usize, from: Time, until: Time) -> Self {
+        let RackTopology::FatTree { radix, .. } = rack else {
+            panic!("leaf outages need a fat-tree rack, got {rack:?}");
+        };
+        assert!(from < until, "empty leaf outage: {from:?} >= {until:?}");
+        let radix = radix.max(1) as usize;
+        self.leaf_outages.push((
+            leaf,
+            Outage {
+                from,
+                until: Some(until),
+            },
+        ));
+        for node in leaf * radix..(leaf + 1) * radix {
+            self = self.crash_restore(node, from, until);
+        }
+        self
+    }
+
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
         self.node_outages.is_empty() && self.link_outages.is_empty()
@@ -178,33 +211,144 @@ impl FaultPlan {
         self.node_down_at(src, t) || self.node_down_at(dst, t) || self.link_down_at(src, dst, t)
     }
 
-    /// The scheduled node outages, as declared.
+    /// The scheduled node outages, as declared (leaf outages appear here
+    /// expanded into their member nodes' windows).
     pub fn node_outages(&self) -> &[(usize, Outage)] {
         &self.node_outages
+    }
+
+    /// The correlated whole-leaf outages, as declared.
+    pub fn leaf_outages(&self) -> &[(usize, Outage)] {
+        &self.leaf_outages
+    }
+
+    /// All outage windows scheduled for `node`, in declaration order — the
+    /// schedule a recovering workload consults to know when its own node
+    /// goes dark and when it comes back.
+    pub fn outages_for(&self, node: usize) -> Vec<Outage> {
+        self.node_outages
+            .iter()
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, o)| o)
+            .collect()
     }
 
     /// Validates the plan against a rack of `nodes` nodes.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first out-of-range endpoint found.
+    /// Returns a description of the first out-of-range endpoint or
+    /// inverted outage window found. (The builder methods already panic on
+    /// inverted windows; the check here is a belt-and-braces guard for
+    /// plans assembled programmatically.)
     pub fn validate(&self, nodes: usize) -> Result<(), String> {
-        for &(n, _) in &self.node_outages {
+        for &(n, o) in &self.node_outages {
             if n >= nodes {
                 return Err(format!(
                     "fault plan crashes node {n} of a {nodes}-node rack"
                 ));
             }
+            if let Some(until) = o.until {
+                if until <= o.from {
+                    return Err(format!(
+                        "inverted outage window for node {n}: [{:?}, {until:?})",
+                        o.from
+                    ));
+                }
+            }
         }
-        for &(a, b, _) in &self.link_outages {
+        for &(a, b, o) in &self.link_outages {
             if a >= nodes || b >= nodes {
                 return Err(format!(
                     "fault plan cuts link {a}-{b} of a {nodes}-node rack"
                 ));
             }
+            if let Some(until) = o.until {
+                if until <= o.from {
+                    return Err(format!(
+                        "inverted outage window for link {a}-{b}: [{:?}, {until:?})",
+                        o.from
+                    ));
+                }
+            }
         }
         Ok(())
     }
+}
+
+/// A seeded MTBF/MTTR fault-schedule generator: each listed node fails
+/// and recovers repeatedly over `[0, horizon)`, with exponentially
+/// distributed up-times (mean [`FaultProfile::mtbf`]) and down-times (mean
+/// [`FaultProfile::mttr`]) drawn from a per-node forked [`SimRng`] stream.
+/// The same `(profile, seed)` pair always generates the same
+/// [`FaultPlan`], so profile-driven runs keep the bit-identical replay
+/// guarantee.
+///
+/// # Example
+///
+/// ```
+/// use sabre_rack::fault::FaultProfile;
+/// use sabre_sim::Time;
+///
+/// let profile = FaultProfile {
+///     nodes: vec![4, 5],
+///     mtbf: Time::from_us(40),
+///     mttr: Time::from_us(10),
+///     horizon: Time::from_us(200),
+/// };
+/// let plan = profile.generate(7);
+/// assert_eq!(plan, profile.generate(7), "deterministic");
+/// assert!(plan.validate(8).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// The nodes subject to crash/restore cycles.
+    pub nodes: Vec<usize>,
+    /// Mean time between failures (mean up-time before each crash).
+    pub mtbf: Time,
+    /// Mean time to repair (mean down-time per outage).
+    pub mttr: Time,
+    /// Crashes are only scheduled strictly before this instant (a final
+    /// repair window may extend past it).
+    pub horizon: Time,
+}
+
+impl FaultProfile {
+    /// Generates the deterministic [`FaultPlan`] this profile describes
+    /// under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf` or `mttr` is zero.
+    pub fn generate(&self, seed: u64) -> FaultPlan {
+        assert!(self.mtbf > Time::ZERO, "zero MTBF");
+        assert!(self.mttr > Time::ZERO, "zero MTTR");
+        let root = SimRng::seed(seed);
+        let mut plan = FaultPlan::new();
+        for &node in &self.nodes {
+            // Per-node stream: a node's schedule is independent of which
+            // other nodes the profile lists.
+            let mut rng = root.fork(node as u64);
+            let mut t = Time::ZERO;
+            loop {
+                t += exponential(&mut rng, self.mtbf);
+                if t >= self.horizon {
+                    break;
+                }
+                let down = exponential(&mut rng, self.mttr).max(Time::from_ns(1));
+                plan = plan.crash_restore(node, t, t + down);
+                t += down;
+            }
+        }
+        plan
+    }
+}
+
+/// An exponentially distributed interval with the given mean (inverse-CDF
+/// sampling).
+fn exponential(rng: &mut SimRng, mean: Time) -> Time {
+    let u = rng.unit();
+    Time::from_ns_f64(-(1.0 - u).ln() * mean.as_ns())
 }
 
 #[cfg(test)]
@@ -290,5 +434,106 @@ mod tests {
     #[should_panic(expected = "two distinct nodes")]
     fn self_link_rejected() {
         let _ = FaultPlan::new().cut_link(3, 3, Time::from_us(1));
+    }
+
+    const FT: RackTopology = RackTopology::FatTree {
+        radix: 2,
+        oversubscription: 2,
+    };
+
+    #[test]
+    fn leaf_outage_downs_every_member() {
+        let plan = FaultPlan::new().leaf_outage(FT, 1, Time::from_us(5), Time::from_us(9));
+        assert_eq!(
+            plan.leaf_outages(),
+            &[(
+                1,
+                Outage {
+                    from: Time::from_us(5),
+                    until: Some(Time::from_us(9)),
+                }
+            )]
+        );
+        for node in [2, 3] {
+            assert!(plan.node_down_at(node, Time::from_us(5)));
+            assert!(plan.node_down_at(node, Time::from_ns(8_999)));
+            assert!(!plan.node_down_at(node, Time::from_us(9)));
+        }
+        assert!(!plan.node_down_at(1, Time::from_us(6)), "other leaf");
+        assert!(!plan.node_down_at(4, Time::from_us(6)), "other leaf");
+        // The uplink bundle is implied down: every cross-leaf packet
+        // touching a member drops.
+        assert!(plan.drops_packet(2, 4, Time::from_us(6)));
+        assert!(plan.drops_packet(0, 3, Time::from_us(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fat-tree rack")]
+    fn leaf_outage_needs_a_fat_tree() {
+        let _ = FaultPlan::new().leaf_outage(
+            RackTopology::Direct,
+            0,
+            Time::from_us(1),
+            Time::from_us(2),
+        );
+    }
+
+    #[test]
+    fn outages_for_lists_a_nodes_windows() {
+        let plan = FaultPlan::new()
+            .crash_restore(2, Time::from_us(1), Time::from_us(2))
+            .crash(3, Time::from_us(4))
+            .crash_restore(2, Time::from_us(6), Time::from_us(7));
+        let windows = plan.outages_for(2);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].from, Time::from_us(1));
+        assert_eq!(windows[1].until, Some(Time::from_us(7)));
+        assert!(plan.outages_for(0).is_empty());
+        assert_eq!(
+            plan.outages_for(3),
+            vec![Outage {
+                from: Time::from_us(4),
+                until: None
+            }]
+        );
+    }
+
+    #[test]
+    fn fault_profile_is_deterministic_and_bounded() {
+        let profile = FaultProfile {
+            nodes: vec![4, 5, 6],
+            mtbf: Time::from_us(20),
+            mttr: Time::from_us(5),
+            horizon: Time::from_us(500),
+        };
+        let plan = profile.generate(42);
+        assert_eq!(plan, profile.generate(42));
+        assert_ne!(plan, profile.generate(43));
+        assert!(!plan.is_empty(), "a 25× horizon:MTBF ratio must crash");
+        assert!(plan.validate(8).is_ok());
+        for &(n, o) in plan.node_outages() {
+            assert!(profile.nodes.contains(&n));
+            assert!(o.from < profile.horizon, "crashes happen before horizon");
+            assert!(o.until.is_some(), "profile outages always repair");
+        }
+    }
+
+    #[test]
+    fn fault_profile_streams_are_per_node() {
+        // Dropping a node from the profile must not shift the others'
+        // schedules.
+        let wide = FaultProfile {
+            nodes: vec![4, 5],
+            mtbf: Time::from_us(20),
+            mttr: Time::from_us(5),
+            horizon: Time::from_us(500),
+        };
+        let narrow = FaultProfile {
+            nodes: vec![5],
+            ..wide.clone()
+        };
+        let w = wide.generate(9);
+        let n = narrow.generate(9);
+        assert_eq!(w.outages_for(5), n.outages_for(5));
     }
 }

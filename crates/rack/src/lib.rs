@@ -54,8 +54,8 @@ pub mod workloads;
 
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, NodeRole, PlacementFn, PlacementPolicy, Topology};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FaultProfile};
 pub use metrics::{CoreMetrics, Phase};
-pub use scenario::{NodeReport, RunReport, ScenarioBuilder, Sweep};
+pub use scenario::{NodeReport, RecoveryReport, RunReport, ScenarioBuilder, Sweep};
 pub use spec::{spec, Arrivals, Popularity, WorkloadSpec};
 pub use workload::{CoreApi, ReadMechanism, Workload};

@@ -57,9 +57,23 @@ pub struct CoreMetrics {
     /// [`FailoverReader`](crate::workloads::FailoverReader)).
     pub failovers: u64,
     /// Times the reader migrated its preferred replica binding — to a
-    /// fallback after the bound replica died, or back to a nearer replica
-    /// once a probe found it live again.
+    /// fallback after the bound replica died, back to a nearer replica
+    /// once a probe found it live again, or away from a congested replica
+    /// under load-triggered re-placement.
     pub migrations: u64,
+    /// Catch-up pulls issued by a recovering writer (one per round of
+    /// pulling a peer's write-log region).
+    pub catch_up_ops: u64,
+    /// Missed writes replayed through the deterministic update path
+    /// during catch-up.
+    pub replays_applied: u64,
+    /// Reads refused by a catching-up replica that this reader re-issued
+    /// at the next replica.
+    pub stale_refusals: u64,
+    /// Total simulated time this core spent catching up — from the first
+    /// pull after an outage until the replica rejoined the live set (the
+    /// staleness window).
+    pub catch_up_ns: u64,
     phases: [MeanTracker; 4],
 }
 
@@ -93,6 +107,22 @@ impl CoreMetrics {
     /// Records one replica-binding migration.
     pub fn record_migration(&mut self) {
         self.migrations += 1;
+    }
+
+    /// Records one catch-up pull round replaying `replayed` missed writes.
+    pub fn record_catch_up(&mut self, replayed: u64) {
+        self.catch_up_ops += 1;
+        self.replays_applied += replayed;
+    }
+
+    /// Records one refused read (the bound replica was catching up).
+    pub fn record_stale_refusal(&mut self) {
+        self.stale_refusals += 1;
+    }
+
+    /// Accumulates time spent catching up (the staleness window).
+    pub fn record_catch_up_window(&mut self, window: Time) {
+        self.catch_up_ns += window.as_ns() as u64;
     }
 
     /// Median end-to-end latency in whole ns (deterministic bucket edge).
@@ -163,6 +193,10 @@ impl CoreMetrics {
         self.peak_backlog = self.peak_backlog.max(other.peak_backlog);
         self.failovers += other.failovers;
         self.migrations += other.migrations;
+        self.catch_up_ops += other.catch_up_ops;
+        self.replays_applied += other.replays_applied;
+        self.stale_refusals += other.stale_refusals;
+        self.catch_up_ns += other.catch_up_ns;
     }
 }
 
@@ -243,6 +277,25 @@ mod tests {
         assert_eq!(a.p999_ns(), Some(900));
         assert_eq!(a.queued_arrivals, 3);
         assert_eq!(a.peak_backlog, 7);
+    }
+
+    #[test]
+    fn recovery_counters_record_and_merge() {
+        let mut a = CoreMetrics::default();
+        let mut b = CoreMetrics::default();
+        a.record_catch_up(5);
+        a.record_catch_up_window(Time::from_us(2));
+        b.record_catch_up(3);
+        b.record_stale_refusal();
+        b.record_stale_refusal();
+        a.merge(&b);
+        assert_eq!(a.catch_up_ops, 2);
+        assert_eq!(a.replays_applied, 8);
+        assert_eq!(a.stale_refusals, 2);
+        assert_eq!(a.catch_up_ns, 2000);
+        a.reset();
+        assert_eq!(a.catch_up_ops, 0);
+        assert_eq!(a.catch_up_ns, 0);
     }
 
     #[test]

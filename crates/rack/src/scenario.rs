@@ -552,6 +552,34 @@ impl RunReport {
         total
     }
 
+    /// R2P2 statistics summed over every pipeline of every node.
+    pub fn r2p2_rack_totals(&self) -> R2p2Stats {
+        let mut total = R2p2Stats::default();
+        for node in 0..self.cluster.config().nodes {
+            total.merge(&self.r2p2_totals(node));
+        }
+        total
+    }
+
+    /// The run's recovery ledger: every catch-up and staleness counter,
+    /// merged rack-wide from both sides of the protocol (reader/writer
+    /// core metrics and destination-pipeline statistics).
+    pub fn recovery(&self) -> RecoveryReport {
+        let m = self.rack_metrics();
+        let r = self.r2p2_rack_totals();
+        RecoveryReport {
+            catch_up_ops: m.catch_up_ops,
+            replays_applied: m.replays_applied,
+            stale_refusals: m.stale_refusals,
+            catch_up_ns: m.catch_up_ns,
+            catch_up_pulls: r.catch_up_pulls,
+            catch_up_refused: r.catch_up_refused,
+            reads_refused: r.reads_refused,
+            stale_served: r.stale_served,
+            stale_dropped: r.stale_dropped,
+        }
+    }
+
     /// `(p50, p99, p99.9)` end-to-end latency in whole ns over every
     /// successful operation of the run, from the merged deterministic
     /// histogram ([`LatencyHistogram`](sabre_sim::LatencyHistogram) —
@@ -568,6 +596,33 @@ impl RunReport {
     pub fn latency_dump(&self) -> String {
         self.rack_metrics().latency_hist.dump()
     }
+}
+
+/// Rack-wide recovery counters of one run, client side and server side —
+/// see [`RunReport::recovery`]. A healthy no-fault run is all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Catch-up pull rounds issued by recovering writers.
+    pub catch_up_ops: u64,
+    /// Missed writes replayed through the deterministic update path.
+    pub replays_applied: u64,
+    /// Refused reads that readers re-issued at another replica.
+    pub stale_refusals: u64,
+    /// Total ns recovering writers spent catching up (staleness window).
+    pub catch_up_ns: u64,
+    /// Catch-up pulls served by live peers (server side).
+    pub catch_up_pulls: u64,
+    /// Catch-up pulls refused because the asked peer was itself catching
+    /// up (mutual-staleness bounce; the puller retried elsewhere).
+    pub catch_up_refused: u64,
+    /// Reads refused by the epoch/seq guard (server side).
+    pub reads_refused: u64,
+    /// Reads served despite catch-up, under
+    /// [`serve_stale`](crate::ClusterConfig::serve_stale).
+    pub stale_served: u64,
+    /// Stale data requests discarded because a crash ate their
+    /// registration.
+    pub stale_dropped: u64,
 }
 
 /// One node's slice of a [`RunReport`]: everything the rack-scale

@@ -134,6 +134,7 @@ pub struct WorkloadSpec {
     replicas: Option<Vec<(usize, Vec<Addr>)>>,
     failover_timeout: Time,
     migrate: bool,
+    replace_hops: Option<f64>,
 }
 
 impl Default for WorkloadSpec {
@@ -164,6 +165,7 @@ impl WorkloadSpec {
             replicas: None,
             failover_timeout: Time::from_us(10),
             migrate: true,
+            replace_hops: None,
         }
     }
 
@@ -303,6 +305,17 @@ impl WorkloadSpec {
         self
     }
 
+    /// Arms load-triggered re-placement: when the mean routed hop count
+    /// of the reader's recent completed operations reaches `threshold`,
+    /// the adaptive reader immediately probes the most-preferred
+    /// suspected replica instead of waiting for the periodic probe. Only
+    /// meaningful with [`WorkloadSpec::replicas`] and
+    /// [`WorkloadSpec::migrate`]`(true)`.
+    pub fn replace_on_hops(mut self, threshold: f64) -> Self {
+        self.replace_hops = Some(threshold);
+        self
+    }
+
     fn is_plain_closed_loop(&self) -> bool {
         self.arrivals == Arrivals::Closed
             && self.popularity == Popularity::Uniform
@@ -354,6 +367,7 @@ impl WorkloadSpec {
                 self.wire,
                 self.failover_timeout,
                 self.migrate,
+                self.replace_hops,
             ));
         }
 

@@ -885,6 +885,12 @@ enum FailoverWake {
 /// detect recovery (costing at most one timeout if it is still down).
 const PROBE_EVERY: u64 = 64;
 
+/// Completed operations the load-triggered re-placement window averages
+/// hop counts over (see [`FailoverReader`]): long enough to smooth a
+/// single far-replica excursion, short enough to react within ~a hundred
+/// operations.
+const REPLACE_WINDOW: usize = 32;
+
 /// A closed-loop reader over a *replicated* object: the same object image
 /// lives on several store nodes, and the reader fails over between them.
 ///
@@ -909,6 +915,23 @@ const PROBE_EVERY: u64 = 64;
 ///   `PROBE_EVERY` (64) successes probes a suspected more-preferred replica
 ///   so it migrates back after recovery.
 ///
+/// Two recovery-era behaviours layer on top:
+///
+/// * **Refusals**: a replica that is catching up after an outage answers
+///   with [`ReadRefused`](sabre_sonuma::PacketKind::ReadRefused) instead
+///   of data. The reader counts a
+///   [`stale_refusal`](crate::CoreMetrics::stale_refusals), suspects the
+///   replica exactly as if a timeout had fired (it will keep refusing
+///   until caught up), and re-issues the same object at the next replica
+///   — a fast round-trip rather than a burned timeout.
+/// * **Load-triggered re-placement** (`replace_hops = Some(threshold)`,
+///   adaptive mode only): the reader tracks the mean routed hop count of
+///   its last `REPLACE_WINDOW` completed operations. When the window is
+///   warm and the mean crosses the threshold — the binding has drifted to
+///   a far replica — it immediately probes the most-preferred suspected
+///   replica instead of waiting out the `PROBE_EVERY` counter, so the
+///   binding snaps back as soon as the near replica recovers.
+///
 /// Unlike [`SyncReader`], latency is measured across the whole operation
 /// — failover timeouts and atomicity retries included — which is what
 /// makes the p99-under-crashes comparison meaningful.
@@ -926,8 +949,11 @@ pub struct FailoverReader {
     wire_override: Option<u32>,
     timeout: Time,
     migrate: bool,
+    replace_hops: Option<f64>,
     // Runtime state.
     suspected: Vec<bool>,
+    /// Hop counts of the last [`REPLACE_WINDOW`] completed operations.
+    hop_window: VecDeque<u64>,
     /// Adaptive mode's current binding (preference index).
     bound: usize,
     /// Static mode's round-robin cursor.
@@ -964,6 +990,7 @@ impl FailoverReader {
         wire_override: Option<u32>,
         timeout: Time,
         migrate: bool,
+        replace_hops: Option<f64>,
     ) -> Self {
         assert!(!replicas.is_empty(), "a failover reader needs replicas");
         let objects = replicas[0].1.len();
@@ -985,7 +1012,9 @@ impl FailoverReader {
             wire_override,
             timeout,
             migrate,
+            replace_hops,
             suspected: vec![false; k],
+            hop_window: VecDeque::with_capacity(REPLACE_WINDOW),
             bound: 0,
             rr: 0,
             cur_obj: 0,
@@ -1059,6 +1088,22 @@ impl FailoverReader {
     fn failover(&mut self, api: &mut CoreApi<'_>) {
         self.inflight = None;
         api.metrics().record_failover();
+        self.advance_replica(api);
+    }
+
+    /// The live attempt was refused — the replica is catching up after an
+    /// outage. Cheaper than a timeout (one fast round-trip) but handled
+    /// identically for replica selection: a catching-up replica keeps
+    /// refusing until it converges, so suspect it and move on.
+    fn refused(&mut self, api: &mut CoreApi<'_>) {
+        self.inflight = None;
+        api.metrics().record_stale_refusal();
+        self.advance_replica(api);
+    }
+
+    /// Suspects the current replica, picks the next one under the active
+    /// policy, and re-issues the same object there.
+    fn advance_replica(&mut self, api: &mut CoreApi<'_>) {
         self.suspected[self.cur_replica] = true;
         let k = self.replicas.len();
         let next = if self.migrate {
@@ -1082,6 +1127,33 @@ impl FailoverReader {
         self.issue_attempt(api);
     }
 
+    /// Routed hops from this reader to the replica that served the
+    /// completed operation (0 when co-located).
+    fn hops_to_current(&self, api: &CoreApi<'_>) -> u64 {
+        let dst = self.replicas[self.cur_replica].0 as usize;
+        let src = api.node();
+        if src == dst {
+            0
+        } else {
+            api.config().fabric.topology.hops(src, dst)
+        }
+    }
+
+    /// Re-binds to the most-preferred suspected replica, clearing its
+    /// suspicion — the shared body of the periodic probe and the
+    /// hop-triggered re-placement. Returns whether a probe happened.
+    fn probe_preferred(&mut self, api: &mut CoreApi<'_>) -> bool {
+        if let Some(i) = (0..self.bound).find(|&i| self.suspected[i]) {
+            self.suspected[i] = false;
+            self.bound = i;
+            api.metrics().record_migration();
+            self.hop_window.clear();
+            true
+        } else {
+            false
+        }
+    }
+
     fn success(&mut self, api: &mut CoreApi<'_>) {
         let latency = api.now() - self.t0;
         api.metrics().record_success(self.payload as u64, latency);
@@ -1095,10 +1167,22 @@ impl FailoverReader {
                 // Probe: re-bind to the most preferred suspected replica,
                 // if it beats the current binding. Still down → one
                 // timeout and the next failover rebinds.
-                if let Some(i) = (0..self.bound).find(|&i| self.suspected[i]) {
-                    self.suspected[i] = false;
-                    self.bound = i;
-                    api.metrics().record_migration();
+                self.probe_preferred(api);
+            }
+            if let Some(threshold) = self.replace_hops {
+                // Load-triggered re-placement: a warm window whose mean
+                // hop count crossed the threshold means the binding
+                // drifted to a far replica — probe back immediately.
+                if self.hop_window.len() == REPLACE_WINDOW {
+                    self.hop_window.pop_front();
+                }
+                self.hop_window.push_back(self.hops_to_current(api));
+                if self.hop_window.len() == REPLACE_WINDOW {
+                    let mean =
+                        self.hop_window.iter().sum::<u64>() as f64 / self.hop_window.len() as f64;
+                    if mean >= threshold {
+                        self.probe_preferred(api);
+                    }
                 }
             }
         }
@@ -1129,6 +1213,10 @@ impl Workload for FailoverReader {
         }
         self.inflight = None;
         assert_eq!(self.state, ReaderState::AwaitTransfer);
+        if cq.refused {
+            self.refused(api);
+            return;
+        }
         let transfer = api.now() - self.t_issue;
         api.metrics().record_phase(Phase::Transfer, transfer);
         match self.mech {

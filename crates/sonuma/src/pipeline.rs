@@ -9,7 +9,7 @@
 //! [`Completion`] carrying the SABRe success bit once the transfer's last
 //! packet (the validation, for SABRes) has arrived.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sabre_mem::{Addr, BlockRange, BLOCK_BYTES};
 
@@ -25,6 +25,8 @@ pub struct Completion {
     pub op: OpKind,
     /// SABRes: atomicity outcome; `true` otherwise.
     pub success: bool,
+    /// Whether the destination refused the read (replica catching up).
+    pub refused: bool,
     /// Payload bytes moved.
     pub bytes: u32,
 }
@@ -36,6 +38,7 @@ impl Completion {
             wq_id: self.wq_id,
             op: self.op,
             success: self.success,
+            refused: self.refused,
             bytes: self.bytes,
         }
     }
@@ -73,6 +76,7 @@ impl TransferState {
             wq_id: self.wq_id,
             op: self.op,
             success: self.sabre_atomic.unwrap_or(true),
+            refused: false,
             bytes: self.size_bytes,
         }
     }
@@ -103,6 +107,10 @@ pub struct SourcePipeline {
     dest_pipes: u8,
     next_transfer: u32,
     transfers: HashMap<u32, TransferState>,
+    /// Transfers completed early by a [`PacketKind::ReadRefused`]: late
+    /// replies for these ids are expected stragglers (a pipe may have
+    /// served some blocks before the guard flipped), not protocol bugs.
+    refused: HashSet<u32>,
     rr_cursor: u8,
 }
 
@@ -121,6 +129,7 @@ impl SourcePipeline {
             dest_pipes,
             next_transfer: 0,
             transfers: HashMap::new(),
+            refused: HashSet::new(),
             rr_cursor: 0,
         }
     }
@@ -225,6 +234,19 @@ impl SourcePipeline {
                     },
                 ));
             }
+            OpKind::CatchUpPull => {
+                // One request; the peer streams the whole log region back
+                // as a burst of CatchUpReplys, one per block.
+                let dst_pipe = (transfer % self.dest_pipes as u32) as u8;
+                pkts.push(mk(
+                    dst_pipe,
+                    PacketKind::CatchUpReq {
+                        transfer,
+                        base: wq.remote_addr,
+                        size_bytes: wq.size_bytes,
+                    },
+                ));
+            }
             OpKind::WfRead | OpKind::OhRead => {
                 // A captured read maps to a single R2P2, which assembles
                 // the consistent image server-side and streams it back as
@@ -280,6 +302,24 @@ impl SourcePipeline {
     /// Panics on replies for unknown transfers or over-delivery — both
     /// indicate protocol bugs the simulator must not mask.
     pub fn on_reply(&mut self, pkt: &Packet) -> (Option<LocalWrite>, Option<Completion>) {
+        if let PacketKind::ReadRefused { transfer } = pkt.kind {
+            // The destination's epoch/seq guard bounced the read. The
+            // first refusal completes the transfer unsuccessfully; later
+            // refusals of other request packets of the same transfer are
+            // stragglers.
+            let Some(state) = self.transfers.remove(&transfer) else {
+                assert!(
+                    self.refused.contains(&transfer),
+                    "refusal for unknown transfer {transfer}"
+                );
+                return (None, None);
+            };
+            self.refused.insert(transfer);
+            let mut done = state.completion();
+            done.success = false;
+            done.refused = true;
+            return (None, Some(done));
+        }
         let (transfer, write, is_validation, atomic) = match pkt.kind {
             PacketKind::ReadReply {
                 transfer,
@@ -287,6 +327,11 @@ impl SourcePipeline {
                 data,
             }
             | PacketKind::SabreReply {
+                transfer,
+                block_index,
+                data,
+            }
+            | PacketKind::CatchUpReply {
                 transfer,
                 block_index,
                 data,
@@ -298,10 +343,15 @@ impl SourcePipeline {
             PacketKind::SabreValidation { transfer, atomic } => (transfer, None, true, atomic),
             _ => panic!("RCP received a non-reply packet: {pkt:?}"),
         };
-        let state = self
-            .transfers
-            .get_mut(&transfer)
-            .unwrap_or_else(|| panic!("reply for unknown transfer {transfer}"));
+        let Some(state) = self.transfers.get_mut(&transfer) else {
+            if self.refused.contains(&transfer) {
+                // A pipe served some blocks before the guard flipped and
+                // another pipe's refusal already completed the transfer;
+                // drop the straggler on the floor.
+                return (None, None);
+            }
+            panic!("reply for unknown transfer {transfer}");
+        };
 
         let mut local_write = None;
         if state.op == OpKind::LockCas && !atomic {
@@ -542,6 +592,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn catch_up_pull_sends_one_request_and_completes_on_burst() {
+        let mut p = SourcePipeline::new(0, 0, 4);
+        let mut wq = read_wq(192); // a 3-block log region
+        wq.op = OpKind::CatchUpPull;
+        let pkts = p.start_transfer(&wq, None);
+        assert_eq!(pkts.len(), 1, "a pull is a single request");
+        match pkts[0].kind {
+            PacketKind::CatchUpReq {
+                base, size_bytes, ..
+            } => {
+                assert_eq!(base, Addr::new(0));
+                assert_eq!(size_bytes, 192);
+            }
+            ref k => panic!("expected CatchUpReq, got {k:?}"),
+        }
+        for i in 0..3 {
+            let rep = pkts[0].reply_to(PacketKind::CatchUpReply {
+                transfer: 0,
+                block_index: i,
+                data: Block([i as u8 + 1; BLOCK_BYTES]),
+            });
+            let (w, done) = p.on_reply(&rep);
+            assert_eq!(
+                w.expect("log blocks land in the pull buffer").addr,
+                Addr::new((1 << 20) + i as u64 * 64)
+            );
+            assert_eq!(done.is_some(), i == 2);
+            if let Some(done) = done {
+                assert!(done.success);
+                assert!(!done.refused);
+                assert_eq!(done.op, OpKind::CatchUpPull);
+            }
+        }
+        assert_eq!(p.inflight(), 0);
+    }
+
+    #[test]
+    fn refusal_completes_early_and_tolerates_stragglers() {
+        let mut p = SourcePipeline::new(0, 0, 4);
+        let pkts = p.start_transfer(&read_wq(256), None); // 4 blocks
+
+        // One pipe served a block before the guard flipped…
+        let served = pkts[0].reply_to(PacketKind::ReadReply {
+            transfer: 0,
+            block_index: 0,
+            data: Block::ZERO,
+        });
+        assert!(p.on_reply(&served).1.is_none());
+        // …then another pipe refused: the transfer completes refused.
+        let refusal = pkts[1].reply_to(PacketKind::ReadRefused { transfer: 0 });
+        let (w, done) = p.on_reply(&refusal);
+        assert!(w.is_none());
+        let done = done.expect("refusal completes the transfer");
+        assert!(!done.success);
+        assert!(done.refused);
+        assert_eq!(p.inflight(), 0);
+        // Stragglers for the refused transfer are dropped, not panicked on:
+        // a second refusal and a late data reply.
+        let refusal2 = pkts[2].reply_to(PacketKind::ReadRefused { transfer: 0 });
+        assert_eq!(p.on_reply(&refusal2), (None, None));
+        let late = pkts[3].reply_to(PacketKind::ReadReply {
+            transfer: 0,
+            block_index: 3,
+            data: Block::ZERO,
+        });
+        assert_eq!(p.on_reply(&late), (None, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusal for unknown transfer")]
+    fn refusal_for_never_issued_transfer_panics() {
+        let mut p = SourcePipeline::new(0, 0, 1);
+        let pkt = Packet {
+            src_node: 1,
+            src_pipe: 0,
+            dst_node: 0,
+            dst_pipe: 0,
+            kind: PacketKind::ReadRefused { transfer: 7 },
+        };
+        let _ = p.on_reply(&pkt);
     }
 
     #[test]

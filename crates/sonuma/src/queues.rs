@@ -26,6 +26,11 @@ pub enum OpKind {
     /// serves a consistent snapshot under server-side OCC; the reader
     /// relays a confirm write before delivering.
     OhRead,
+    /// Anti-entropy catch-up pull: a recovering replica reads a live
+    /// peer's whole write-log region in one request/burst-reply exchange.
+    /// Served even while the peer itself is catching up, so recovery
+    /// never deadlocks behind the read-refusal guard.
+    CatchUpPull,
 }
 
 /// A Work Queue entry: one remote operation scheduled by a core.
@@ -59,6 +64,11 @@ pub struct CqEntry {
     /// SABRes: whether the read was atomic. Always `true` for plain reads
     /// and writes.
     pub success: bool,
+    /// Whether the destination refused the read because the replica is
+    /// catching up after an outage (epoch/seq guard). Refused transfers
+    /// complete unsuccessfully without data; the reader should retry at
+    /// another replica.
+    pub refused: bool,
     /// Payload bytes transferred.
     pub bytes: u32,
 }
@@ -82,6 +92,7 @@ mod tests {
             wq_id: wq.wq_id,
             op: wq.op,
             success: false,
+            refused: false,
             bytes: wq.size_bytes,
         };
         assert_eq!(cq.wq_id, 9);

@@ -35,6 +35,8 @@ pub enum ReadKind {
     SabreValidate,
     /// A block of a server-side object capture (WfRegister / Oh-RAM).
     Capture,
+    /// A block of a write-log region pulled by a recovering peer.
+    CatchUp,
 }
 
 /// An action the assembly layer must perform for the R2P2.
@@ -132,6 +134,12 @@ enum Pending {
         capture: u64,
         block: BlockAddr,
     },
+    CatchUpRead {
+        reply_node: NodeId,
+        reply_pipe: PipeId,
+        transfer: u32,
+        block_index: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +185,19 @@ pub struct R2p2Stats {
     /// Times a capture restarted because a writer raced the snapshot —
     /// server-side memory re-reads, invisible to the reader.
     pub capture_restarts: u64,
+    /// Catch-up pull requests served for recovering peers (each streams a
+    /// whole write-log region back as a block burst).
+    pub catch_up_pulls: u64,
+    /// Reads refused by the epoch/seq guard while this node's replica was
+    /// catching up after an outage.
+    pub reads_refused: u64,
+    /// Reads served *despite* the replica catching up, in serve-stale
+    /// mode — each may have returned pre-outage data.
+    pub stale_served: u64,
+    /// Catch-up pulls refused because this node's own replica was still
+    /// catching up — its log head is stale and a peer converging against
+    /// it would stop short. The puller retries at its next peer.
+    pub catch_up_refused: u64,
 }
 
 impl R2p2Stats {
@@ -190,6 +211,10 @@ impl R2p2Stats {
         self.stale_dropped += other.stale_dropped;
         self.captured_reads += other.captured_reads;
         self.capture_restarts += other.capture_restarts;
+        self.catch_up_pulls += other.catch_up_pulls;
+        self.reads_refused += other.reads_refused;
+        self.stale_served += other.stale_served;
+        self.catch_up_refused += other.catch_up_refused;
     }
 }
 
@@ -216,6 +241,14 @@ pub struct R2p2 {
     /// because a crash can swallow the registration packet of a burst
     /// whose data requests outlive the outage.
     tolerate_stale: bool,
+    /// How many of this node's recovering workloads are still replaying
+    /// missed writes (a counter: several writers may catch up at once,
+    /// finishing at different times). While non-zero the replica's data
+    /// may be stale, and the epoch/seq guard refuses new reads — or, in
+    /// serve-stale mode, serves them counted as [`R2p2Stats::stale_served`].
+    catching_up: u32,
+    /// Serve reads while catching up instead of refusing them.
+    serve_stale: bool,
 }
 
 impl R2p2 {
@@ -235,6 +268,8 @@ impl R2p2 {
             routes: HashMap::new(),
             stats: R2p2Stats::default(),
             tolerate_stale: false,
+            catching_up: 0,
+            serve_stale: false,
         }
     }
 
@@ -245,6 +280,38 @@ impl R2p2 {
     pub fn tolerating_stale(mut self) -> Self {
         self.tolerate_stale = true;
         self
+    }
+
+    /// Makes the pipeline serve reads while the replica is catching up
+    /// (counted in [`R2p2Stats::stale_served`]) instead of refusing them —
+    /// availability over freshness.
+    pub fn serving_stale(mut self) -> Self {
+        self.serve_stale = true;
+        self
+    }
+
+    /// Raises or lowers the catching-up counter: a recovering workload on
+    /// this node calls with `true` when it starts replaying missed writes
+    /// and `false` once converged. Reads are guarded while the counter is
+    /// non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (a `false` without a matching `true`).
+    pub fn set_catching_up(&mut self, on: bool) {
+        if on {
+            self.catching_up += 1;
+        } else {
+            self.catching_up = self
+                .catching_up
+                .checked_sub(1)
+                .expect("catch-up counter underflow");
+        }
+    }
+
+    /// Whether the replica on this node is still catching up.
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up > 0
     }
 
     /// The embedded LightSABRes engine (stats and tests).
@@ -288,6 +355,42 @@ impl R2p2 {
     /// Panics on reply packets (mis-routed) or malformed SABRe protocol
     /// sequences — simulator bugs, not recoverable conditions.
     pub fn on_packet(&mut self, pkt: &Packet) -> bool {
+        // The epoch/seq guard: while this node's replica is catching up,
+        // its data may predate the outage. New reads are refused (the
+        // reader retries at the next replica) unless serve-stale mode
+        // trades freshness for availability. In-flight SABRe data requests
+        // are exempt: their registration was admitted before the guard
+        // flipped. Catch-up pulls are refused *regardless* of serve-stale
+        // — a correlated outage restores sibling sites together, and an
+        // equally-stale log head would let the puller falsely converge;
+        // the refusal bounces it to its next-nearest (live) peer.
+        if self.catching_up > 0 {
+            if let PacketKind::CatchUpReq { transfer, .. } = pkt.kind {
+                self.stats.catch_up_refused += 1;
+                self.ready.push_back(R2p2Action::Send(
+                    pkt.reply_to(PacketKind::ReadRefused { transfer }),
+                ));
+                return true;
+            }
+            let transfer = match pkt.kind {
+                PacketKind::ReadReq { transfer, .. }
+                | PacketKind::SabreReg { transfer, .. }
+                | PacketKind::WfReadReq { transfer, .. }
+                | PacketKind::OhReadReq { transfer, .. } => Some(transfer),
+                _ => None,
+            };
+            if let Some(transfer) = transfer {
+                if self.serve_stale {
+                    self.stats.stale_served += 1;
+                } else {
+                    self.stats.reads_refused += 1;
+                    self.ready.push_back(R2p2Action::Send(
+                        pkt.reply_to(PacketKind::ReadRefused { transfer }),
+                    ));
+                    return true;
+                }
+            }
+        }
         match pkt.kind {
             PacketKind::ReadReq {
                 addr,
@@ -380,6 +483,34 @@ impl R2p2 {
                     transfer,
                 };
                 self.register_or_park(id, base, size_bytes, version_offset);
+                true
+            }
+            PacketKind::CatchUpReq {
+                transfer,
+                base,
+                size_bytes,
+            } => {
+                // Stream the peer's write-log region back, one block per
+                // reply. Blocks are issued in address order, header block
+                // first — the puller relies on the log head being read no
+                // later than any record it then applies.
+                self.stats.catch_up_pulls += 1;
+                for (i, block) in BlockRange::covering(base, size_bytes as u64)
+                    .iter()
+                    .enumerate()
+                {
+                    let token = self.token(Pending::CatchUpRead {
+                        reply_node: pkt.src_node,
+                        reply_pipe: pkt.src_pipe,
+                        transfer,
+                        block_index: i as u32,
+                    });
+                    self.ready.push_back(R2p2Action::MemRead {
+                        token,
+                        block,
+                        kind: ReadKind::CatchUp,
+                    });
+                }
                 true
             }
             PacketKind::SabreReadReq { transfer, .. } => {
@@ -573,6 +704,22 @@ impl R2p2 {
                 dst_node: reply_node,
                 dst_pipe: reply_pipe,
                 kind: PacketKind::ReadReply {
+                    transfer,
+                    block_index,
+                    data,
+                },
+            })],
+            Pending::CatchUpRead {
+                reply_node,
+                reply_pipe,
+                transfer,
+                block_index,
+            } => vec![R2p2Action::Send(Packet {
+                src_node: self.node,
+                src_pipe: self.pipe,
+                dst_node: reply_node,
+                dst_pipe: reply_pipe,
+                kind: PacketKind::CatchUpReply {
                     transfer,
                     block_index,
                     data,
@@ -1048,6 +1195,171 @@ mod tests {
         }
         assert_eq!(out.len(), 2);
         assert_eq!(r.stats().capture_restarts, 1);
+    }
+
+    #[test]
+    fn catch_up_pull_streams_the_log_region() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.on_packet(&req(PacketKind::CatchUpReq {
+            transfer: 21,
+            base: Addr::new(128),
+            size_bytes: 192,
+        }));
+        assert_eq!(r.stats().catch_up_pulls, 1);
+        let mut tokens = Vec::new();
+        let mut blocks = Vec::new();
+        while let Some(a) = r.next_issue() {
+            let R2p2Action::MemRead { token, block, kind } = a else {
+                panic!("expected MemRead, got {a:?}")
+            };
+            assert_eq!(kind, ReadKind::CatchUp);
+            tokens.push(token);
+            blocks.push(block);
+        }
+        // Address order, head block of the region first.
+        assert_eq!(
+            blocks,
+            vec![
+                BlockAddr::from_index(2),
+                BlockAddr::from_index(3),
+                BlockAddr::from_index(4)
+            ]
+        );
+        for (i, token) in tokens.into_iter().enumerate() {
+            let out = r.on_mem_reply(token, Block([i as u8; BLOCK_BYTES]));
+            assert_eq!(out.len(), 1);
+            let R2p2Action::Send(rep) = out[0] else {
+                panic!("expected Send")
+            };
+            assert_eq!(rep.dst_node, 0);
+            match rep.kind {
+                PacketKind::CatchUpReply {
+                    transfer,
+                    block_index,
+                    data,
+                } => {
+                    assert_eq!(transfer, 21);
+                    assert_eq!(block_index, i as u32);
+                    assert_eq!(data.0[0], i as u8);
+                }
+                ref k => panic!("expected CatchUpReply, got {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn guard_refuses_reads_while_catching_up() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.set_catching_up(true);
+        for kind in [
+            PacketKind::ReadReq {
+                addr: Addr::new(0),
+                transfer: 1,
+                block_index: 0,
+            },
+            PacketKind::SabreReg {
+                transfer: 2,
+                base: Addr::new(0),
+                size_bytes: 64,
+                version_offset: 0,
+            },
+            PacketKind::WfReadReq {
+                transfer: 3,
+                base: Addr::new(0),
+                size_bytes: 128,
+            },
+            PacketKind::OhReadReq {
+                transfer: 4,
+                base: Addr::new(0),
+                size_bytes: 128,
+            },
+        ] {
+            r.on_packet(&req(kind));
+        }
+        assert_eq!(r.stats().reads_refused, 4);
+        assert_eq!(r.stats().plain_reads, 0, "nothing was served");
+        assert_eq!(r.stats().sabres_registered, 0);
+        for expected_transfer in 1..=4u32 {
+            let a = r.next_issue().expect("one refusal per request");
+            let R2p2Action::Send(rep) = a else {
+                panic!("expected Send, got {a:?}")
+            };
+            assert_eq!(
+                rep.kind,
+                PacketKind::ReadRefused {
+                    transfer: expected_transfer
+                }
+            );
+            assert_eq!(rep.dst_node, 0, "refusal returns to the requester");
+            assert_eq!(rep.dst_pipe, 1);
+        }
+        // Catch-up pulls are refused too — this node's own log head is
+        // stale, and a sibling converging against it would stop short.
+        assert!(r.on_packet(&req(PacketKind::CatchUpReq {
+            transfer: 5,
+            base: Addr::new(0),
+            size_bytes: 64,
+        })));
+        assert_eq!(r.stats().catch_up_pulls, 0);
+        assert_eq!(r.stats().catch_up_refused, 1);
+        assert_eq!(r.stats().reads_refused, 4, "pull refusals count apart");
+        let a = r.next_issue().expect("the pull refusal");
+        let R2p2Action::Send(rep) = a else {
+            panic!("expected Send, got {a:?}")
+        };
+        assert_eq!(rep.kind, PacketKind::ReadRefused { transfer: 5 });
+        // Dropping the counter to zero lifts the guard.
+        r.set_catching_up(false);
+        assert!(!r.is_catching_up());
+        r.on_packet(&req(PacketKind::ReadReq {
+            addr: Addr::new(0),
+            transfer: 6,
+            block_index: 0,
+        }));
+        assert_eq!(r.stats().plain_reads, 1);
+    }
+
+    #[test]
+    fn guard_counts_and_nests() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default());
+        r.set_catching_up(true);
+        r.set_catching_up(true);
+        r.set_catching_up(false);
+        assert!(r.is_catching_up(), "one recovering writer still replaying");
+        r.set_catching_up(false);
+        assert!(!r.is_catching_up());
+    }
+
+    #[test]
+    fn serve_stale_trades_freshness_for_availability() {
+        let mut r = R2p2::new(1, 0, LightSabresConfig::default()).serving_stale();
+        r.set_catching_up(true);
+        r.on_packet(&req(PacketKind::ReadReq {
+            addr: Addr::new(0),
+            transfer: 9,
+            block_index: 0,
+        }));
+        assert_eq!(r.stats().stale_served, 1);
+        assert_eq!(r.stats().reads_refused, 0);
+        assert_eq!(r.stats().plain_reads, 1, "the read is served normally");
+        // Writes are never guarded either way.
+        r.on_packet(&req(PacketKind::WriteReq {
+            addr: Addr::new(0),
+            transfer: 10,
+            block_index: 0,
+            data: Block::ZERO,
+        }));
+        assert_eq!(r.stats().writes, 1);
+        assert_eq!(r.stats().stale_served, 1, "writes are not stale-served");
+        // Catch-up pulls stay refused even in serve-stale mode: a stale
+        // log is useless to a recovering sibling, never merely "stale".
+        r.on_packet(&req(PacketKind::CatchUpReq {
+            transfer: 11,
+            base: Addr::new(0),
+            size_bytes: 64,
+        }));
+        assert_eq!(r.stats().catch_up_refused, 1);
+        assert_eq!(r.stats().catch_up_pulls, 0);
     }
 
     #[test]

@@ -172,6 +172,36 @@ pub enum PacketKind {
         /// Total wire bytes.
         size_bytes: u32,
     },
+    /// Catch-up pull request: a recovering replica asks a live peer for
+    /// its whole write-log region. The destination R2P2 streams the region
+    /// back as a burst of [`PacketKind::CatchUpReply`]s, one per block —
+    /// recovery traffic pays hops and uplink queueing like any transfer.
+    CatchUpReq {
+        /// Source transfer id.
+        transfer: u32,
+        /// Write-log region base address at the destination.
+        base: Addr,
+        /// Region size in bytes (a whole number of blocks).
+        size_bytes: u32,
+    },
+    /// One block of a peer's write-log region, answering a
+    /// [`PacketKind::CatchUpReq`].
+    CatchUpReply {
+        /// Source transfer id.
+        transfer: u32,
+        /// Block index within the pulled region.
+        block_index: u32,
+        /// The data.
+        data: Block,
+    },
+    /// The destination refused a read because the replica is catching up
+    /// after an outage and its data may be stale (the epoch/seq guard).
+    /// Completes the transfer unsuccessfully; the reader retries at
+    /// another replica.
+    ReadRefused {
+        /// Source transfer id.
+        transfer: u32,
+    },
     /// An RPC request (FaRM sends writes to the data owner over RPCs). The
     /// payload is opaque to the transport.
     RpcReq {
@@ -197,13 +227,18 @@ impl PacketKind {
             PacketKind::ReadReq { .. } | PacketKind::SabreReadReq { .. } => 8,
             PacketKind::ReadReply { .. }
             | PacketKind::SabreReply { .. }
+            | PacketKind::CatchUpReply { .. }
             | PacketKind::WriteReq { .. } => BLOCK_BYTES as u64,
             PacketKind::WriteAck { .. } => 4,
             PacketKind::CasReq { .. } => 16,
-            PacketKind::CasReply { .. } | PacketKind::UnlockAck { .. } => 4,
+            PacketKind::CasReply { .. }
+            | PacketKind::UnlockAck { .. }
+            | PacketKind::ReadRefused { .. } => 4,
             PacketKind::UnlockReq { .. } => 8,
             PacketKind::SabreReg { .. } => 16,
-            PacketKind::WfReadReq { .. } | PacketKind::OhReadReq { .. } => 16,
+            PacketKind::WfReadReq { .. }
+            | PacketKind::OhReadReq { .. }
+            | PacketKind::CatchUpReq { .. } => 16,
             PacketKind::SabreValidation { .. } => 4,
             PacketKind::RpcReq { bytes, .. } | PacketKind::RpcReply { bytes, .. } => *bytes as u64,
         }

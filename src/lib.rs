@@ -84,7 +84,8 @@ pub mod prelude {
     pub use sabre_fabric::RackTopology;
     pub use sabre_farm::{
         replica_sites, FarmCosts, FarmLocalReader, FarmReader, KvStore, ObjectStore,
-        ReplicatedStore, RpcWriteServer, RpcWriter, ScenarioStoreExt, StoreLayout,
+        RecoveringWriter, ReplicaState, ReplicatedStore, RpcWriteServer, RpcWriter,
+        ScenarioStoreExt, StoreLayout, WriteLog,
     };
     pub use sabre_mem::{Addr, BlockAddr, NodeMemory, BLOCK_BYTES};
     pub use sabre_rack::workloads::{
@@ -93,8 +94,8 @@ pub mod prelude {
     };
     pub use sabre_rack::{
         spec, Arrivals, Cluster, ClusterConfig, CoreApi, FaultPlan, NodeReport, NodeRole, Phase,
-        PlacementPolicy, Popularity, ReadMechanism, RunReport, ScenarioBuilder, Sweep, Topology,
-        Workload, WorkloadSpec,
+        PlacementPolicy, Popularity, ReadMechanism, RecoveryReport, RunReport, ScenarioBuilder,
+        Sweep, Topology, Workload, WorkloadSpec,
     };
     pub use sabre_sim::{SimRng, Time};
     pub use sabre_sonuma::{CqEntry, OpKind};

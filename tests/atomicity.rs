@@ -11,9 +11,7 @@
 //! reader asserts this on *every* successful completion, so any torn read
 //! that slips past an atomicity mechanism fails the test immediately.
 //!
-//! Two layers of adversity:
-//!
-//! Three layers of adversity:
+//! Four layers of adversity:
 //!
 //! * the paper-shaped two-node races ([`race`]), one per mechanism/mode;
 //! * the multi-node **torture sweep**: 64 seeded schedules across 2–8-node
@@ -26,7 +24,13 @@
 //! * the **kill-a-node quadrant**: the same racing writers replayed per
 //!   replica of a [`ReplicatedStore`] while a [`FaultPlan`] crashes one
 //!   replica site mid-run — readers fail over on a timeout and the
-//!   invariant must hold on every image any surviving replica serves.
+//!   invariant must hold on every image any surviving replica serves;
+//! * the **kill-a-leaf quadrant**: a whole fat-tree leaf — two of the
+//!   three replica sites, [`RecoveringWriter`]s and all — dies mid-run,
+//!   so the restored images genuinely miss the outage window's updates
+//!   and must catch up over the fabric. On top of the no-torn-read
+//!   invariant, readers prove the epoch/seq guard's *freshness* claim: a
+//!   restored replica never serves pre-outage data after the guard drops.
 
 use std::sync::{Arc, Mutex};
 
@@ -40,6 +44,13 @@ struct Outcome {
     aborts: u64,
     /// Attempts abandoned to a failover timer (kill-a-node quadrant only).
     failovers: u64,
+    /// Attempts bounced by a catching-up replica's epoch/seq guard and
+    /// retried elsewhere (kill-a-leaf quadrant only).
+    refusals: u64,
+    /// Verified reads that a restored replica served with **pre-outage**
+    /// data after its catch-up guard dropped — the recovery protocol's
+    /// freshness violation, asserted zero (kill-a-leaf quadrant only).
+    stale_post: u64,
 }
 
 /// Validates an image under `mech`; `Some(payload)` when the mechanism
@@ -739,6 +750,26 @@ const CRASH_TIMEOUT: Time = Time::from_us(10);
 /// no survivor to fail over to, but still never a torn read).
 const CRASH_REPLICATION: usize = 3;
 
+/// The kill-a-leaf quadrant's freshness oracle, shared by every reader.
+///
+/// Pattern seqs are monotone per object and every replica runs the same
+/// deterministic update schedule, so the highest seq any reader verified
+/// for an object *before* the outage began is a floor the restored
+/// replicas must clear once their catch-up guard drops: a post-outage
+/// completion from a restored site at or below that ceiling is data the
+/// outage should have invalidated. Ceiling updates are a commutative
+/// `max`, all of them separated from every check by the outage window
+/// itself, so the shared state never perturbs thread invariance.
+#[derive(Clone)]
+struct StaleGuard {
+    /// Per-object highest pattern seq verified before `outage_from`.
+    ceilings: Arc<Mutex<Vec<u64>>>,
+    /// The replica sites the leaf outage takes down and restores.
+    restored: Vec<u8>,
+    outage_from: Time,
+    outage_until: Time,
+}
+
 /// A checked reader over a replicated placement: rotates the starting
 /// replica per operation, fails over (round-robin) when the failover
 /// timer fires before the transfer completes, and cross-checks every
@@ -759,6 +790,8 @@ struct CheckedFailoverReader {
     /// Armed timeout wq-ids in firing order (every timer shares one
     /// duration, so wakes fire in arming order).
     pending: std::collections::VecDeque<u64>,
+    /// Post-outage freshness oracle (kill-a-leaf quadrant only).
+    stale_guard: Option<StaleGuard>,
 }
 
 impl CheckedFailoverReader {
@@ -781,7 +814,14 @@ impl CheckedFailoverReader {
             cur_replica: start,
             inflight: None,
             pending: std::collections::VecDeque::new(),
+            stale_guard: None,
         }
+    }
+
+    /// Arms the post-outage freshness check (kill-a-leaf quadrant).
+    fn with_stale_guard(mut self, guard: StaleGuard) -> Self {
+        self.stale_guard = Some(guard);
+        self
     }
 
     fn wire(&self) -> u32 {
@@ -825,6 +865,16 @@ impl Workload for CheckedFailoverReader {
             return;
         }
         self.inflight = None;
+        if cq.refused {
+            // The replica's epoch/seq guard is up (the site is catching
+            // up after an outage). A refusal is an answer, not a
+            // conflict: retry the same object at the next replica so the
+            // wait-free mechanisms' zero-abort guarantee stays intact.
+            self.outcome.lock().expect("outcome poisoned").refusals += 1;
+            self.cur_replica = (self.cur_replica + 1) % self.replicas.len();
+            self.issue_attempt(api);
+            return;
+        }
         let image = api.read_local(self.buf(api), self.wire() as usize);
         let payload = self.replicas[0].payload() as usize;
         let mut o = self.outcome.lock().expect("outcome poisoned");
@@ -836,13 +886,29 @@ impl Workload for CheckedFailoverReader {
             }
         } else if cq.success {
             match extract_atomic(self.mech, payload, &image) {
-                Some(payload) => {
-                    if verify_payload(self.cur_obj, &payload).is_some() {
+                Some(payload) => match verify_payload(self.cur_obj, &payload) {
+                    Some(seq) => {
                         o.verified += 1;
-                    } else {
-                        o.torn += 1;
+                        if let Some(g) = &self.stale_guard {
+                            let node = self.replicas[self.cur_replica].node();
+                            let now = api.now();
+                            let mut ceil = g.ceilings.lock().expect("ceilings poisoned");
+                            let c = &mut ceil[self.cur_obj as usize];
+                            if now < g.outage_from {
+                                *c = (*c).max(seq);
+                            } else if now > g.outage_until
+                                && g.restored.contains(&node)
+                                && seq <= *c
+                            {
+                                // A restored replica answered with data
+                                // from before its outage: the catch-up
+                                // guard dropped on a stale image.
+                                o.stale_post += 1;
+                            }
+                        }
                     }
-                }
+                    None => o.torn += 1,
+                },
                 None => o.aborts += 1,
             }
         } else {
@@ -1058,6 +1124,213 @@ fn torture_kill_a_node_outcomes_are_thread_invariant() {
                 crash_race_threaded(Some(tm), 8, seed, threads),
                 "{tm:?} (seed {seed}): {threads} worker threads changed the \
                  crash schedule"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The kill-a-leaf quadrant
+// ---------------------------------------------------------------------
+
+/// When leaf 2 dies and comes back (whole-machine semantics: its writers
+/// freeze, its images go stale).
+const LEAF_FROM: Time = Time::from_us(10);
+const LEAF_UNTIL: Time = Time::from_us(30);
+
+/// Objects per replica — few enough that every object's pattern seq
+/// advances far past any residual catch-up lag during the outage, so the
+/// freshness check has real teeth.
+const LEAF_OBJECTS: u64 = 4;
+
+/// One seed-derived kill-a-leaf schedule on the 8-node radix-2 fat tree:
+/// replica sites `[4, 6, 5]`, so the leaf-2 outage takes down two of the
+/// three *together* — writers and all. Each site runs a
+/// [`RecoveringWriter`] maintaining a [`WriteLog`]; on restoration the
+/// stale siblings bounce off each other's catch-up guards onto the
+/// surviving site 6, pull its log over the fabric, and replay the missed
+/// range. Readers rotate replicas, fail over on [`CRASH_TIMEOUT`], retry
+/// guard refusals at the next replica, and hold two invariants at once:
+/// never a torn image (as everywhere), and never pre-outage data from a
+/// restored site once its guard drops ([`StaleGuard`]).
+fn leaf_race_threaded(tm: TortureMech, seed: u64, threads: usize) -> (Outcome, RecoveryReport) {
+    let payload = [208u32, 480, 1008][(seed % 3) as usize];
+    let (mech, layout, writer_layout, cc_mode, spec_mode) = tm.setup(payload);
+    let builder = ScenarioBuilder::new()
+        .configure(move |cfg| {
+            cfg.lightsabres.cc_mode = cc_mode;
+            cfg.lightsabres.spec_mode = spec_mode;
+        })
+        .seed(seed)
+        .nodes(8)
+        .fat_tree(2, 2)
+        .shards(8)
+        .threads(threads);
+    let topo = builder.config().topology.clone();
+    let rack = builder.config().fabric.topology;
+    let sites = replica_sites(&topo.store_nodes(), CRASH_REPLICATION, rack);
+    assert_eq!(sites, vec![4, 6, 5], "leaf-spread placement changed");
+    let builder = builder.fault(FaultPlan::new().leaf_outage(rack, 2, LEAF_FROM, LEAF_UNTIL));
+    let (mut scenario, store) = builder.replicated_store(&sites, layout, payload, LEAF_OBJECTS);
+    // Radix-2 leaves cover node pairs: leaf 2 = {4, 5}.
+    let restored: Vec<u8> = sites
+        .iter()
+        .filter(|&&s| s / 2 == 2)
+        .map(|&s| s as u8)
+        .collect();
+    assert_eq!(restored.len(), 2, "the outage must hit two replica sites");
+    let ceilings = Arc::new(Mutex::new(vec![0u64; LEAF_OBJECTS as usize]));
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
+    for (i, &rnode) in topo.reader_nodes().iter().enumerate() {
+        for core in 0..2 {
+            let replicas = store.replicas().to_vec();
+            let outcome = Arc::clone(&outcome);
+            let guard = StaleGuard {
+                ceilings: Arc::clone(&ceilings),
+                restored: restored.clone(),
+                outage_from: LEAF_FROM,
+                outage_until: LEAF_UNTIL,
+            };
+            let start = (2 * i + core) % sites.len();
+            scenario = scenario.reader(rnode, core, move |_| {
+                Box::new(
+                    CheckedFailoverReader::new(mech, replicas, start, outcome, false)
+                        .with_stale_guard(guard),
+                )
+            });
+        }
+    }
+    let log = WriteLog::new(Addr::new(1 << 20), 2048);
+    for &site in &sites {
+        let peers: Vec<u8> = sites
+            .iter()
+            .filter(|&&p| p != site)
+            .map(|&p| p as u8)
+            .collect();
+        let mut writer = RecoveringWriter::new(
+            store.object_entries(),
+            payload,
+            writer_layout,
+            // Replay runs think-free, so a positive think pause is the
+            // convergence margin (see the recovery module docs).
+            Time::from_ns(500),
+            log,
+            peers,
+            Addr::new(2 << 20),
+            // Above the lag floor of the largest (1008 B) payload, so
+            // every schedule's guard provably drops before the horizon —
+            // the freshness check needs post-catch-up completions.
+            16,
+        );
+        if cc_mode == CcMode::Locking {
+            writer = writer.respecting_reader_locks();
+        }
+        scenario = scenario.workload(site, 0, Box::new(writer));
+    }
+    let report = scenario.run_for(Time::from_us(55));
+    let o = outcome.lock().expect("outcome poisoned").clone();
+    (o, report.recovery())
+}
+
+#[test]
+fn torture_kill_a_leaf_catch_up_never_serves_stale_or_torn_reads() {
+    // 32 seeded kill-a-leaf schedules, mechanisms rotating so each of the
+    // six gets 5+ genuinely different correlated-outage schedules. Per
+    // schedule: no torn image, no pre-outage data from a restored site
+    // after its guard drops, and the recovery machinery demonstrably ran
+    // (both restored sites pulled, bounced off their equally-stale
+    // sibling, and replayed missed updates).
+    let results = Sweep::over(0u64..32).map(|&seed| {
+        let tm = TortureMech::ALL[(seed % 6) as usize];
+        (tm, seed, leaf_race_threaded(tm, seed, 1))
+    });
+    let mut per_mech: std::collections::HashMap<TortureMech, Outcome> =
+        std::collections::HashMap::new();
+    for (tm, seed, (o, r)) in &results {
+        assert_eq!(
+            o.torn, 0,
+            "{tm:?} under a leaf outage (seed {seed}): {} torn objects delivered \
+             as atomic (of {} verified, {} aborts, {} failovers, {} refusals)",
+            o.torn, o.verified, o.aborts, o.failovers, o.refusals
+        );
+        assert_eq!(
+            o.stale_post, 0,
+            "{tm:?} under a leaf outage (seed {seed}): a restored replica served \
+             pre-outage data after catch-up: {o:?}"
+        );
+        assert!(
+            o.verified > 10,
+            "{tm:?} under a leaf outage (seed {seed}): too few successes: {o:?}"
+        );
+        assert!(
+            r.catch_up_pulls >= 2,
+            "{tm:?} (seed {seed}): the restored sites never pulled a peer log: {r:?}"
+        );
+        assert!(
+            r.catch_up_refused > 0,
+            "{tm:?} (seed {seed}): the equally-stale siblings never bounced: {r:?}"
+        );
+        assert!(
+            r.replays_applied > 0,
+            "{tm:?} (seed {seed}): catch-up replayed nothing: {r:?}"
+        );
+        assert!(
+            r.catch_up_ns > 0,
+            "{tm:?} (seed {seed}): no staleness window ever closed — the \
+             guard never dropped, so the freshness check saw nothing: {r:?}"
+        );
+        let e = per_mech.entry(*tm).or_default();
+        e.verified += o.verified;
+        e.torn += o.torn;
+        e.aborts += o.aborts;
+        e.failovers += o.failovers;
+        e.refusals += o.refusals;
+    }
+    for tm in TortureMech::ALL {
+        let o = &per_mech[&tm];
+        if tm.is_abort_free() {
+            assert_eq!(
+                o.aborts, 0,
+                "{tm:?}: aborted despite being wait-free by construction \
+                 (guard refusals must not count as aborts): {o:?}"
+            );
+        }
+        assert!(
+            o.failovers > 0,
+            "{tm:?}: no failovers in any of its leaf schedules — the outage \
+             never bit: {o:?}"
+        );
+        assert!(
+            o.refusals > 0,
+            "{tm:?}: no reader ever met a catch-up guard — the staleness \
+             window went unobserved: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn torture_kill_a_leaf_outcomes_are_thread_invariant() {
+    // A recovery-laden schedule per engine mode (plus a wait-free one),
+    // replayed at worker-thread counts {1, 2, 8}: the outage, the sibling
+    // bounces, every replay and every refusal must be untouched by how
+    // shards map onto OS threads — including the shared freshness oracle,
+    // whose max-merge updates are commutative by construction.
+    for (tm, seed) in [
+        (TortureMech::Occ, 20u64),
+        (TortureMech::Locking, 21),
+        (TortureMech::WfRegister, 22),
+    ] {
+        let serial = leaf_race_threaded(tm, seed, 1);
+        assert!(
+            serial.0.verified > 0,
+            "{tm:?} (seed {seed}): no progress in the serial run"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                leaf_race_threaded(tm, seed, threads),
+                "{tm:?} (seed {seed}): {threads} worker threads changed the \
+                 recovery schedule"
             );
         }
     }

@@ -451,3 +451,53 @@ fn fig_protocols_wait_free_never_aborts_and_ohram_undercuts_sabre_hops() {
         "SABRe never retried: the racing writers are not racing"
     );
 }
+
+#[test]
+fn fig_recovery_guard_trades_availability_for_freshness() {
+    use ex::fig_recovery::Mode;
+    let points = ex::fig_recovery::data(Q);
+    let get = |mode: Mode| {
+        points
+            .iter()
+            .find(|p| p.mode == mode)
+            .expect("every guard mode present")
+    };
+    let (base, refuse, stale) = (
+        get(Mode::NoOutage),
+        get(Mode::Refuse),
+        get(Mode::ServeStale),
+    );
+    // The fault-free baseline is clean: no recovery activity at all.
+    assert_eq!(base.recovery, Default::default(), "baseline not clean");
+    assert_eq!(base.migrations, 0, "baseline readers migrated");
+    // Both outage rows recover: the restored sibling sites bounce off
+    // each other's guards, pull the surviving replica's log, and replay
+    // a real missed range inside a nonzero staleness window.
+    for p in [refuse, stale] {
+        let r = p.recovery;
+        assert!(r.catch_up_pulls >= 2, "{:?}: {r:?}", p.mode);
+        assert!(
+            r.catch_up_refused >= 2,
+            "{:?}: siblings never bounced",
+            p.mode
+        );
+        assert!(r.replays_applied > 50, "{:?}: {r:?}", p.mode);
+        assert!(r.catch_up_ns > 0, "{:?}: no staleness window", p.mode);
+        assert!(p.migrations > 0, "{:?}: readers never re-placed", p.mode);
+        // The outage costs availability against the baseline either way.
+        assert!(p.ops < base.ops, "{:?}: outage was free", p.mode);
+    }
+    // The guard split: refuse mode turns readers away and serves nothing
+    // stale; serve-stale mode does the opposite — and the reads it keeps
+    // serving buy back availability.
+    assert!(refuse.recovery.stale_refusals > 0, "{:?}", refuse.recovery);
+    assert_eq!(refuse.recovery.stale_served, 0, "{:?}", refuse.recovery);
+    assert_eq!(stale.recovery.stale_refusals, 0, "{:?}", stale.recovery);
+    assert!(stale.recovery.stale_served > 0, "{:?}", stale.recovery);
+    assert!(
+        stale.ops > refuse.ops,
+        "serve-stale {} ops vs refuse {} ops",
+        stale.ops,
+        refuse.ops
+    );
+}

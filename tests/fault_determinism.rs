@@ -1,19 +1,25 @@
 //! Fault determinism: crash/recovery injection must not perturb the
 //! sharded loop's contracts.
 //!
-//! Two invariants:
+//! Three invariants:
 //!
 //! * a crash-laden scenario — outage, dropped packets, failover timers,
 //!   replica migrations and all — replays **bit-identically** at every
 //!   shards × threads setting, because drops are a pure function of the
 //!   static [`FaultPlan`] evaluated at the destination's delivery point;
-//! * the packet-conservation invariant extends to faults: every packet
-//!   the fabric accepted is either delivered exactly once or dropped by
-//!   the fault plan — `sent == delivered + dropped` at quiescence.
+//! * so does a full **recovery**-laden scenario: a correlated whole-leaf
+//!   outage with catch-up pulls, sibling bounces, guarded reads and
+//!   replay on top of the crash machinery (the shipped fig_recovery
+//!   construction, every counter of its [`RecoveryReport`] included);
+//! * the packet-conservation invariant extends to faults and catch-up
+//!   traffic: every packet the fabric accepted is either delivered
+//!   exactly once or dropped by the fault plan — `sent == delivered +
+//!   dropped` at quiescence.
 
 use sabres::prelude::*;
 
 use sabre_bench::experiments::fig_failover::{measure_threaded, Point, Policy};
+use sabre_bench::experiments::fig_recovery;
 use sabre_bench::experiments::fig_scale::Mechanism;
 
 /// Everything observable about one fig_failover point: op count, float
@@ -49,6 +55,135 @@ fn crash_laden_fig_failover_is_shard_and_thread_invariant() {
             }
         }
     }
+}
+
+/// Everything observable about one fig_recovery point: op count, integer
+/// p99, every recovery counter (both protocol sides), and migrations.
+fn recovery_fingerprint(p: fig_recovery::Point) -> (u64, u64, RecoveryReport, u64) {
+    (p.ops, p.p99_ns, p.recovery, p.migrations)
+}
+
+#[test]
+fn recovery_laden_fig_recovery_is_shard_and_thread_invariant() {
+    // The shipped fig_recovery construction (not a copy of it): the
+    // whole-leaf outage, both sites' catch-up pulls, the mutual-staleness
+    // bounces, the guarded reads and the replayed updates, replayed at
+    // shards {1, 2, 8} × threads {1, 2, 8} for both guard policies. Every
+    // op count, latency bit and recovery counter must match the serial
+    // single-shard run.
+    for mode in [fig_recovery::Mode::Refuse, fig_recovery::Mode::ServeStale] {
+        let serial = recovery_fingerprint(fig_recovery::measure_threaded(mode, 2, 1, Some(1)));
+        assert!(serial.0 > 0, "{mode:?}: serial run must complete ops");
+        assert!(
+            serial.2.catch_up_pulls >= 2,
+            "{mode:?}: both restored sites must pull: {:?}",
+            serial.2
+        );
+        assert!(
+            serial.2.catch_up_refused > 0,
+            "{mode:?}: the stale siblings must bounce: {:?}",
+            serial.2
+        );
+        assert!(
+            serial.2.replays_applied > 0,
+            "{mode:?}: catch-up must replay updates: {:?}",
+            serial.2
+        );
+        for shards in [2usize, 8] {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    serial,
+                    recovery_fingerprint(fig_recovery::measure_threaded(
+                        mode,
+                        2,
+                        shards,
+                        Some(threads)
+                    )),
+                    "{mode:?}: {shards} shards on {threads} threads diverged \
+                     from the serial recovery schedule"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn catch_up_traffic_extends_the_conservation_invariant() {
+    // The leaf-outage recovery scenario with finite readers: catch-up
+    // pulls and their burst replies cross the same fabric as everything
+    // else, so at quiescence the ledger must still balance — every packet
+    // (catch-up included) delivered exactly once or dropped by the plan.
+    let builder = ScenarioBuilder::new().seed(7).nodes(8).fat_tree(2, 2);
+    let topo = builder.config().topology.clone();
+    let rack = builder.config().fabric.topology;
+    let sites = replica_sites(&topo.store_nodes(), 3, rack);
+    assert_eq!(sites, vec![4, 6, 5], "leaf-spread placement changed");
+    let builder =
+        builder.fault(FaultPlan::new().leaf_outage(rack, 2, Time::from_us(10), Time::from_us(50)));
+    let (mut scenario, store) = builder.replicated_store(&sites, StoreLayout::Clean, 208, 8);
+    let readers = topo.reader_nodes();
+    for &rnode in &readers {
+        scenario = scenario.reader_spec(
+            rnode,
+            0,
+            spec()
+                .replicas(store.view_for(rnode, rack))
+                .payload(208)
+                .mechanism(ReadMechanism::Raw)
+                .wire(store.slot_bytes() as u32)
+                .iterations(100)
+                .failover_timeout(Time::from_us(10)),
+        );
+    }
+    let log = WriteLog::new(Addr::new(1 << 20), 2048);
+    for &site in &sites {
+        let peers: Vec<u8> = sites
+            .iter()
+            .filter(|&&p| p != site)
+            .map(|&p| p as u8)
+            .collect();
+        scenario = scenario.workload(
+            site,
+            0,
+            Box::new(RecoveringWriter::new(
+                store.object_entries(),
+                208,
+                WriterLayout::Clean,
+                Time::from_ns(500),
+                log,
+                peers,
+                Addr::new(2 << 20),
+                8,
+            )),
+        );
+    }
+    let report = scenario.run_for(Time::from_us(300));
+    let m = report.rack_metrics();
+    assert_eq!(
+        m.ops,
+        100 * readers.len() as u64,
+        "every reader must finish its iterations despite the leaf outage"
+    );
+    let r = report.recovery();
+    assert!(
+        r.catch_up_pulls >= 2,
+        "both restored sites must pull over the fabric: {r:?}"
+    );
+    assert!(
+        r.catch_up_refused > 0,
+        "the stale siblings must bounce: {r:?}"
+    );
+    let cluster = report.cluster();
+    let sent = cluster.fabric().packets_total();
+    let delivered = cluster.packets_delivered();
+    let dropped = cluster.packets_dropped();
+    assert!(dropped > 0, "the leaf outage must drop packets");
+    assert_eq!(
+        sent,
+        delivered + dropped,
+        "every packet — catch-up traffic included — must be delivered \
+         exactly once or dropped by the plan"
+    );
 }
 
 #[test]
