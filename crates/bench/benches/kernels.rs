@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use sabre_core::{LightSabres, LightSabresConfig, SabreId, StreamBuffer};
 use sabre_mem::{Addr, BlockAddr, Llc, NodeMemory, BLOCK_BYTES};
+use sabre_rack::{spec, Cluster, ClusterConfig, ReadMechanism, ScenarioBuilder};
 use sabre_sim::{CalendarQueue, EventQueue, LatencyHistogram, Time};
 use sabre_sw::layout::PerClLayout;
 use sabre_sw::{crc64_ecma, crc64_ecma_scalar, VersionWord};
@@ -220,11 +221,64 @@ fn bench_sim_primitives(c: &mut Criterion) {
     g.finish();
 }
 
+/// A cluster with two busy readers and every other node permanently idle,
+/// warmed past cold start — the regime the O(active-nodes) window
+/// scheduler exists for.
+fn quiet_cluster(cfg: ClusterConfig, targets: [(usize, usize); 2]) -> Cluster {
+    let mut cluster = Cluster::new(cfg);
+    for (reader, target) in targets {
+        cluster.node_memory_mut(target).write_u64(Addr::new(0), 0);
+        cluster.add_workload(
+            reader,
+            0,
+            spec()
+                .store(target)
+                .payload(256)
+                .mechanism(ReadMechanism::Sabre)
+                .build(&[Addr::new(0)]),
+        );
+    }
+    cluster.run_for(Time::from_us(5));
+    cluster
+}
+
+fn bench_window_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_scheduler");
+    // 30 of 32 mesh nodes never have an event: each fabric-lookahead
+    // window must cost O(active) hint pops, not an O(nodes) queue scan.
+    // One iteration advances 2 us of steady-state simulated time.
+    let mut rack = {
+        let mut cfg = ClusterConfig::with_nodes(32);
+        cfg.memory_bytes = 1 << 20;
+        quiet_cluster(cfg, [(0, 21), (13, 29)])
+    };
+    g.bench_function("quiet_rack_32n_advance_2us", |b| {
+        b.iter(|| black_box(&mut rack).run_for(Time::from_us(2)))
+    });
+    // The datacenter-scale version: 254 of 256 nodes idle across 4 racks
+    // of a radix-8 spine fabric, one reader rack-local and one crossing
+    // the spine every packet.
+    let mut dc = {
+        let mut cfg = ScenarioBuilder::new()
+            .nodes(256)
+            .datacenter(4, 8, 2)
+            .config()
+            .clone();
+        cfg.memory_bytes = 1 << 20;
+        quiet_cluster(cfg, [(0, 130), (65, 70)])
+    };
+    g.bench_function("quiet_datacenter_256n_advance_2us", |b| {
+        b.iter(|| black_box(&mut dc).run_for(Time::from_us(2)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_stream_buffer,
     bench_engine,
     bench_software_kernels,
-    bench_sim_primitives
+    bench_sim_primitives,
+    bench_window_scheduler
 );
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates fig_datacenter (two-level spine scaling: racks x mechanism
+//! x placement, with the cross-spine hop share).
+use sabre_bench::{experiments, RunOpts};
+
+fn main() {
+    print!("{}", experiments::fig_datacenter::run(RunOpts::from_args()));
+}

@@ -19,6 +19,7 @@ pub mod fig7b;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod fig_datacenter;
 pub mod fig_failover;
 pub mod fig_placement;
 pub mod fig_protocols;

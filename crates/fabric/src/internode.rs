@@ -16,7 +16,7 @@
 //! are grouped into shards — so sharded simulation stays bit-identical to
 //! single-shard simulation.
 
-use sabre_sim::{BandwidthServer, Time};
+use sabre_sim::{BandwidthServer, HopStats, Time};
 
 use crate::mesh::RackTopology;
 
@@ -83,11 +83,16 @@ impl FabricConfig {
 #[derive(Debug)]
 pub struct FabricPort {
     src: usize,
-    /// `links[dst]`, unused for `dst == src`.
-    links: Vec<BandwidthServer>,
-    /// Packets pushed onto each directed link so far (conservation
-    /// accounting: every send is delivered exactly once).
-    sent: Vec<u64>,
+    /// Per-destination link state, keyed by destination and sorted for
+    /// binary search. Allocated lazily on first send: most node pairs in a
+    /// datacenter-scale fabric never talk (readers bind to a handful of
+    /// stores), so the dense `Vec<BandwidthServer>` per port of the rack
+    /// tier — O(nodes²) memory across the fabric — would waste hundreds of
+    /// megabytes at 1024 nodes. A fresh server is idle at `Time::ZERO`, so
+    /// lazy creation is arrival-for-arrival identical to preallocation.
+    links: Vec<(u32, LinkState)>,
+    /// Packets pushed onto any link so far.
+    packets_sent: u64,
     /// Hops traversed by every packet sent from this port so far,
     /// including fat-tree uplink queueing penalties — the numerator of the
     /// per-node mean hop count the placement experiments report.
@@ -103,12 +108,82 @@ pub struct FabricPort {
     /// bundle is a FIFO queue, so a later packet (whose window counter may
     /// have reset) never overtakes an earlier queued one.
     uplink_tail: Time,
+    /// Spine-latency window index the spine counter below covers.
+    spine_window: u64,
+    /// Cross-rack packets this port pushed within the current spine window.
+    spine_in_window: u64,
+    /// Cross-rack packets that exceeded the spine's per-window budget and
+    /// paid a full `spine_latency` of queueing per queued predecessor.
+    spine_queued: u64,
+    /// Arrival time of the last packet through the rack's spine bundle
+    /// (FIFO, like the leaf uplink).
+    spine_tail: Time,
+    /// Cross-rack packets sent from this port so far — the numerator of
+    /// the cross-spine hop share `fig_datacenter` reports.
+    spine_crossings: u64,
+}
+
+/// One lazily-created directed link: its queued bandwidth server plus the
+/// packets pushed through it (conservation accounting: every send is
+/// delivered exactly once).
+#[derive(Debug)]
+struct LinkState {
+    server: BandwidthServer,
+    sent: u64,
 }
 
 impl FabricPort {
+    /// An idle port for `src` with no per-destination state yet.
+    fn new(src: usize) -> Self {
+        FabricPort {
+            src,
+            links: Vec::new(),
+            packets_sent: 0,
+            hops_sent: 0,
+            uplink_window: 0,
+            uplink_in_window: 0,
+            uplink_queued: 0,
+            uplink_tail: Time::ZERO,
+            spine_window: 0,
+            spine_in_window: 0,
+            spine_queued: 0,
+            spine_tail: Time::ZERO,
+            spine_crossings: 0,
+        }
+    }
+
     /// The source node this port belongs to.
     pub fn src(&self) -> usize {
         self.src
+    }
+
+    /// The link state toward `dst`, if any packet has been sent there.
+    fn link(&self, dst: usize) -> Option<&LinkState> {
+        self.links
+            .binary_search_by_key(&(dst as u32), |(d, _)| *d)
+            .ok()
+            .map(|i| &self.links[i].1)
+    }
+
+    /// The link state toward `dst`, created idle on first use.
+    fn link_mut(&mut self, cfg: &FabricConfig, dst: usize) -> &mut LinkState {
+        let idx = match self.links.binary_search_by_key(&(dst as u32), |(d, _)| *d) {
+            Ok(i) => i,
+            Err(i) => {
+                self.links.insert(
+                    i,
+                    (
+                        dst as u32,
+                        LinkState {
+                            server: BandwidthServer::new(cfg.link_gbps, Time::ZERO),
+                            sent: 0,
+                        },
+                    ),
+                );
+                i
+            }
+        };
+        &mut self.links[idx].1
     }
 
     /// Sends a packet with `payload_bytes` of payload from this port's
@@ -116,9 +191,10 @@ impl FabricPort {
     /// `dst`: serialization onto the (queued) directed link plus one
     /// [`FabricConfig::hop_latency`] per routed hop.
     ///
-    /// On a [`RackTopology::FatTree`], cross-leaf packets contend for the
-    /// leaf's oversubscribed uplink bundle: within each hop-latency window
-    /// a port may push its leaf's share
+    /// On a [`RackTopology::FatTree`] (and within each
+    /// [`RackTopology::Datacenter`] rack), cross-leaf packets contend for
+    /// the leaf's oversubscribed uplink bundle: within each hop-latency
+    /// window a port may push its leaf's share
     /// ([`RackTopology::uplink_budget`] = `radix / oversubscription`
     /// packets) uplink unpenalized; every packet beyond the budget pays
     /// one extra hop of latency *per queued predecessor* — a coarse,
@@ -128,24 +204,32 @@ impl FabricPort {
     /// leaf-mates sharing the physical bundle is approximated by each port
     /// holding the full window share.
     ///
+    /// Cross-rack datacenter packets additionally traverse the inter-rack
+    /// spine: the middle of their five traversals is charged at
+    /// [`RackTopology::spine_latency`] instead of one hop latency, and
+    /// the rack's spine bundle applies the same per-window discipline one
+    /// level up — [`RackTopology::spine_budget`] packets per
+    /// `spine_latency` window unpenalized, each excess packet delayed a
+    /// full `spine_latency` per queued predecessor, FIFO across windows.
+    ///
     /// # Panics
     ///
     /// Panics if `dst` is this port's own node or out of range.
     pub fn send(&mut self, cfg: &FabricConfig, now: Time, dst: usize, payload_bytes: u64) -> Time {
         assert!(dst != self.src, "no self-links: {} -> {dst}", self.src);
         assert!(
-            dst < self.links.len(),
+            dst < cfg.nodes,
             "node index out of range: {} -> {dst}",
             self.src
         );
-        self.sent[dst] += 1;
+        self.packets_sent += 1;
         let mut hops = cfg.topology.hops(self.src, dst);
         let crosses = cfg.topology.crosses_uplink(self.src, dst);
         if crosses {
             let budget = cfg
                 .topology
                 .uplink_budget()
-                .expect("uplink crossings only exist on fat trees");
+                .expect("uplink crossings only exist on leaf/spine fabrics");
             let window = now.as_ps() / cfg.hop_latency.as_ps().max(1);
             if window != self.uplink_window {
                 self.uplink_window = window;
@@ -158,14 +242,44 @@ impl FabricPort {
             }
         }
         self.hops_sent += hops;
-        let propagation = cfg.hop_latency * hops;
-        let mut arrival =
-            self.links[dst].transmit(now, payload_bytes + cfg.header_bytes) + propagation;
+        let mut propagation = cfg.hop_latency * hops;
+        let spine = cfg.topology.crosses_spine(self.src, dst);
+        if spine {
+            let spine_latency = cfg
+                .topology
+                .spine_latency()
+                .expect("spine crossings only exist on datacenters");
+            // The middle traversal is the long-haul inter-rack link: swap
+            // one hop latency for the spine latency.
+            propagation = propagation - cfg.hop_latency + spine_latency;
+            self.spine_crossings += 1;
+            let budget = cfg
+                .topology
+                .spine_budget()
+                .expect("spine crossings only exist on datacenters");
+            let window = now.as_ps() / spine_latency.as_ps().max(1);
+            if window != self.spine_window {
+                self.spine_window = window;
+                self.spine_in_window = 0;
+            }
+            self.spine_in_window += 1;
+            if self.spine_in_window > budget {
+                propagation += spine_latency * (self.spine_in_window - budget);
+                self.spine_queued += 1;
+            }
+        }
+        let link = self.link_mut(cfg, dst);
+        link.sent += 1;
+        let mut arrival = link.server.transmit(now, payload_bytes + cfg.header_bytes) + propagation;
         if crosses {
             // The uplink bundle is a FIFO queue: a packet sent in a later
             // window (counter reset) never overtakes one still queued.
             arrival = arrival.max(self.uplink_tail);
             self.uplink_tail = arrival;
+        }
+        if spine {
+            arrival = arrival.max(self.spine_tail);
+            self.spine_tail = arrival;
         }
         arrival
     }
@@ -232,22 +346,45 @@ impl Fabric {
                     radix
                 );
             }
+            RackTopology::Datacenter {
+                racks,
+                radix,
+                oversubscription,
+                spine_latency,
+            } => {
+                assert!(racks >= 1, "a datacenter needs at least one rack");
+                assert!(radix >= 2, "datacenter leaves need at least two downlinks");
+                assert!(
+                    oversubscription >= 1,
+                    "oversubscription ratio must be at least 1:1"
+                );
+                let capacity = racks as usize * (radix as usize).pow(2);
+                assert!(
+                    cfg.nodes <= capacity,
+                    "topology cannot place every node: {} nodes in {} racks of {}\u{b2}",
+                    cfg.nodes,
+                    racks,
+                    radix
+                );
+                let leaves = cfg.nodes.div_ceil(radix as usize);
+                assert!(
+                    leaves <= u8::MAX as usize + 1,
+                    "topology grid cannot place every node: {} nodes on {}-node leaves",
+                    cfg.nodes,
+                    radix
+                );
+                // The arrival lower bound `now + hop_latency × hops` (and
+                // with it the sharded loop's lookahead safety) relies on
+                // the spine traversal never being cheaper than the hop it
+                // replaces.
+                assert!(
+                    spine_latency >= cfg.hop_latency,
+                    "spine latency must be at least the per-hop latency"
+                );
+            }
             RackTopology::Direct => {}
         }
-        let ports = (0..cfg.nodes)
-            .map(|src| FabricPort {
-                src,
-                links: (0..cfg.nodes)
-                    .map(|_| BandwidthServer::new(cfg.link_gbps, Time::ZERO))
-                    .collect(),
-                sent: vec![0; cfg.nodes],
-                hops_sent: 0,
-                uplink_window: 0,
-                uplink_in_window: 0,
-                uplink_queued: 0,
-                uplink_tail: Time::ZERO,
-            })
-            .collect();
+        let ports = (0..cfg.nodes).map(FabricPort::new).collect();
         Fabric { cfg, ports }
     }
 
@@ -288,19 +425,22 @@ impl Fabric {
         self.ports[src].send(&self.cfg, now, dst, payload_bytes)
     }
 
-    /// Total bytes (incl. headers) pushed from `src` to `dst` so far.
+    /// Total bytes (incl. headers) pushed from `src` to `dst` so far
+    /// (0 for node pairs that never exchanged a packet).
     pub fn link_bytes(&self, src: usize, dst: usize) -> u64 {
-        self.ports[src].links[dst].bytes_total()
+        self.ports[src]
+            .link(dst)
+            .map_or(0, |l| l.server.bytes_total())
     }
 
     /// Packets pushed from `src` to `dst` so far.
     pub fn link_packets(&self, src: usize, dst: usize) -> u64 {
-        self.ports[src].sent[dst]
+        self.ports[src].link(dst).map_or(0, |l| l.sent)
     }
 
     /// Packets pushed from `src` onto any link so far.
     pub fn node_packets_sent(&self, src: usize) -> u64 {
-        self.ports[src].sent.iter().sum()
+        self.ports[src].packets_sent
     }
 
     /// Hops traversed by every packet sent from `src` so far, including
@@ -319,14 +459,58 @@ impl Fabric {
         self.ports[src].uplink_queued
     }
 
+    /// Cross-rack packets sent from `src` over the inter-rack spine so far
+    /// (always 0 off the datacenter topology).
+    pub fn node_spine_crossings(&self, src: usize) -> u64 {
+        self.ports[src].spine_crossings
+    }
+
+    /// Cross-rack packets from `src` that exceeded the spine bundle's
+    /// per-window budget and paid a full `spine_latency` of queueing.
+    pub fn node_spine_queued(&self, src: usize) -> u64 {
+        self.ports[src].spine_queued
+    }
+
+    /// The streaming hop/queue counters of `src`'s port as a mergeable
+    /// [`HopStats`] — the per-node row datacenter-scale reports aggregate
+    /// without any per-event storage.
+    pub fn node_hop_stats(&self, src: usize) -> HopStats {
+        let p = &self.ports[src];
+        HopStats {
+            packets: p.packets_sent,
+            hops: p.hops_sent,
+            uplink_queued: p.uplink_queued,
+            spine_crossings: p.spine_crossings,
+            spine_queued: p.spine_queued,
+        }
+    }
+
+    /// [`Fabric::node_hop_stats`] merged over every port — whole-fabric
+    /// traffic accounting.
+    pub fn hop_stats(&self) -> HopStats {
+        let mut total = HopStats::default();
+        for src in 0..self.ports.len() {
+            total.merge(&self.node_hop_stats(src));
+        }
+        total
+    }
+
     /// Packets pushed onto any link so far.
     pub fn packets_total(&self) -> u64 {
-        self.ports.iter().map(|p| p.sent.iter().sum::<u64>()).sum()
+        self.ports.iter().map(|p| p.packets_sent).sum()
+    }
+
+    /// Cross-rack packets pushed over the inter-rack spine so far; with
+    /// [`Fabric::packets_total`] this gives the cross-spine traffic share.
+    pub fn spine_crossings_total(&self) -> u64 {
+        self.ports.iter().map(|p| p.spine_crossings).sum()
     }
 
     /// Utilization of the `src → dst` link over `[0, horizon]`.
     pub fn link_utilization(&self, src: usize, dst: usize, horizon: Time) -> f64 {
-        self.ports[src].links[dst].utilization(horizon)
+        self.ports[src]
+            .link(dst)
+            .map_or(0.0, |l| l.server.utilization(horizon))
     }
 }
 
@@ -644,6 +828,132 @@ mod tests {
         // The next window's first packet is inside the budget again.
         let _ = f.send(Time::from_ns(35), 0, 7, 0);
         assert_eq!(f.node_uplink_queued(0), 1);
+    }
+
+    /// A 2-rack × radix-4 (32-node) datacenter fabric at the given
+    /// oversubscription, with a 350 ns spine.
+    fn dc_fabric(oversubscription: u8) -> Fabric {
+        Fabric::new(FabricConfig {
+            nodes: 32,
+            topology: RackTopology::datacenter_for(2, 4, oversubscription),
+            ..FabricConfig::default()
+        })
+    }
+
+    #[test]
+    fn datacenter_route_classes_pay_their_latencies() {
+        let mut f = dc_fabric(1);
+        let same_leaf = f.send(Time::ZERO, 0, 3, 0); // 1 hop
+        let same_rack = f.send(Time::ZERO, 0, 15, 0); // 3 hops
+        let cross_rack = f.send(Time::ZERO, 0, 16, 0); // 4 hops + spine
+        assert_eq!(same_rack - same_leaf, Time::from_ns(70));
+        assert_eq!(
+            cross_rack - same_rack,
+            Time::from_ns(35) + Time::from_ns(350),
+            "one more rack-local hop plus the 350 ns spine traversal"
+        );
+        assert_eq!(f.node_hops_sent(0), 1 + 3 + 5);
+        assert_eq!(f.node_spine_crossings(0), 1);
+        assert_eq!(f.spine_crossings_total(), 1);
+        assert_eq!(f.node_spine_queued(0), 0, "full bisection never queues");
+    }
+
+    #[test]
+    fn oversubscribed_spine_queues_past_its_window_budget() {
+        // radix 4 at 2:1 -> spine budget 4/2² = 1 packet per 350 ns
+        // window; the k-th excess cross-rack packet pays k extra spine
+        // traversals. The leaf uplink (budget 2/35 ns) also queues the
+        // third packet for one extra hop.
+        let mut f = dc_fabric(2);
+        let first = f.send(Time::ZERO, 0, 16, 0);
+        let second = f.send(Time::ZERO, 0, 16, 0);
+        let third = f.send(Time::ZERO, 0, 16, 0);
+        assert_eq!(second - first, Time::from_ps(160) + Time::from_ns(350));
+        assert_eq!(
+            third - second,
+            Time::from_ps(160) + Time::from_ns(350) + Time::from_ns(35),
+            "two spine queue slots plus the leaf uplink's first penalty hop"
+        );
+        assert_eq!(f.node_spine_queued(0), 2);
+        assert_eq!(f.node_spine_crossings(0), 3);
+        // Rack-local traffic never touches the spine state.
+        let mut g = dc_fabric(2);
+        let _ = g.send(Time::ZERO, 0, 15, 0);
+        let _ = g.send(Time::ZERO, 0, 15, 0);
+        assert_eq!(g.node_spine_queued(0), 0);
+        assert_eq!(g.node_spine_crossings(0), 0);
+    }
+
+    #[test]
+    fn spine_budget_resets_every_spine_window() {
+        let mut f = dc_fabric(2);
+        let _ = f.send(Time::ZERO, 0, 16, 0);
+        let _ = f.send(Time::ZERO, 0, 16, 0); // queued
+        assert_eq!(f.node_spine_queued(0), 1);
+        // The next 350 ns window's first packet is inside the budget, but
+        // the spine FIFO still refuses to let it overtake the queued one.
+        let queued_tail = f.send(Time::ZERO, 0, 16, 0);
+        let next_window = f.send(Time::from_ns(350), 0, 16, 0);
+        assert_eq!(f.node_spine_queued(0), 2, "in-budget packet never queues");
+        assert!(next_window >= queued_tail, "spine is FIFO across windows");
+    }
+
+    #[test]
+    fn single_rack_datacenter_matches_fat_tree_fabric() {
+        let mut ft = Fabric::new(FabricConfig {
+            nodes: 16,
+            topology: RackTopology::FatTree {
+                radix: 4,
+                oversubscription: 2,
+            },
+            ..FabricConfig::default()
+        });
+        let mut dc = Fabric::new(FabricConfig {
+            nodes: 16,
+            topology: RackTopology::datacenter_for(1, 4, 2),
+            ..FabricConfig::default()
+        });
+        for (src, dst, payload) in [(0, 3, 64u64), (0, 15, 64), (0, 15, 0), (12, 2, 4096)] {
+            assert_eq!(
+                ft.send(Time::ZERO, src, dst, payload),
+                dc.send(Time::ZERO, src, dst, payload)
+            );
+        }
+    }
+
+    #[test]
+    fn untouched_links_report_zero() {
+        let f = dc_fabric(1);
+        assert_eq!(f.link_bytes(0, 31), 0);
+        assert_eq!(f.link_packets(0, 31), 0);
+        assert_eq!(f.node_packets_sent(0), 0);
+        assert_eq!(f.link_utilization(0, 31, Time::from_ns(100)), 0.0);
+        assert_eq!(f.packets_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spine latency must be at least")]
+    fn sub_hop_spine_latency_rejected() {
+        let _ = Fabric::new(FabricConfig {
+            nodes: 32,
+            topology: RackTopology::Datacenter {
+                racks: 2,
+                radix: 4,
+                oversubscription: 1,
+                spine_latency: Time::from_ns(1),
+            },
+            ..FabricConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place every node")]
+    fn overfull_datacenter_rejected() {
+        let _ = Fabric::new(FabricConfig {
+            nodes: 33,
+            topology: RackTopology::datacenter_for(2, 4, 1),
+            ..FabricConfig::default()
+        });
     }
 
     #[test]

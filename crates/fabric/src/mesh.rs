@@ -144,6 +144,38 @@ pub enum RackTopology {
         /// quarter of the leaf's aggregate downlink bandwidth).
         oversubscription: u8,
     },
+    /// The datacenter tier: `racks` racks, each a fat tree of `radix`
+    /// leaves with `radix` nodes per leaf (`radix²` nodes per rack), the
+    /// racks joined by an inter-rack **spine** whose per-hop latency is
+    /// `spine_latency` — typically an order of magnitude above the
+    /// intra-rack [`crate::FabricConfig::hop_latency`].
+    ///
+    /// Node `n` sits on leaf `n / radix` of rack `n / radix²`
+    /// ([`RackTopology::leaf_of`] / [`RackTopology::rack_of`]). Routes:
+    ///
+    /// * same leaf — one switch traversal (1 hop);
+    /// * same rack, different leaf — leaf → rack spine → leaf (3 hops),
+    ///   paying the leaf uplink contention of the fat-tree model;
+    /// * different rack — leaf → rack spine → **datacenter spine** → rack
+    ///   spine → leaf (5 hops), where the middle traversal costs
+    ///   `spine_latency` instead of one hop latency and contends for the
+    ///   rack's spine uplink bundle ([`RackTopology::spine_budget`],
+    ///   [`crate::FabricPort::send`]).
+    Datacenter {
+        /// Racks joined by the spine (≥ 1).
+        racks: u8,
+        /// Nodes per leaf *and* leaves per rack (≥ 2), so each rack holds
+        /// `radix²` nodes.
+        radix: u8,
+        /// Uplink oversubscription ratio `q` in `q:1`, applied at both
+        /// levels: each leaf's uplink bundle and each rack's spine bundle
+        /// carry a `1/q` share of the aggregate bandwidth below them.
+        oversubscription: u8,
+        /// Per-traversal latency of the inter-rack spine (the long-haul
+        /// link between rack spines). Must be at least the fabric's
+        /// per-hop latency; typically many times larger.
+        spine_latency: Time,
+    },
 }
 
 impl RackTopology {
@@ -180,15 +212,37 @@ impl RackTopology {
         }
     }
 
+    /// A datacenter of `racks` racks sized for the standard torture and
+    /// figure quadrants: `radix`-node leaves, `radix` leaves per rack, a
+    /// 350 ns inter-rack spine (10× the Table-2 hop latency) at the given
+    /// oversubscription ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` is zero or `radix < 2`.
+    pub fn datacenter_for(racks: u8, radix: u8, oversubscription: u8) -> Self {
+        assert!(racks >= 1, "a datacenter needs at least one rack");
+        assert!(radix >= 2, "datacenter leaves need at least two downlinks");
+        RackTopology::Datacenter {
+            racks,
+            radix,
+            oversubscription,
+            spine_latency: Time::from_ns(350),
+        }
+    }
+
     /// Grid coordinate of `node` (row-major placement; meaningless for
     /// [`RackTopology::Direct`], where every pair is one hop). For
-    /// [`RackTopology::FatTree`] the row is the leaf index and the column
-    /// the position within the leaf.
+    /// [`RackTopology::FatTree`] and [`RackTopology::Datacenter`] the row
+    /// is the (global) leaf index and the column the position within the
+    /// leaf.
     pub fn coord(self, node: usize) -> MeshCoord {
         let cols = match self {
             RackTopology::Direct => 1,
             RackTopology::Mesh { cols } => cols.max(1) as usize,
-            RackTopology::FatTree { radix, .. } => radix.max(1) as usize,
+            RackTopology::FatTree { radix, .. } | RackTopology::Datacenter { radix, .. } => {
+                radix.max(1) as usize
+            }
         };
         MeshCoord {
             x: (node % cols) as u8,
@@ -196,20 +250,57 @@ impl RackTopology {
         }
     }
 
-    /// The leaf switch `node` attaches to, for [`RackTopology::FatTree`];
-    /// `None` for the flat topologies.
+    /// The leaf switch `node` attaches to, for [`RackTopology::FatTree`]
+    /// and [`RackTopology::Datacenter`] (global leaf index — datacenter
+    /// leaves number contiguously across racks); `None` for the flat
+    /// topologies.
     pub fn leaf_of(self, node: usize) -> Option<usize> {
         match self {
-            RackTopology::FatTree { radix, .. } => Some(node / radix.max(1) as usize),
+            RackTopology::FatTree { radix, .. } | RackTopology::Datacenter { radix, .. } => {
+                Some(node / radix.max(1) as usize)
+            }
             _ => None,
         }
     }
 
-    /// Whether a `src → dst` packet climbs a leaf uplink (fat tree only:
-    /// the endpoints sit on different leaves).
+    /// The rack `node` belongs to, for [`RackTopology::Datacenter`]
+    /// (`node / radix²`); `None` for the single-rack topologies.
+    pub fn rack_of(self, node: usize) -> Option<usize> {
+        match self {
+            RackTopology::Datacenter { radix, .. } => {
+                let per_rack = (radix.max(1) as usize).pow(2);
+                Some(node / per_rack)
+            }
+            _ => None,
+        }
+    }
+
+    /// Nodes one rack holds: `radix²` for [`RackTopology::Datacenter`],
+    /// `None` for the single-rack topologies (the whole fabric is the
+    /// rack).
+    pub fn nodes_per_rack(self) -> Option<usize> {
+        match self {
+            RackTopology::Datacenter { radix, .. } => Some((radix.max(1) as usize).pow(2)),
+            _ => None,
+        }
+    }
+
+    /// Whether a `src → dst` packet climbs a leaf uplink (fat tree and
+    /// datacenter: the endpoints sit on different leaves).
     pub fn crosses_uplink(self, src: usize, dst: usize) -> bool {
         match self {
-            RackTopology::FatTree { .. } => self.leaf_of(src) != self.leaf_of(dst),
+            RackTopology::FatTree { .. } | RackTopology::Datacenter { .. } => {
+                self.leaf_of(src) != self.leaf_of(dst)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a `src → dst` packet traverses the inter-rack spine
+    /// (datacenter only: the endpoints sit in different racks).
+    pub fn crosses_spine(self, src: usize, dst: usize) -> bool {
+        match self {
+            RackTopology::Datacenter { .. } => self.rack_of(src) != self.rack_of(dst),
             _ => false,
         }
     }
@@ -222,14 +313,50 @@ impl RackTopology {
             RackTopology::FatTree {
                 radix,
                 oversubscription,
+            }
+            | RackTopology::Datacenter {
+                radix,
+                oversubscription,
+                ..
             } => Some((radix.max(1) as u64 / oversubscription.max(1) as u64).max(1)),
+            _ => None,
+        }
+    }
+
+    /// Packets one source port may push across the inter-rack spine per
+    /// `spine_latency` window before cross-rack traffic starts queueing —
+    /// the rack's spine bundle share, oversubscribed once more on top of
+    /// the leaf level: `radix / oversubscription²`, floored at one.
+    /// `None` for topologies without an inter-rack spine.
+    pub fn spine_budget(self) -> Option<u64> {
+        match self {
+            RackTopology::Datacenter {
+                radix,
+                oversubscription,
+                ..
+            } => {
+                let q = oversubscription.max(1) as u64;
+                Some((radix.max(1) as u64 / (q * q)).max(1))
+            }
+            _ => None,
+        }
+    }
+
+    /// The inter-rack spine's per-traversal latency, `None` for
+    /// single-rack topologies.
+    pub fn spine_latency(self) -> Option<Time> {
+        match self {
+            RackTopology::Datacenter { spine_latency, .. } => Some(spine_latency),
             _ => None,
         }
     }
 
     /// Hops an internode packet from `src` to `dst` traverses (the
     /// *uncontended* route; fat-tree uplink queueing adds latency on top —
-    /// see [`crate::FabricPort::send`]).
+    /// see [`crate::FabricPort::send`]). On a datacenter the cross-rack
+    /// route counts 5 traversals; the middle (inter-rack spine) one is
+    /// charged at [`RackTopology::spine_latency`] rather than the per-hop
+    /// latency.
     ///
     /// # Panics
     ///
@@ -246,6 +373,15 @@ impl RackTopology {
                     3 // leaf -> spine -> leaf
                 }
             }
+            RackTopology::Datacenter { .. } => {
+                if self.leaf_of(src) == self.leaf_of(dst) {
+                    1 // one shared leaf switch
+                } else if self.rack_of(src) == self.rack_of(dst) {
+                    3 // leaf -> rack spine -> leaf
+                } else {
+                    5 // leaf -> rack spine -> dc spine -> rack spine -> leaf
+                }
+            }
         }
     }
 
@@ -254,7 +390,9 @@ impl RackTopology {
     /// cross-node synchronization. 1 in every shape with same-switch
     /// neighbors; the degenerate radix-1 fat tree has none (each node
     /// sits alone on its leaf), so every pair routes through the spine
-    /// and the loop may safely look 3 hops ahead.
+    /// and the loop may safely look 3 hops ahead. Datacenter radices are
+    /// at least 2 by construction, so same-leaf one-hop pairs always
+    /// exist there.
     pub fn min_hops(self) -> u64 {
         match self {
             RackTopology::FatTree { radix: 0 | 1, .. } => 3,
@@ -390,6 +528,73 @@ mod tests {
         assert_eq!(ft.hops(0, 1), 1);
         assert_eq!(ft.hops(1, 0), 1);
         assert!(!ft.crosses_uplink(0, 1));
+    }
+
+    #[test]
+    fn datacenter_routes_by_leaf_and_rack() {
+        // 2 racks × radix 4 = 32 nodes: rack 0 holds 0..16 on leaves
+        // {0..3}, {4..7}, {8..11}, {12..15}; rack 1 holds 16..32.
+        let dc = RackTopology::datacenter_for(2, 4, 2);
+        assert_eq!(dc.leaf_of(3), Some(0));
+        assert_eq!(dc.leaf_of(4), Some(1));
+        assert_eq!(dc.leaf_of(16), Some(4), "leaves number across racks");
+        assert_eq!(dc.rack_of(15), Some(0));
+        assert_eq!(dc.rack_of(16), Some(1));
+        assert_eq!(dc.nodes_per_rack(), Some(16));
+        assert_eq!(dc.hops(0, 3), 1, "same leaf is one switch traversal");
+        assert_eq!(dc.hops(0, 15), 3, "same rack crosses the rack spine");
+        assert_eq!(dc.hops(0, 16), 5, "cross rack adds the dc spine");
+        assert_eq!(dc.hops(16, 0), 5, "routes are symmetric");
+        assert!(!dc.crosses_uplink(0, 3));
+        assert!(dc.crosses_uplink(0, 15));
+        assert!(dc.crosses_uplink(0, 16), "cross-rack climbs the leaf too");
+        assert!(!dc.crosses_spine(0, 15));
+        assert!(dc.crosses_spine(0, 16));
+        assert_eq!(dc.min_hops(), 1);
+    }
+
+    #[test]
+    fn datacenter_budgets_oversubscribe_per_level() {
+        let dc = |radix, q| RackTopology::datacenter_for(2, radix, q);
+        // Leaf uplinks behave exactly like the single-rack fat tree.
+        assert_eq!(dc(4, 1).uplink_budget(), Some(4));
+        assert_eq!(dc(4, 2).uplink_budget(), Some(2));
+        // The spine bundle is oversubscribed once more on top: radix/q².
+        assert_eq!(dc(4, 1).spine_budget(), Some(4));
+        assert_eq!(dc(4, 2).spine_budget(), Some(1));
+        assert_eq!(dc(8, 2).spine_budget(), Some(2));
+        assert_eq!(dc(2, 4).spine_budget(), Some(1), "floors at one packet");
+        assert_eq!(RackTopology::fat_tree_for(8, 2).spine_budget(), None);
+        assert_eq!(RackTopology::Direct.spine_latency(), None);
+        assert_eq!(
+            dc(4, 2).spine_latency(),
+            Some(Time::from_ns(350)),
+            "constructor pins the 10x-hop spine"
+        );
+    }
+
+    #[test]
+    fn single_rack_datacenter_routes_like_its_fat_tree() {
+        let dc = RackTopology::datacenter_for(1, 4, 2);
+        let ft = RackTopology::FatTree {
+            radix: 4,
+            oversubscription: 2,
+        };
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(dc.hops(src, dst), ft.hops(src, dst));
+                assert!(!dc.crosses_spine(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two downlinks")]
+    fn degenerate_datacenter_radix_rejected() {
+        let _ = RackTopology::datacenter_for(4, 1, 1);
     }
 
     #[test]

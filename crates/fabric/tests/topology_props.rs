@@ -8,20 +8,30 @@ use proptest::prelude::*;
 use sabre_fabric::{Fabric, FabricConfig, RackTopology, ShardRouter};
 use sabre_sim::Time;
 
-/// A topology strategy covering the paper pair, crossbars, meshes and
-/// (oversubscribed) fat trees from 2 to 12 nodes.
+/// A topology strategy covering the paper pair, crossbars, meshes,
+/// (oversubscribed) fat trees and multi-rack datacenters from 2 to 12
+/// nodes (datacenter node counts clamp to the racks' capacity).
 fn topologies() -> impl Strategy<Value = (usize, RackTopology)> {
-    (2usize..13, 0u8..3, 1u8..5, 1u8..5).prop_map(|(nodes, family, radix, oversubscription)| {
-        let topo = match family {
-            0 => RackTopology::Direct,
-            1 => RackTopology::mesh_for(nodes),
-            _ => RackTopology::FatTree {
-                radix,
-                oversubscription,
-            },
-        };
-        (nodes, topo)
-    })
+    (2usize..13, 0u8..4, 1u8..5, 1u8..5, 1u8..4).prop_map(
+        |(nodes, family, radix, oversubscription, racks)| {
+            let topo = match family {
+                0 => RackTopology::Direct,
+                1 => RackTopology::mesh_for(nodes),
+                2 => RackTopology::FatTree {
+                    radix,
+                    oversubscription,
+                },
+                _ => RackTopology::datacenter_for(racks, radix.max(2), oversubscription),
+            };
+            let nodes = match topo {
+                RackTopology::Datacenter { racks, radix, .. } => {
+                    nodes.min(racks as usize * (radix as usize).pow(2))
+                }
+                _ => nodes,
+            };
+            (nodes, topo)
+        },
+    )
 }
 
 proptest! {
@@ -60,12 +70,66 @@ proptest! {
                         prop_assert_eq!(direct, expect);
                         prop_assert_eq!(topo.crosses_uplink(a, b), expect == 3);
                     }
+                    RackTopology::Datacenter { .. } => {
+                        let expect = if topo.leaf_of(a) == topo.leaf_of(b) {
+                            1
+                        } else if topo.rack_of(a) == topo.rack_of(b) {
+                            3
+                        } else {
+                            5
+                        };
+                        prop_assert_eq!(direct, expect);
+                        prop_assert_eq!(topo.crosses_uplink(a, b), expect >= 3);
+                        prop_assert_eq!(topo.crosses_spine(a, b), expect == 5);
+                    }
                 }
                 for via in 0..nodes {
                     if via != a && via != b {
                         prop_assert!(direct <= topo.hops(a, via) + topo.hops(via, b));
                     }
                 }
+            }
+        }
+    }
+
+    /// Datacenter geometry is self-consistent: each leaf belongs to
+    /// exactly one rack (`leaf_of(n) / radix == rack_of(n)`), same-leaf
+    /// pairs share a rack, and the three route classes are strictly
+    /// ordered — same-leaf (1) < intra-rack cross-leaf (3) < cross-rack
+    /// over the spine (5).
+    #[test]
+    fn datacenter_geometry_is_consistent(
+        racks in 1u8..5,
+        radix in 2u8..6,
+        oversubscription in 1u8..5,
+    ) {
+        let topo = RackTopology::datacenter_for(racks, radix, oversubscription);
+        let nodes = racks as usize * (radix as usize).pow(2);
+        for n in 0..nodes {
+            let leaf = topo.leaf_of(n).expect("datacenter nodes sit on leaves");
+            let rack = topo.rack_of(n).expect("datacenter nodes sit in racks");
+            prop_assert_eq!(leaf / radix as usize, rack, "a leaf belongs to one rack");
+            prop_assert!(rack < racks as usize);
+        }
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a == b { continue; }
+                let hops = topo.hops(a, b);
+                if topo.leaf_of(a) == topo.leaf_of(b) {
+                    prop_assert_eq!(topo.rack_of(a), topo.rack_of(b));
+                    prop_assert_eq!(hops, 1);
+                    prop_assert!(!topo.crosses_uplink(a, b));
+                    prop_assert!(!topo.crosses_spine(a, b));
+                } else if topo.rack_of(a) == topo.rack_of(b) {
+                    prop_assert_eq!(hops, 3);
+                    prop_assert!(topo.crosses_uplink(a, b));
+                    prop_assert!(!topo.crosses_spine(a, b));
+                } else {
+                    prop_assert_eq!(hops, 5);
+                    prop_assert!(topo.crosses_uplink(a, b));
+                    prop_assert!(topo.crosses_spine(a, b));
+                }
+                prop_assert!(hops >= topo.min_hops());
             }
         }
     }
@@ -86,6 +150,7 @@ proptest! {
         });
         let hop = fabric.config().hop_latency;
         let mut count = 0u64;
+        let mut spine_count = 0u64;
         let mut last_arrival = vec![Time::ZERO; nodes * nodes];
         let mut now = Time::ZERO;
         for &(src, dst, bytes, dt) in &sends {
@@ -95,11 +160,23 @@ proptest! {
             let arrival = fabric.send(now, src, dst, bytes);
             count += 1;
             prop_assert!(arrival >= now + hop * topo.hops(src, dst));
+            if topo.crosses_spine(src, dst) {
+                spine_count += 1;
+                let spine = topo.spine_latency().expect("spine crossings imply a spine");
+                prop_assert!(
+                    arrival >= now + hop * (topo.hops(src, dst) - 1) + spine,
+                    "the middle traversal pays the full spine latency"
+                );
+            }
             let link = src * nodes + dst;
             prop_assert!(arrival >= last_arrival[link], "same-link arrivals are FIFO");
             last_arrival[link] = arrival;
         }
         prop_assert_eq!(fabric.packets_total(), count);
+        prop_assert_eq!(
+            fabric.spine_crossings_total(), spine_count,
+            "every cross-rack packet crosses the spine exactly once"
+        );
         let per_link: u64 = (0..nodes)
             .flat_map(|s| (0..nodes).map(move |d| (s, d)))
             .filter(|(s, d)| s != d)

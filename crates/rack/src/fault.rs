@@ -79,6 +79,8 @@ pub struct FaultPlan {
     /// Correlated whole-leaf outages, as declared (the member-node windows
     /// they expand into live in `node_outages`).
     leaf_outages: Vec<(usize, Outage)>,
+    /// Correlated whole-rack outages, as declared (expanded the same way).
+    rack_outages: Vec<(usize, Outage)>,
 }
 
 impl FaultPlan {
@@ -163,10 +165,12 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `rack` is not a fat tree or the window is empty.
+    /// Panics if `rack` has no leaves (not a fat tree or datacenter) or
+    /// the window is empty.
     pub fn leaf_outage(mut self, rack: RackTopology, leaf: usize, from: Time, until: Time) -> Self {
-        let RackTopology::FatTree { radix, .. } = rack else {
-            panic!("leaf outages need a fat-tree rack, got {rack:?}");
+        let (RackTopology::FatTree { radix, .. } | RackTopology::Datacenter { radix, .. }) = rack
+        else {
+            panic!("leaf outages need a fat-tree or datacenter rack, got {rack:?}");
         };
         assert!(from < until, "empty leaf outage: {from:?} >= {until:?}");
         let radix = radix.max(1) as usize;
@@ -178,6 +182,44 @@ impl FaultPlan {
             },
         ));
         for node in leaf * radix..(leaf + 1) * radix {
+            self = self.crash_restore(node, from, until);
+        }
+        self
+    }
+
+    /// Takes a whole datacenter rack down over `[from, until)`:
+    /// [`FaultPlan::leaf_outage`] generalized one level up the tree. Every
+    /// node of rack `rack_index` crashes for the window, which also severs
+    /// the rack's spine uplinks — no member can send or receive, so no
+    /// traffic crosses the spine either way. The correlated outage is
+    /// recorded as such ([`FaultPlan::rack_outages`]) and *expanded* into
+    /// per-member node windows, so the drop decision at the merge point —
+    /// and with it the shard × thread bit-identity — is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is not a [`RackTopology::Datacenter`] or the
+    /// window is empty.
+    pub fn rack_outage(
+        mut self,
+        rack: RackTopology,
+        rack_index: usize,
+        from: Time,
+        until: Time,
+    ) -> Self {
+        let RackTopology::Datacenter { radix, .. } = rack else {
+            panic!("rack outages need a datacenter fabric, got {rack:?}");
+        };
+        assert!(from < until, "empty rack outage: {from:?} >= {until:?}");
+        let per_rack = (radix as usize) * (radix as usize);
+        self.rack_outages.push((
+            rack_index,
+            Outage {
+                from,
+                until: Some(until),
+            },
+        ));
+        for node in rack_index * per_rack..(rack_index + 1) * per_rack {
             self = self.crash_restore(node, from, until);
         }
         self
@@ -220,6 +262,11 @@ impl FaultPlan {
     /// The correlated whole-leaf outages, as declared.
     pub fn leaf_outages(&self) -> &[(usize, Outage)] {
         &self.leaf_outages
+    }
+
+    /// The correlated whole-rack outages, as declared.
+    pub fn rack_outages(&self) -> &[(usize, Outage)] {
+        &self.rack_outages
     }
 
     /// All outage windows scheduled for `node`, in declaration order — the
@@ -468,7 +515,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fat-tree rack")]
+    #[should_panic(expected = "fat-tree or datacenter rack")]
     fn leaf_outage_needs_a_fat_tree() {
         let _ = FaultPlan::new().leaf_outage(
             RackTopology::Direct,
@@ -476,6 +523,54 @@ mod tests {
             Time::from_us(1),
             Time::from_us(2),
         );
+    }
+
+    #[test]
+    fn rack_outage_downs_every_member() {
+        let dc = RackTopology::datacenter_for(2, 2, 1);
+        let plan = FaultPlan::new().rack_outage(dc, 1, Time::from_us(5), Time::from_us(9));
+        assert_eq!(
+            plan.rack_outages(),
+            &[(
+                1,
+                Outage {
+                    from: Time::from_us(5),
+                    until: Some(Time::from_us(9)),
+                }
+            )]
+        );
+        // Rack 1 of a radix-2 datacenter is nodes 4..8.
+        for node in 4..8 {
+            assert!(plan.node_down_at(node, Time::from_us(5)));
+            assert!(plan.node_down_at(node, Time::from_ns(8_999)));
+            assert!(!plan.node_down_at(node, Time::from_us(9)));
+        }
+        for node in 0..4 {
+            assert!(!plan.node_down_at(node, Time::from_us(6)), "other rack");
+        }
+        // The spine uplinks are implied down: every cross-rack packet
+        // touching a member drops, in both directions.
+        assert!(plan.drops_packet(0, 5, Time::from_us(6)));
+        assert!(plan.drops_packet(7, 2, Time::from_us(6)));
+        assert!(!plan.drops_packet(0, 2, Time::from_us(6)), "intra-rack 0");
+    }
+
+    #[test]
+    fn leaf_outage_accepts_a_datacenter_leaf() {
+        // Global leaf 2 of a radix-2 datacenter sits in rack 1 and holds
+        // nodes 4 and 5.
+        let dc = RackTopology::datacenter_for(2, 2, 1);
+        let plan = FaultPlan::new().leaf_outage(dc, 2, Time::from_us(1), Time::from_us(2));
+        assert!(plan.node_down_at(4, Time::from_ns(1_500)));
+        assert!(plan.node_down_at(5, Time::from_ns(1_500)));
+        assert!(!plan.node_down_at(3, Time::from_ns(1_500)));
+        assert!(!plan.node_down_at(6, Time::from_ns(1_500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "datacenter fabric")]
+    fn rack_outage_needs_a_datacenter() {
+        let _ = FaultPlan::new().rack_outage(FT, 0, Time::from_us(1), Time::from_us(2));
     }
 
     #[test]

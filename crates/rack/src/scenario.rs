@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use sabre_core::EngineStats;
 use sabre_mem::Addr;
-use sabre_sim::Time;
+use sabre_sim::{HopStats, Time};
 use sabre_sonuma::r2p2::R2p2Stats;
 
 use crate::cluster::Cluster;
@@ -204,6 +204,21 @@ impl ScenarioBuilder {
             radix,
             oversubscription,
         };
+        self
+    }
+
+    /// Rewires the fabric as a two-level datacenter
+    /// ([`sabre_fabric::RackTopology::Datacenter`]): `racks` racks of
+    /// `radix`-ary fat trees joined by an inter-rack spine with the
+    /// calibrated 350 ns per-crossing latency
+    /// ([`sabre_fabric::RackTopology::datacenter_for`]). Call after
+    /// [`ScenarioBuilder::nodes`] / [`ScenarioBuilder::topology`], which
+    /// reset the fabric to the default crossbar/mesh shape; the node count
+    /// must fit `racks * radix^2` slots
+    /// (checked by [`ClusterConfig::validate`] at run time).
+    pub fn datacenter(mut self, racks: u8, radix: u8, oversubscription: u8) -> Self {
+        self.cfg.fabric.topology =
+            sabre_fabric::RackTopology::datacenter_for(racks, radix, oversubscription);
         self
     }
 
@@ -515,8 +530,7 @@ impl RunReport {
     pub fn node_reports(&self) -> Vec<NodeReport> {
         (0..self.cluster.config().nodes)
             .map(|node| {
-                let fabric = self.cluster.fabric();
-                let packets = fabric.node_packets_sent(node);
+                let hops = self.cluster.fabric().node_hop_stats(node);
                 NodeReport {
                     node,
                     role: self.cluster.config().topology.role(node),
@@ -524,14 +538,19 @@ impl RunReport {
                     r2p2: self.r2p2_totals(node),
                     engine: self.engine_totals(node),
                     gbps: self.gbps(node),
-                    mean_hops: if packets == 0 {
-                        0.0
-                    } else {
-                        fabric.node_hops_sent(node) as f64 / packets as f64
-                    },
+                    mean_hops: hops.mean_hops(),
+                    hops,
                 }
             })
             .collect()
+    }
+
+    /// Streaming hop/queue statistics merged over every node's fabric
+    /// port ([`HopStats`] — exact element-wise merge, so bit-identical at
+    /// every shard × thread setting). [`HopStats::spine_share`] is the
+    /// cross-spine hop share datacenter experiments report.
+    pub fn hop_stats(&self) -> HopStats {
+        self.cluster.fabric().hop_stats()
     }
 
     /// Aggregate goodput of the whole rack (every node's successful reader
@@ -646,6 +665,10 @@ pub struct NodeReport {
     /// placement-quality metric: a well-placed reader keeps it at the
     /// fabric's minimum.
     pub mean_hops: f64,
+    /// The node's full streaming hop/queue counters (packets, hops,
+    /// uplink and spine queueing, spine crossings) — what `mean_hops` is
+    /// derived from, with the datacenter-tier spine share alongside.
+    pub hops: HopStats,
 }
 
 impl NodeReport {
@@ -908,6 +931,33 @@ mod tests {
         assert!(report.total_gbps() > 0.0);
         let summed: f64 = nodes.iter().map(|n| n.gbps).sum();
         assert!((report.total_gbps() - summed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn datacenter_scenario_reports_spine_traffic() {
+        // 8 nodes on a 2-rack radix-2 datacenter: reader 0 (rack 0) reads
+        // from store 6 (rack 1), so every one of its packets crosses the
+        // spine — and the streaming hop counters must say exactly that.
+        let report = ScenarioBuilder::with_config(small())
+            .nodes(8)
+            .datacenter(2, 2, 1)
+            .raw_region_sized(6, 256, 32)
+            .reader_spec(0, 0, spec().store(6).payload(256))
+            .run_for(Time::from_us(30));
+        assert!(report.core(0, 0).ops > 0, "cross-rack reads complete");
+        let rack_wide = report.hop_stats();
+        assert!(rack_wide.packets > 0);
+        assert!(rack_wide.spine_crossings > 0);
+        let nodes = report.node_reports();
+        let reader = &nodes[0].hops;
+        assert_eq!(
+            reader.spine_crossings, reader.packets,
+            "every reader packet crosses the spine"
+        );
+        assert!((nodes[0].hops.spine_share() - 1.0).abs() < 1e-12);
+        assert!(nodes[0].mean_hops >= 5.0, "cross-rack routes are 5 hops");
+        // The store's replies cross right back.
+        assert_eq!(nodes[6].hops.spine_crossings, nodes[6].hops.packets);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::{SimRng, Zipf};
 pub use server::{BandwidthServer, FifoServer};
-pub use stats::{Counter, Histogram, LatencyHistogram, MeanTracker, Throughput};
+pub use stats::{Counter, Histogram, HopStats, LatencyHistogram, MeanTracker, Throughput};
 pub use time::{Freq, Time};

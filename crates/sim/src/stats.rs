@@ -429,6 +429,86 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Exact, mergeable hop and queue accounting for fabric traffic — the
+/// [`LatencyHistogram`] streaming pattern (integer fields only, merge by
+/// element-wise addition, associative and commutative) applied to the
+/// per-packet counters a datacenter-scale run can no longer afford to
+/// keep per event. Sources accumulate into their own `HopStats` as they
+/// send; any reduction grouping (per node, per shard, whole fabric)
+/// produces bit-identical totals.
+///
+/// # Example
+///
+/// ```
+/// use sabre_sim::HopStats;
+///
+/// let mut a = HopStats::default();
+/// a.record(3, false);
+/// let mut b = HopStats::default();
+/// b.record(5, true);
+/// a.merge(&b);
+/// assert_eq!(a.packets, 2);
+/// assert_eq!(a.mean_hops(), 4.0);
+/// assert_eq!(a.spine_share(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopStats {
+    /// Packets sent.
+    pub packets: u64,
+    /// Hops traversed by those packets, including queueing penalty hops.
+    pub hops: u64,
+    /// Packets that exceeded their leaf uplink's per-window budget.
+    pub uplink_queued: u64,
+    /// Packets that traversed an inter-rack spine.
+    pub spine_crossings: u64,
+    /// Packets that exceeded the spine bundle's per-window budget.
+    pub spine_queued: u64,
+}
+
+impl HopStats {
+    /// Records one sent packet that routed over `hops` hops,
+    /// `crossed_spine` marking an inter-rack traversal. (Queueing counters
+    /// are bumped directly by whoever models the queues.)
+    pub fn record(&mut self, hops: u64, crossed_spine: bool) {
+        self.packets += 1;
+        self.hops += hops;
+        if crossed_spine {
+            self.spine_crossings += 1;
+        }
+    }
+
+    /// Merges `other` into `self` by plain addition — exact, associative
+    /// and commutative, so any reduction grouping produces identical
+    /// results.
+    pub fn merge(&mut self, other: &HopStats) {
+        self.packets += other.packets;
+        self.hops += other.hops;
+        self.uplink_queued += other.uplink_queued;
+        self.spine_crossings += other.spine_crossings;
+        self.spine_queued += other.spine_queued;
+    }
+
+    /// Mean hops per packet (0 when nothing was sent).
+    pub fn mean_hops(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.packets as f64
+        }
+    }
+
+    /// Fraction of packets that crossed an inter-rack spine (0 when
+    /// nothing was sent) — the cross-spine hop share the datacenter
+    /// experiments report.
+    pub fn spine_share(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.spine_crossings as f64 / self.packets as f64
+        }
+    }
+}
+
 /// Accumulates (bytes, completion time) pairs and reports goodput.
 ///
 /// The experiments report *application throughput*: clean payload bytes
@@ -631,6 +711,40 @@ mod tests {
         assert_eq!(dump.lines().count(), 2);
         assert!(dump.contains("250"));
         assert_eq!(h.p999(), Some(250));
+    }
+
+    #[test]
+    fn hop_stats_merge_is_exact_and_commutative() {
+        let mut all = HopStats::default();
+        let mut a = HopStats::default();
+        let mut b = HopStats::default();
+        for i in 0..100u64 {
+            let hops = 1 + i % 5;
+            let spine = hops == 5;
+            all.record(hops, spine);
+            let side = if i % 2 == 0 { &mut a } else { &mut b };
+            side.record(hops, spine);
+            if i % 7 == 0 {
+                all.uplink_queued += 1;
+                side.uplink_queued += 1;
+            }
+            if i % 13 == 0 {
+                all.spine_queued += 1;
+                side.spine_queued += 1;
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        let mut merged_rev = b;
+        merged_rev.merge(&a);
+        assert_eq!(merged_rev, all);
+        assert_eq!(all.packets, 100);
+        assert_eq!(all.spine_crossings, 20);
+        assert_eq!(all.spine_share(), 0.2);
+        assert_eq!(all.mean_hops(), 3.0);
+        assert_eq!(HopStats::default().mean_hops(), 0.0);
+        assert_eq!(HopStats::default().spine_share(), 0.0);
     }
 
     #[test]

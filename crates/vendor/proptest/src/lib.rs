@@ -224,6 +224,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B);
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
 
     /// Uniform choice among boxed alternatives (built by the `prop_oneof!` macro).
     pub struct Union<V> {

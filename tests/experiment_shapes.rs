@@ -501,3 +501,76 @@ fn fig_recovery_guard_trades_availability_for_freshness() {
         refuse.ops
     );
 }
+
+#[test]
+fn fig_datacenter_spine_is_costly_and_nearest_placement_avoids_it() {
+    use ex::fig_datacenter::Placement;
+    let points = ex::fig_datacenter::data(Q);
+    for &racks in &ex::fig_datacenter::RACK_COUNTS {
+        for mech in ex::fig_datacenter::Mechanism::ALL {
+            let get = |placement: Placement| {
+                points
+                    .iter()
+                    .find(|p| p.racks == racks && p.mech == mech && p.placement == placement)
+                    .expect("every (racks, mechanism, placement) point present")
+            };
+            let (rr, near) = (get(Placement::RoundRobin), get(Placement::Nearest));
+            // Cross-spine reads are strictly slower than rack-local ones:
+            // round-robin drags most reads over the 350 ns spine (twice —
+            // request and reply) while nearest-shard placement keeps every
+            // reader leaf-local, so the gap is a multiple, not a margin.
+            assert!(
+                rr.latency_ns > 2.0 * near.latency_ns,
+                "{racks} racks {mech:?}: round-robin {:.0} ns not a multiple \
+                 of nearest {:.0} ns",
+                rr.latency_ns,
+                near.latency_ns
+            );
+            assert!(
+                rr.p99_ns > near.p99_ns,
+                "{racks} racks {mech:?}: p99 inversion ({} vs {})",
+                rr.p99_ns,
+                near.p99_ns
+            );
+            // NearestShard reduces spine crossings vs round-robin at every
+            // rack count — all the way to zero, with one store per leaf.
+            assert!(
+                rr.spine_share > 0.0,
+                "{racks} racks {mech:?}: round-robin never crossed the spine"
+            );
+            assert!(
+                near.spine_share < rr.spine_share,
+                "{racks} racks {mech:?}: nearest spine share {:.2} not below \
+                 round-robin's {:.2}",
+                near.spine_share,
+                rr.spine_share
+            );
+            assert_eq!(
+                near.spine_share, 0.0,
+                "{racks} racks {mech:?}: a leaf-local reader crossed the spine"
+            );
+        }
+    }
+    // Round-robin's cross-spine share grows with the rack count (the
+    // random-target floor is (racks-1)/racks), for both mechanisms.
+    for mech in ex::fig_datacenter::Mechanism::ALL {
+        let shares: Vec<f64> = ex::fig_datacenter::RACK_COUNTS
+            .iter()
+            .map(|&racks| {
+                points
+                    .iter()
+                    .find(|p| {
+                        p.racks == racks
+                            && p.mech == mech
+                            && p.placement == ex::fig_datacenter::Placement::RoundRobin
+                    })
+                    .expect("round-robin point present")
+                    .spine_share
+            })
+            .collect();
+        assert!(
+            shares.windows(2).all(|w| w[0] < w[1]),
+            "{mech:?}: round-robin spine share not growing with racks: {shares:?}"
+        );
+    }
+}

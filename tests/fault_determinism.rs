@@ -17,6 +17,7 @@
 //!   dropped` at quiescence.
 
 use sabres::prelude::*;
+use sabres::sim::HopStats;
 
 use sabre_bench::experiments::fig_failover::{measure_threaded, Point, Policy};
 use sabre_bench::experiments::fig_recovery;
@@ -236,4 +237,92 @@ fn dropped_packets_extend_the_conservation_invariant() {
         delivered + dropped,
         "every packet must be delivered exactly once or dropped by the plan"
     );
+}
+
+/// Everything observable about one whole-rack-outage run: reader
+/// metrics, the packet-conservation ledger, and the streaming hop/spine
+/// counters.
+type RackOutagePrint = (u64, Option<u64>, u64, u64, u64, u64, u64, HopStats);
+
+/// A 32-node two-rack datacenter where *every* replica lives in rack 1
+/// and a [`FaultPlan::rack_outage`] takes that whole rack — 16 nodes,
+/// all three sites included — down mid-run. Rack-0 readers cross the
+/// spine for every read, spin on their failover timers through the
+/// outage, and finish after the restore.
+fn rack_outage_fingerprint(shards: usize, threads: usize) -> RackOutagePrint {
+    let builder = ScenarioBuilder::new()
+        .seed(9)
+        .nodes(32)
+        .datacenter(2, 4, 2)
+        .shards(shards)
+        .threads(threads)
+        .configure(|cfg| cfg.memory_bytes = 1 << 20);
+    let rack = builder.config().fabric.topology;
+    // Three replica sites on distinct leaves of rack 1.
+    let sites = vec![20usize, 25, 30];
+    let builder =
+        builder.fault(FaultPlan::new().rack_outage(rack, 1, Time::from_us(10), Time::from_us(60)));
+    let (mut scenario, store) = builder.replicated_store(&sites, StoreLayout::Clean, 256, 16);
+    let readers = [0usize, 5, 10, 15];
+    for &rnode in &readers {
+        scenario = scenario.reader_spec(
+            rnode,
+            0,
+            spec()
+                .replicas(store.view_for(rnode, rack))
+                .payload(256)
+                .mechanism(ReadMechanism::Raw)
+                .wire(store.slot_bytes() as u32)
+                .iterations(50)
+                .failover_timeout(Time::from_us(5)),
+        );
+    }
+    let report = scenario.run_for(Time::from_us(400));
+    let m = report.rack_metrics();
+    let cluster = report.cluster();
+    (
+        m.ops,
+        m.p99_ns(),
+        m.failovers,
+        m.migrations,
+        cluster.fabric().packets_total(),
+        cluster.packets_delivered(),
+        cluster.packets_dropped(),
+        report.hop_stats(),
+    )
+}
+
+#[test]
+fn whole_rack_outage_is_shard_and_thread_invariant() {
+    // The generalized outage: a whole rack (not just a leaf) dies and
+    // restores mid-run across the inter-rack spine. The run must replay
+    // bit-identically at shards {1, 2, 8} x threads {1, 2, 8}, every
+    // failover timer, dropped packet and spine crossing included.
+    let serial = rack_outage_fingerprint(1, 1);
+    assert_eq!(serial.0, 200, "every reader must finish despite the outage");
+    assert!(serial.2 > 0, "the rack outage must force failovers");
+    assert!(serial.6 > 0, "the rack outage must drop packets");
+    assert_eq!(
+        serial.4,
+        serial.5 + serial.6,
+        "conservation must hold over the outage: {serial:?}"
+    );
+    assert!(
+        serial.7.spine_crossings > 0,
+        "cross-rack replicas must cross the spine: {:?}",
+        serial.7
+    );
+    for shards in [1usize, 2, 8] {
+        for threads in [1usize, 2, 8] {
+            if shards == 1 && threads == 1 {
+                continue;
+            }
+            assert_eq!(
+                serial,
+                rack_outage_fingerprint(shards, threads),
+                "{shards} shards on {threads} threads diverged from the \
+                 serial rack-outage schedule"
+            );
+        }
+    }
 }
